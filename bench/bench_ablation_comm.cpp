@@ -1,0 +1,102 @@
+// Ablation: multi-node communication optimizations.
+//
+//  (1) §4.3 filtered interpolation row exchange: measured gathered bytes
+//      with and without the sender-side filter (paper: >3x reduction on its
+//      inputs at 128 nodes).
+//  (2) §4.4 persistent communication: modeled halo-exchange time with
+//      per-message request setup vs persistent requests (paper: 1.7-1.8x).
+//
+// Usage: bench_ablation_comm [--n 10] [--max-ranks 8]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dist/dist_coarsen.hpp"
+#include "dist/dist_interp.hpp"
+#include "dist/dist_transpose.hpp"
+#include "gen/stencil.hpp"
+
+using namespace hpamg;
+using namespace hpamg::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const Int n = Int(cli.get_int("n", 10));
+  const int max_ranks = int(cli.get_int("max-ranks", 8));
+  const NetworkModel net = endeavor_network();
+
+  std::printf("=== Ablation (1): §4.3 filtered interpolation exchange"
+              " (anisotropic lap3d, %d^3/rank) ===\n\n", n);
+  print_row({"ranks", "full_KB", "filtered_KB", "reduction"}, 13);
+  for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
+    CSRMatrix A = lap3d_7pt(n, n, n * Int(ranks), 1.0, 8.0);
+    std::vector<std::uint64_t> full(ranks), filt(ranks);
+    simmpi::run(ranks, [&](simmpi::Comm& c) {
+      DistMatrix dA = distribute_csr(c, A);
+      StrengthOptions so;
+      DistMatrix dS = dist_strength(dA, so);
+      DistMatrix dST = dist_transpose(c, dS);
+      CFMarker cf = dist_pmis(c, dS, dST);
+      CoarseNumbering cn = coarse_numbering(c, cf);
+      DistInterpInfo a, b;
+      DistInterpOptions io;
+      io.filtered_exchange = false;
+      dist_extpi_interp(c, dA, dS, dST, cf, cn, io, nullptr, &a);
+      io.filtered_exchange = true;
+      dist_extpi_interp(c, dA, dS, dST, cf, cn, io, nullptr, &b);
+      full[c.rank()] = a.gathered_bytes;
+      filt[c.rank()] = b.gathered_bytes;
+    });
+    std::uint64_t tf = 0, tg = 0;
+    for (int r = 0; r < ranks; ++r) {
+      tf += full[r];
+      tg += filt[r];
+    }
+    print_row({fmt_int(ranks), fmt(double(tf) / 1e3, "%.1f"),
+               fmt(double(tg) / 1e3, "%.1f"),
+               fmt(double(tf) / double(tg), "%.2f")},
+              13);
+  }
+
+  std::printf("\n=== Ablation (2): §4.4 persistent communication, modeled"
+              " halo-exchange time ===\n\n");
+  print_row({"ranks", "msgs/exch", "KB/exch", "nonpersist_us",
+             "persist_us", "speedup"}, 14);
+  for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
+    CSRMatrix A = lap3d_7pt(n, n, n * Int(ranks));
+    std::vector<simmpi::CommStats> np(ranks), pp(ranks);
+    simmpi::run(ranks, [&](simmpi::Comm& c) {
+      DistMatrix dA = distribute_csr(c, A);
+      Vector x(dA.local_rows(), 1.0), ext;
+      HaloExchange h_np(c, dA.colmap, dA.row_starts, false);
+      HaloExchange h_p(c, dA.colmap, dA.row_starts, true);
+      const auto s0 = c.stats();
+      h_np.exchange(x, ext);
+      const auto s1 = c.stats();
+      h_p.exchange(x, ext);
+      const auto s2 = c.stats();
+      np[c.rank()].messages_sent = s1.messages_sent - s0.messages_sent;
+      np[c.rank()].bytes_sent = s1.bytes_sent - s0.bytes_sent;
+      np[c.rank()].request_setups = s1.request_setups - s0.request_setups;
+      pp[c.rank()].messages_sent = s2.messages_sent - s1.messages_sent;
+      pp[c.rank()].bytes_sent = s2.bytes_sent - s1.bytes_sent;
+      pp[c.rank()].persistent_starts =
+          s2.persistent_starts - s1.persistent_starts;
+    });
+    double t_np = 0, t_p = 0, msgs = 0, kb = 0;
+    for (int r = 0; r < ranks; ++r) {
+      t_np = std::max(t_np, net.seconds(np[r]));
+      t_p = std::max(t_p, net.seconds(pp[r]));
+      msgs += double(np[r].messages_sent) / ranks;
+      kb += double(np[r].bytes_sent) / 1e3 / ranks;
+    }
+    print_row({fmt_int(ranks), fmt(msgs, "%.1f"), fmt(kb, "%.2f"),
+               fmt(t_np * 1e6, "%.2f"), fmt(t_p * 1e6, "%.2f"),
+               fmt(t_np / t_p, "%.2f")},
+              14);
+  }
+  std::printf("\nExpected shape (paper): >3x exchange-volume reduction from"
+              " filtering on its inputs; 1.7-1.8x halo-exchange speedup from"
+              " persistent requests (small messages are setup-dominated)."
+              "\n");
+  return 0;
+}

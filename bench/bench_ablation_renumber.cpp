@@ -1,0 +1,71 @@
+// Ablation: parallel column-index renumbering (§4.2).
+//
+// Runs the distributed Galerkin product with the sequential ordered-map
+// renumbering versus the paper's thread-private-hash + parallel-merge
+// scheme, across rank counts, reporting the renumbering share of RAP and
+// its hash-probe counts. (The paper measures 2.6-3.5x faster RAP on 128
+// nodes from this optimization; on one host core the structural metrics —
+// probes and the serialized fraction — carry the comparison.)
+//
+// Usage: bench_ablation_renumber [--n 12] [--max-ranks 8]
+#include <cstdio>
+
+#include "amg/interp_extpi.hpp"
+#include "bench_util.hpp"
+#include "dist/dist_coarsen.hpp"
+#include "dist/dist_interp.hpp"
+#include "dist/dist_spgemm.hpp"
+#include "dist/dist_transpose.hpp"
+#include "gen/stencil.hpp"
+
+using namespace hpamg;
+using namespace hpamg::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const Int n = Int(cli.get_int("n", 12));
+  const int max_ranks = int(cli.get_int("max-ranks", 8));
+
+  std::printf("=== Ablation: §4.2 column-index renumbering in distributed"
+              " RAP (lap3d %d^3/rank) ===\n\n", n);
+  print_row({"ranks", "variant", "renumber_s", "rap_local_s", "gathered_MB",
+             "probes"}, 13);
+
+  for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
+    CSRMatrix A = lap3d_7pt(n, n, n * Int(ranks));
+    for (bool parallel : {false, true}) {
+      std::vector<DistSpgemmInfo> infos(ranks);
+      std::vector<WorkCounters> wcs(ranks);
+      simmpi::run(ranks, [&](simmpi::Comm& c) {
+        DistMatrix dA = distribute_csr(c, A);
+        StrengthOptions so;
+        DistMatrix dS = dist_strength(dA, so);
+        DistMatrix dST = dist_transpose(c, dS);
+        CFMarker cf = dist_pmis(c, dS, dST);
+        CoarseNumbering cn = coarse_numbering(c, cf);
+        DistMatrix dP = dist_extpi_interp(c, dA, dS, dST, cf, cn);
+        DistSpgemmOptions o;
+        o.parallel_renumber = parallel;
+        o.onepass_local = true;
+        dist_rap(c, dA, dP, o, &wcs[c.rank()], &infos[c.rank()]);
+      });
+      double renum = 0, local = 0, mb = 0;
+      std::uint64_t probes = 0;
+      for (int r = 0; r < ranks; ++r) {
+        renum = std::max(renum, infos[r].renumber_seconds);
+        local = std::max(local, infos[r].local_seconds);
+        mb += double(infos[r].gathered_bytes) / 1e6;
+        probes += wcs[r].hash_probes;
+      }
+      print_row({fmt_int(ranks), parallel ? "parallel" : "baseline",
+                 fmt(renum, "%.5f"), fmt(local, "%.5f"), fmt(mb, "%.3f"),
+                 fmt_int(long(probes))}, 13);
+    }
+  }
+  std::printf("\nExpected shape (paper): the baseline's ordered-map"
+              " renumbering grows with rank count (more off-rank columns)"
+              " and serializes; the parallel scheme keeps renumbering a"
+              " small fraction of RAP (2.6-3.5x RAP speedup at 128 nodes)."
+              "\n");
+  return 0;
+}

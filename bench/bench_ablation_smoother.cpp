@@ -1,0 +1,104 @@
+// Ablation: smoother study of §5.2.
+//
+// The paper evaluates lexicographic GS (with point-to-point
+// synchronization [38]) and its fusion with SpMV [39] against hybrid GS:
+// lexicographic GS converges ~1.26x faster on average, but its limited
+// parallelism and dependency-graph setup only pay off when the setup is
+// amortized over many solves — it won for 5 of the 14 matrices in that
+// scenario. This bench reproduces the study: per matrix, AMG iteration
+// counts and times with each smoother under (a) one-setup-per-solve and
+// (b) setup-amortized accounting, plus the fused GS+SpMV kernel timing.
+//
+// Usage: bench_ablation_smoother [--scale 0.004]
+#include <cmath>
+#include <cstdio>
+
+#include "amg/solver.hpp"
+#include "amg/spmv.hpp"
+#include "bench_util.hpp"
+#include "gen/suite.hpp"
+
+using namespace hpamg;
+using namespace hpamg::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.004);
+
+  std::printf("=== Ablation: hybrid GS vs lexicographic GS smoothing"
+              " (scale=%.4g, 14 hybrid partitions) ===\n\n", scale);
+  print_row({"matrix", "hyb_iters", "lex_iters", "mc_iters", "conv_ratio",
+             "hyb_tts", "lex_tts", "lex_amort", "lex_wins"}, 12);
+
+  double geo_conv = 0, geo_mc = 0;
+  int count = 0, lex_wins_amortized = 0;
+  for (const SuiteEntry& e : table2_suite()) {
+    CSRMatrix A = generate_suite_matrix(e.name, scale);
+    double tts[4], solve_only[4];
+    Int iters[4];
+    int idx = 0;
+    // Fourth config: hybrid GS with GPU-like fine partitioning (AmgX's GS
+    // runs with thousands of threads, degrading toward Jacobi — the regime
+    // where its MULTICOLOR_GS option converges 1.4x faster).
+    for (SmootherKind s : {SmootherKind::kHybridGS, SmootherKind::kLexGS,
+                           SmootherKind::kMultiColorGS,
+                           SmootherKind::kHybridGS}) {
+      AMGOptions o = table3_options(Variant::kOptimized, e.strength_threshold);
+      o.smoother = s;
+      // Emulate the paper's 14-thread socket: hybrid GS convergence depends
+      // on the partition count, not on real parallelism.
+      o.gs_partitions = idx == 3 ? 2048 : 14;
+      Timer t;
+      AMGSolver amg(A, o);
+      const double setup = t.seconds();
+      Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+      t.reset();
+      SolveResult r = amg.solve(b, x, 1e-7, 300);
+      solve_only[idx] = t.seconds();
+      tts[idx] = setup + solve_only[idx];
+      iters[idx] = r.converged ? r.iterations : 300;
+      ++idx;
+    }
+    const double conv_ratio = double(iters[0]) / double(iters[1]);
+    const bool wins = solve_only[1] < solve_only[0];
+    lex_wins_amortized += wins;
+    geo_conv += std::log(std::max(conv_ratio, 1e-3));
+    geo_mc += std::log(std::max(double(iters[3]) / double(iters[2]), 1e-3));
+    ++count;
+    print_row({e.name, fmt_int(iters[0]), fmt_int(iters[1]),
+               fmt_int(iters[2]), fmt(conv_ratio, "%.2f"),
+               fmt(tts[0], "%.3f"), fmt(tts[1], "%.3f"),
+               fmt(solve_only[1], "%.3f"), wins ? "yes" : "no"}, 12);
+  }
+  std::printf("\nGeomean convergence ratio (hybrid iters / lex iters):"
+              " %.2fx (paper: 1.26x)\n", std::exp(geo_conv / count));
+  std::printf("Matrices where lex GS wins with amortized setup: %d of %d"
+              " (paper: 5 of 14)\n", lex_wins_amortized, count);
+  std::printf("Geomean GPU-like-hybrid(2048)/multi-color iteration ratio:"
+              " %.2fx (AmgX's MULTICOLOR_GS converged 1.4x faster than its"
+              " massively-parallel hybrid GS, §5.2)\n\n",
+              std::exp(geo_mc / count));
+
+  // Fused GS+SpMV kernel ([39]): sweep + residual maintenance in one pass
+  // vs sweep followed by a residual SpMV.
+  CSRMatrix A = generate_suite_matrix("lap3d_128", scale);
+  LexGS lex(A);
+  Vector b(A.nrows, 1.0);
+  Vector x1(A.nrows, 0.0), x2(A.nrows, 0.0), r1(A.nrows), r2(A.nrows);
+  spmv_residual(A, x2, b, r2);
+  Timer t;
+  for (int s = 0; s < 10; ++s) {
+    lex.sweep(A, b, x1);
+    spmv_residual(A, x1, b, r1);
+  }
+  const double t_sep = t.seconds();
+  t.reset();
+  for (int s = 0; s < 10; ++s) lex.sweep_fused_residual(A, x2, r2);
+  const double t_fused = t.seconds();
+  double diff = 0;
+  for (Int i = 0; i < A.nrows; ++i) diff = std::max(diff, std::abs(x1[i] - x2[i]));
+  std::printf("Fused lex-GS+SpMV [39]: separate %.4fs, fused %.4fs"
+              " (%.2fx), max iterate diff %.2e\n", t_sep, t_fused,
+              t_sep / t_fused, diff);
+  return 0;
+}

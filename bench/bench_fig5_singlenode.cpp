@@ -1,0 +1,133 @@
+// Figure 5 reproduction: single-node comparison of HYPRE_base, HYPRE_opt
+// and (modeled) AmgX across the Table 2 suite, with the paper's per-kernel
+// breakdown (Strength+Coarsen / Interp / RAP / Setup_etc / GS / SpMV /
+// BLAS1 / Solve_etc), normalized to HYPRE_base's time to solution.
+//
+// Wall-clock is measured on this host; because the paper's hardware is not
+// available, the header also reports the modeled times on the Table 1
+// machines derived from each run's work counters (see perfmodel/). The
+// AmgX columns are a *model* — the paper's measured behavioural ratios
+// applied to HYPRE_opt (DESIGN.md §1).
+//
+// Usage: bench_fig5_singlenode [--scale 0.005] [--matrix name] [--rtol 1e-7]
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/suite.hpp"
+
+using namespace hpamg;
+using namespace hpamg::bench;
+
+namespace {
+
+struct RunResult {
+  double setup_s = 0;
+  double solve_s = 0;
+  Int iterations = 0;
+  double opcx = 0;
+  PhaseTimes setup_pt, solve_pt;
+  WorkCounters setup_wc, solve_wc;
+};
+
+RunResult run(const CSRMatrix& A, Variant v, double alpha, double rtol) {
+  RunResult r;
+  Timer t;
+  AMGSolver amg(A, table3_options(v, alpha));
+  r.setup_s = t.seconds();
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  t.reset();
+  SolveResult sr = amg.solve(b, x, rtol, 200);
+  r.solve_s = t.seconds();
+  r.iterations = sr.iterations;
+  r.opcx = amg.operator_complexity();
+  r.setup_pt = amg.setup_times();
+  r.solve_pt = sr.solve_times;
+  r.setup_wc = amg.hierarchy().setup_work;
+  r.solve_wc = sr.solve_work;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.01);
+  const double rtol = cli.get_double("rtol", 1e-7);
+  const std::string only = cli.get("matrix", "");
+
+  const MachineModel hsw = haswell_socket();
+  const MachineModel gpu = k40c();
+  const AmgxModel amgx;
+
+  std::printf("=== Fig 5: single-node time to solution, normalized to"
+              " HYPRE_base (scale=%.4g, rtol=%.1e) ===\n", scale, rtol);
+  std::printf("Machines (Table 1): %s %.0f GB/s | %s %.0f GB/s\n\n",
+              hsw.name.c_str(), hsw.stream_bw_bytes_per_s / 1e9,
+              gpu.name.c_str(), gpu.stream_bw_bytes_per_s / 1e9);
+  print_row({"matrix", "base_setup", "base_solve", "opt_setup", "opt_solve",
+             "amgx_setup", "amgx_solve", "opt_spdup", "model_spdup",
+             "amgx_vs_opt", "it_b/it_o", "opcx"}, 12);
+
+  double geo_opt = 0, geo_amgx = 0, geo_model = 0;
+  int count = 0;
+  for (const SuiteEntry& e : table2_suite()) {
+    if (!only.empty() && e.name != only) continue;
+    CSRMatrix A = generate_suite_matrix(e.name, scale);
+    RunResult base = run(A, Variant::kBaseline, e.strength_threshold, rtol);
+    RunResult opt = run(A, Variant::kOptimized, e.strength_threshold, rtol);
+
+    const double base_total = base.setup_s + base.solve_s;
+    auto [amgx_setup, amgx_solve] = amgx.project(opt.setup_s, opt.solve_s);
+    const double opt_speedup = base_total / (opt.setup_s + opt.solve_s);
+    const double amgx_vs_opt =
+        (amgx_setup + amgx_solve) / (opt.setup_s + opt.solve_s);
+    // Model-projected speedup on the Table 1 Haswell socket: the work
+    // counters (bytes, flops, SPA branches) are thread-count independent,
+    // so this captures the gains the single host core cannot show
+    // (parallel assembly, bandwidth-bound kernels at 14 cores).
+    WorkCounters wb = base.setup_wc, wo = opt.setup_wc;
+    wb += base.solve_wc;
+    wo += opt.solve_wc;
+    const double model_speedup = hsw.seconds(wb) / hsw.seconds(wo);
+    geo_opt += std::log(opt_speedup);
+    geo_amgx += std::log(amgx_vs_opt);
+    geo_model += std::log(model_speedup);
+    ++count;
+
+    print_row({e.name, fmt(base.setup_s / base_total, "%.3f"),
+               fmt(base.solve_s / base_total, "%.3f"),
+               fmt(opt.setup_s / base_total, "%.3f"),
+               fmt(opt.solve_s / base_total, "%.3f"),
+               fmt(amgx_setup / base_total, "%.3f"),
+               fmt(amgx_solve / base_total, "%.3f"),
+               fmt(opt_speedup, "%.2f"), fmt(model_speedup, "%.2f"),
+               fmt(amgx_vs_opt, "%.2f"),
+               (fmt_int(base.iterations) + "/" + fmt_int(opt.iterations)),
+               fmt(opt.opcx, "%.2f")}, 12);
+
+    // Per-kernel breakdown rows (the stacked-bar composition of Fig 5).
+    auto breakdown = [&](const char* who, const RunResult& r) {
+      std::printf("  %-10s", who);
+      for (const char* phase : {"Strength+Coarsen", "Interp", "RAP",
+                                "Setup_etc", "GS", "SpMV", "BLAS1",
+                                "Solve_etc"}) {
+        const double v = r.setup_pt.get(phase) + r.solve_pt.get(phase);
+        std::printf(" %s=%.3f", phase, v / base_total);
+      }
+      std::printf("\n");
+    };
+    breakdown("base:", base);
+    breakdown("opt:", opt);
+  }
+  if (count > 0) {
+    std::printf("\nGeomean HYPRE_opt speedup over HYPRE_base: measured"
+                " %.2fx on this host, model-projected %.2fx on the Table 1"
+                " socket (paper: 2.0x)\n",
+                std::exp(geo_opt / count), std::exp(geo_model / count));
+    std::printf("Geomean modeled AmgX/HYPRE_opt time ratio:  %.2fx"
+                " (paper: HYPRE_opt 1.3x faster)\n",
+                std::exp(geo_amgx / count));
+  }
+  return 0;
+}

@@ -1,0 +1,172 @@
+// google-benchmark microbenchmarks for the per-kernel claims of §3/§5.2:
+//  - SpMV restriction: transpose-per-call (baseline) vs kept R (3.7x);
+//  - hybrid GS: branchy baseline vs partitioned optimized (1.2x);
+//  - strength creation: serial vs prefix-sum parallel assembly (6.1x);
+//  - matrix transpose: serial vs parallel counting sort;
+//  - residual + norm: separate vs fused (§3.3);
+//  - interpolation/restriction: full P vs identity-block form.
+#include <benchmark/benchmark.h>
+
+#include "amg/smoother.hpp"
+#include "amg/spmv.hpp"
+#include "amg/strength.hpp"
+#include "gen/stencil.hpp"
+#include "matrix/permute.hpp"
+#include "matrix/transpose.hpp"
+#include "matrix/vector_ops.hpp"
+
+namespace {
+
+using namespace hpamg;
+
+CSRMatrix bench_matrix() {
+  static CSRMatrix A = [] {
+    CSRMatrix m = lap3d_7pt(24, 24, 24);
+    m.sort_rows();
+    return m;
+  }();
+  return A;
+}
+
+/// Interpolation-shaped operator: n x (n/4), ~4 entries per fine row.
+CSRMatrix bench_interp() {
+  static CSRMatrix P = [] {
+    const Int n = 24 * 24 * 24, nc = n / 4;
+    std::vector<Triplet> t;
+    for (Int i = 0; i < nc; ++i) t.push_back({i, i, 1.0});
+    for (Int i = nc; i < n; ++i) {
+      const Int c = (i * 7919) % nc;
+      t.push_back({i, c, 0.4});
+      t.push_back({i, (c + 1) % nc, 0.3});
+      t.push_back({i, (c + 17) % nc, 0.3});
+    }
+    return CSRMatrix::from_triplets(n, nc, std::move(t));
+  }();
+  return P;
+}
+
+void BM_RestrictionTransposeEachCall(benchmark::State& state) {
+  CSRMatrix P = bench_interp();
+  Vector r(P.nrows, 1.0), rc(P.ncols);
+  for (auto _ : state) {
+    // Baseline HYPRE: derive R = P^T for every restriction (§3.2).
+    CSRMatrix R = transpose_serial(P);
+    spmv(R, r, rc);
+    benchmark::DoNotOptimize(rc.data());
+  }
+}
+BENCHMARK(BM_RestrictionTransposeEachCall);
+
+void BM_RestrictionKeptTranspose(benchmark::State& state) {
+  CSRMatrix P = bench_interp();
+  CSRMatrix R = transpose_parallel(P);  // kept from setup
+  Vector r(P.nrows, 1.0), rc(P.ncols);
+  for (auto _ : state) {
+    spmv(R, r, rc);
+    benchmark::DoNotOptimize(rc.data());
+  }
+}
+BENCHMARK(BM_RestrictionKeptTranspose);
+
+void BM_RestrictionIdentityBlock(benchmark::State& state) {
+  CSRMatrix P = bench_interp();
+  const Int nc = P.ncols;
+  CSRMatrix Pf(P.nrows - nc, nc);
+  {
+    std::vector<Triplet> t;
+    for (Int i = nc; i < P.nrows; ++i)
+      for (Int k = P.rowptr[i]; k < P.rowptr[i + 1]; ++k)
+        t.push_back({i - nc, P.colidx[k], P.values[k]});
+    Pf = CSRMatrix::from_triplets(P.nrows - nc, nc, std::move(t));
+  }
+  CSRMatrix PfT = transpose_parallel(Pf);
+  Vector r(P.nrows, 1.0), rc(nc);
+  for (auto _ : state) {
+    restrict_identity_block(PfT, r, rc, nc);
+    benchmark::DoNotOptimize(rc.data());
+  }
+}
+BENCHMARK(BM_RestrictionIdentityBlock);
+
+void BM_HybridGsBaseline(benchmark::State& state) {
+  CSRMatrix A = bench_matrix();
+  HybridGSBaseline gs(A);
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0), t(A.nrows);
+  for (auto _ : state) {
+    gs.sweep(A, b, x, t, true);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_HybridGsBaseline);
+
+void BM_HybridGsOptimized(benchmark::State& state) {
+  CSRMatrix A = bench_matrix();
+  HybridGSOptimized gs(A);
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0), t(A.nrows);
+  for (auto _ : state) {
+    gs.sweep(b, x, t, 0, A.nrows, true);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_HybridGsOptimized);
+
+void BM_StrengthSerial(benchmark::State& state) {
+  CSRMatrix A = bench_matrix();
+  for (auto _ : state) {
+    CSRMatrix S = strength_matrix_serial(A, {});
+    benchmark::DoNotOptimize(S.nnz());
+  }
+}
+BENCHMARK(BM_StrengthSerial);
+
+void BM_StrengthParallel(benchmark::State& state) {
+  CSRMatrix A = bench_matrix();
+  for (auto _ : state) {
+    CSRMatrix S = strength_matrix(A, {});
+    benchmark::DoNotOptimize(S.nnz());
+  }
+}
+BENCHMARK(BM_StrengthParallel);
+
+void BM_TransposeSerial(benchmark::State& state) {
+  CSRMatrix A = bench_matrix();
+  for (auto _ : state) {
+    CSRMatrix T = transpose_serial(A);
+    benchmark::DoNotOptimize(T.nnz());
+  }
+}
+BENCHMARK(BM_TransposeSerial);
+
+void BM_TransposeParallel(benchmark::State& state) {
+  CSRMatrix A = bench_matrix();
+  for (auto _ : state) {
+    CSRMatrix T = transpose_parallel(A);
+    benchmark::DoNotOptimize(T.nnz());
+  }
+}
+BENCHMARK(BM_TransposeParallel);
+
+void BM_ResidualThenNorm(benchmark::State& state) {
+  CSRMatrix A = bench_matrix();
+  Vector x(A.nrows, 0.5), b(A.nrows, 1.0), r(A.nrows);
+  for (auto _ : state) {
+    spmv_residual(A, x, b, r);
+    double n = dot(r, r);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_ResidualThenNorm);
+
+void BM_ResidualNormFused(benchmark::State& state) {
+  CSRMatrix A = bench_matrix();
+  Vector x(A.nrows, 0.5), b(A.nrows, 1.0), r(A.nrows);
+  for (auto _ : state) {
+    double n = spmv_residual_norm2sq_fused(A, x, b, r);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_ResidualNormFused);
+
+}  // namespace
+
+BENCHMARK_MAIN();

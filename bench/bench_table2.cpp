@@ -1,0 +1,31 @@
+// Table 2 reproduction: the 14-matrix single-node evaluation suite.
+// Prints, per matrix, the paper's published size/density next to the
+// generated stand-in's (at the requested --scale; scale=1 reproduces the
+// paper's row counts).
+//
+// Usage: bench_table2 [--scale 0.01]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/suite.hpp"
+
+using namespace hpamg;
+using namespace hpamg::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.01);
+
+  std::printf("=== Table 2: sparse matrices used in single-node experiments"
+              " (scale=%.4g) ===\n", scale);
+  print_row({"matrix", "paper_rows", "paper_nnz/r", "gen_rows", "gen_nnz/r",
+             "str_thr"}, 14);
+  for (const SuiteEntry& e : table2_suite()) {
+    CSRMatrix A = generate_suite_matrix(e.name, scale);
+    print_row({e.name, fmt_int(e.paper_rows), fmt_int(e.paper_nnz_per_row),
+               fmt_int(A.nrows), fmt(double(A.nnz()) / A.nrows, "%.1f"),
+               fmt(e.strength_threshold, "%.2f")},
+              14);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the figure-reproduction benches: configured solver
+// runs, fixed-width table printing, and the Table 3 / Table 4 parameter
+// presets.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "amg/solver.hpp"
+#include "dist/dist_krylov.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/network.hpp"
+#include "perfmodel/project.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+namespace hpamg::bench {
+
+/// Table 3: single-node standalone-AMG configuration.
+inline AMGOptions table3_options(Variant v, double strength_threshold = 0.25) {
+  AMGOptions o;
+  o.variant = v;
+  o.max_levels = 7;
+  o.strength.threshold = strength_threshold;
+  o.strength.max_row_sum = 0.8;
+  o.interp = InterpKind::kExtPI;
+  o.truncation.trunc_fact = 0.1;
+  o.truncation.max_elmts = 4;
+  o.smoother = SmootherKind::kHybridGS;
+  return o;
+}
+
+/// Table 4: multi-node FGMRES+AMG configuration for a named scheme
+/// (ei(4) / 2s-ei(444) / mp).
+inline DistAMGOptions table4_options(Variant v, const std::string& scheme) {
+  DistAMGOptions o;
+  o.variant = v;
+  o.max_levels = 16;
+  o.strength.threshold = 0.25;
+  o.strength.max_row_sum = 0.8;
+  o.truncation.trunc_fact = 0.1;
+  o.truncation.max_elmts = 4;
+  if (scheme == "2s-ei") {
+    o.interp = InterpKind::kExtPI2Stage;
+    o.num_aggressive_levels = 1;
+  } else if (scheme == "mp") {
+    o.interp = InterpKind::kMultipass;
+    o.num_aggressive_levels = 1;
+  } else {
+    o.interp = InterpKind::kExtPI;
+  }
+  return o;
+}
+
+/// Prints a row of fixed-width cells.
+inline void print_row(const std::vector<std::string>& cells, int width = 12) {
+  for (const std::string& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, const char* f = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+inline std::string fmt_int(long v) { return std::to_string(v); }
+
+/// Sum of the "compute" phase categories of a solve-phase breakdown.
+inline double solve_compute_seconds(const PhaseTimes& pt) {
+  return pt.get("GS") + pt.get("SpMV") + pt.get("BLAS1") +
+         pt.get("Solve_etc");
+}
+
+}  // namespace hpamg::bench

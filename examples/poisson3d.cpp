@@ -1,0 +1,60 @@
+// 3-D Poisson with AMG-preconditioned CG, comparing smoothers and
+// reporting the per-phase breakdown — the workflow of a typical
+// finite-difference application adopting the library.
+//
+//   $ ./poisson3d [n] [--aniso eps]
+#include <cstdio>
+#include <cstring>
+
+#include "amg/solver.hpp"
+#include "gen/stencil.hpp"
+#include "krylov/krylov.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpamg;
+  Cli cli(argc, argv);
+  const Int n = cli.positional().empty()
+                    ? 28
+                    : Int(std::atoi(cli.positional()[0].c_str()));
+  const double eps = cli.get_double("aniso", 1.0);
+
+  CSRMatrix A = lap3d_7pt(n, n, n, 1.0, eps);
+  std::printf("3-D Poisson, %d^3 = %d unknowns, z-anisotropy %.1f\n", n,
+              A.nrows, eps);
+  Vector b(A.nrows, 1.0);
+
+  for (auto [name, smoother] :
+       {std::pair{"hybrid-GS", SmootherKind::kHybridGS},
+        std::pair{"Jacobi", SmootherKind::kJacobi}}) {
+    AMGOptions opts;
+    opts.smoother = smoother;
+    Timer t;
+    AMGSolver amg(A, opts);
+    const double setup_s = t.seconds();
+
+    Vector x(A.nrows, 0.0);
+    KrylovOptions ko;
+    ko.rtol = 1e-8;
+    t.reset();
+    KrylovResult r = pcg(A, b, x, ko, [&](const Vector& rr, Vector& z) {
+      amg.precondition(rr, z);
+    });
+    const double solve_s = t.seconds();
+
+    std::printf("  %-10s setup %.3fs  solve %.3fs  iters %d  opcx %.2f"
+                "  converged=%s\n",
+                name, setup_s, solve_s, r.iterations,
+                amg.operator_complexity(), r.converged ? "yes" : "no");
+  }
+
+  // Per-kernel setup breakdown (the Fig 5 categories).
+  AMGOptions opts;
+  AMGSolver amg(A, opts);
+  std::printf("setup breakdown:");
+  for (auto& [phase, sec] : amg.setup_times().all())
+    std::printf("  %s=%.3fs", phase.c_str(), sec);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reservoir pressure solve: the paper's strong-scaling application
+// (§5.1.2) in miniature. A sequence of pressure systems with the same
+// log-normal permeability field (as in a time-stepping reservoir
+// simulator) is solved with FGMRES + AMG; the setup phase is reused across
+// right-hand sides, demonstrating the setup/solve amortization trade-off
+// the paper discusses for time-dependent problems.
+//
+//   $ ./reservoir_sim [n] [--sigma 2.0] [--steps 5]
+#include <cmath>
+#include <cstdio>
+
+#include "amg/solver.hpp"
+#include "gen/reservoir.hpp"
+#include "gen/stencil.hpp"
+#include "krylov/krylov.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpamg;
+  Cli cli(argc, argv);
+  const Int n = cli.positional().empty()
+                    ? 24
+                    : Int(std::atoi(cli.positional()[0].c_str()));
+  ReservoirOptions ropt;
+  ropt.sigma = cli.get_double("sigma", 2.0);
+  const int steps = int(cli.get_int("steps", 5));
+
+  CSRMatrix A = reservoir_matrix(n, n, n, ropt);
+  std::printf("reservoir pressure system: %d^3 = %d cells, log-perm sigma"
+              " %.1f\n", n, A.nrows, ropt.sigma);
+
+  Timer t;
+  AMGOptions opts;  // Table 4-style preconditioner configuration
+  opts.max_levels = 16;
+  AMGSolver amg(A, opts);
+  std::printf("setup: %.3fs, %d levels, operator complexity %.2f\n",
+              t.seconds(), amg.hierarchy().num_levels(),
+              amg.operator_complexity());
+
+  // One setup, many solves: injection pattern rotates between wells.
+  double total_solve = 0;
+  for (int step = 0; step < steps; ++step) {
+    Vector b(A.nrows, 0.0);
+    // Injector at one corner region, producer at the other; strengths vary
+    // per step as a schedule would.
+    const Int inj = grid_index(n / 4, n / 4, n / 2, n, n);
+    const Int prod = grid_index(3 * n / 4, 3 * n / 4, n / 2, n, n);
+    b[inj] = 1.0 + 0.2 * step;
+    b[prod] = -(1.0 + 0.2 * step);
+    Vector x(A.nrows, 0.0);
+    KrylovOptions ko;
+    ko.rtol = 1e-5;  // the paper's strong-scaling tolerance (§5.1.2)
+    t.reset();
+    KrylovResult r = fgmres(A, b, x, ko, [&](const Vector& rr, Vector& z) {
+      amg.precondition(rr, z);
+    });
+    total_solve += t.seconds();
+    double pmin = 1e300, pmax = -1e300;
+    for (double v : x) {
+      pmin = std::min(pmin, v);
+      pmax = std::max(pmax, v);
+    }
+    std::printf("  step %d: iters=%2d relres=%.2e pressure range"
+                " [%.3e, %.3e]\n",
+                step, r.iterations, r.final_relres, pmin, pmax);
+  }
+  std::printf("total solve time for %d steps: %.3fs (setup amortized)\n",
+              steps, total_solve);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// General-purpose command-line solver: load a MatrixMarket file (e.g. one
+// of the University of Florida matrices from the paper's Table 2) and
+// solve it with the Table 3 / Table 4 configurations.
+//
+//   $ ./solve_mtx matrix.mtx [--rhs ones|random] [--rtol 1e-7]
+//                 [--solver amg|pcg|fgmres] [--variant opt|base]
+//                 [--scheme ei4|2s-ei|mp] [--max-levels 7] [--strong 0.25]
+//
+// With no file argument it solves a built-in demo problem so the binary is
+// runnable out of the box.
+#include <cstdio>
+
+#include "amg/solver.hpp"
+#include "gen/stencil.hpp"
+#include "krylov/krylov.hpp"
+#include "matrix/io.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpamg;
+  Cli cli(argc, argv);
+
+  CSRMatrix A;
+  if (cli.positional().empty()) {
+    std::printf("no input file given; solving built-in lap2d 150x150 demo\n");
+    A = lap2d_5pt(150, 150);
+  } else {
+    Timer t;
+    A = read_matrix_market(cli.positional()[0]);
+    std::printf("read %s: %d rows, %lld nnz (%.2fs)\n",
+                cli.positional()[0].c_str(), A.nrows, (long long)A.nnz(),
+                t.seconds());
+    require(A.nrows == A.ncols, "input matrix must be square");
+  }
+
+  Vector b(A.nrows, 1.0);
+  if (cli.get("rhs", "ones") == "random") {
+    CounterRng rng(99);
+    for (Int i = 0; i < A.nrows; ++i) b[i] = rng.uniform(i) - 0.5;
+  }
+
+  AMGOptions opts;
+  opts.variant = cli.get("variant", "opt") == "base" ? Variant::kBaseline
+                                                     : Variant::kOptimized;
+  opts.max_levels = Int(cli.get_int("max-levels", 7));
+  opts.strength.threshold = cli.get_double("strong", 0.25);
+  const std::string scheme = cli.get("scheme", "ei4");
+  if (scheme == "mp") {
+    opts.interp = InterpKind::kMultipass;
+    opts.num_aggressive_levels = 1;
+  } else if (scheme == "2s-ei") {
+    opts.interp = InterpKind::kExtPI2Stage;
+    opts.num_aggressive_levels = 1;
+  }
+
+  Timer t;
+  AMGSolver amg(A, opts);
+  std::printf("setup %.3fs, %d levels, operator complexity %.2f\n",
+              t.seconds(), amg.hierarchy().num_levels(),
+              amg.operator_complexity());
+  std::printf("%s", hierarchy_summary(amg.hierarchy()).c_str());
+
+  const double rtol = cli.get_double("rtol", 1e-7);
+  const std::string solver = cli.get("solver", "amg");
+  Vector x(A.nrows, 0.0);
+  t.reset();
+  Int iters = 0;
+  bool converged = false;
+  double relres = 0.0;
+  if (solver == "pcg") {
+    KrylovOptions ko;
+    ko.rtol = rtol;
+    KrylovResult r = pcg(A, b, x, ko, [&](const Vector& rr, Vector& z) {
+      amg.precondition(rr, z);
+    });
+    iters = r.iterations;
+    converged = r.converged;
+    relres = r.final_relres;
+  } else if (solver == "fgmres") {
+    KrylovOptions ko;
+    ko.rtol = rtol;
+    KrylovResult r = fgmres(A, b, x, ko, [&](const Vector& rr, Vector& z) {
+      amg.precondition(rr, z);
+    });
+    iters = r.iterations;
+    converged = r.converged;
+    relres = r.final_relres;
+  } else {
+    SolveResult r = amg.solve(b, x, rtol, 500);
+    iters = r.iterations;
+    converged = r.converged;
+    relres = r.final_relres;
+  }
+  std::printf("%s: solve %.3fs, %d iterations, relres %.3e, converged=%s\n",
+              solver.c_str(), t.seconds(), iters, relres,
+              converged ? "yes" : "no");
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,194 @@
+#include "amg/cycle.hpp"
+
+#include "amg/spmv.hpp"
+#include "matrix/transpose.hpp"
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+
+/// Applies the configured smoother to rows of level L. `pre` selects the
+/// C-then-F (pre) or F-then-C (post) order; zero_init marks a known-zero
+/// initial guess (coarse pre-smoothing), which the optimized hybrid GS
+/// exploits by skipping the upper-triangle/external terms of the first
+/// sub-sweep.
+void smooth(const Hierarchy& h, Level& L, const Vector& b, Vector& x,
+            bool pre, bool zero_init, WorkCounters* wc) {
+  const AMGOptions& o = h.opts;
+  for (Int sweep = 0; sweep < o.num_sweeps; ++sweep) {
+    const bool zi = zero_init && sweep == 0;
+    switch (o.smoother) {
+      case SmootherKind::kJacobi:
+        jacobi_sweep(L.A, b, x, L.temp, 2.0 / 3.0, 0, L.n, wc);
+        break;
+      case SmootherKind::kLexGS:
+        L.lexgs->sweep(L.A, b, x, true, wc);
+        break;
+      case SmootherKind::kMultiColorGS:
+        // Forward colors pre-smoothing, backward colors post (symmetric
+        // multi-color sweep, as AmgX's smoother does).
+        L.mcgs->sweep(L.A, b, x, pre, wc);
+        break;
+      case SmootherKind::kHybridGS: {
+        const bool cf = o.cf_smoothing && L.nc > 0;
+        if (L.gs_opt) {
+          if (!cf) {
+            L.gs_opt->sweep(b, x, L.temp, 0, L.n, true, zi, wc);
+          } else if (pre) {
+            // Coarse block first; with a zero guess the first sub-sweep
+            // reads nothing stale so zero_init applies.
+            L.gs_opt->sweep(b, x, L.temp, 0, L.nc, true, zi, wc);
+            L.gs_opt->sweep(b, x, L.temp, L.nc, L.n, true, false, wc);
+          } else {
+            L.gs_opt->sweep(b, x, L.temp, L.nc, L.n, true, false, wc);
+            L.gs_opt->sweep(b, x, L.temp, 0, L.nc, true, false, wc);
+          }
+        } else if (L.gs_base) {
+          const signed char* cfm = (cf && !L.cf.empty()) ? L.cf.data() : nullptr;
+          if (!cfm) {
+            L.gs_base->sweep(L.A, b, x, L.temp, true, nullptr, 0, wc);
+          } else if (pre) {
+            L.gs_base->sweep(L.A, b, x, L.temp, true, cfm, 1, wc);
+            L.gs_base->sweep(L.A, b, x, L.temp, true, cfm, -1, wc);
+          } else {
+            L.gs_base->sweep(L.A, b, x, L.temp, true, cfm, -1, wc);
+            L.gs_base->sweep(L.A, b, x, L.temp, true, cfm, 1, wc);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void coarse_solve(Hierarchy& h, Level& L, const Vector& b, Vector& x,
+                  WorkCounters* wc) {
+  if (h.coarse_lu.size() == L.n && L.n > 0) {
+    h.coarse_lu.solve(b.data(), x.data());
+    if (wc) wc->flops += std::uint64_t(L.n) * L.n;  // triangular solves
+    return;
+  }
+  // Approximate coarse solve by smoothing (paper §2: "...or approximated
+  // with a few smoothing steps").
+  set_zero(x);
+  for (int s = 0; s < 8; ++s) smooth(h, L, b, x, s % 2 == 0, s == 0, wc);
+}
+
+void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
+                  bool zero_entry = true) {
+  Level& L = h.levels[l];
+  const bool optimized = h.opts.variant == Variant::kOptimized;
+  if (l == h.num_levels() - 1) {
+    Timer t;
+    coarse_solve(h, L, L.b, L.x, wc);
+    if (pt) pt->add("Solve_etc", t.seconds());
+    return;
+  }
+  Level& N = h.levels[l + 1];
+
+  // Pre-smoothing. Levels below the finest always enter with x = 0.
+  {
+    Timer t;
+    // zero_entry: levels below the finest enter with x = 0 on their FIRST
+    // visit of a cycle; W-cycle revisits carry the accumulated iterate.
+    smooth(h, L, L.b, L.x, /*pre=*/true, /*zero_init=*/l > 0 && zero_entry,
+           wc);
+    if (pt) pt->add("GS", t.seconds());
+  }
+
+  // Residual + restriction.
+  {
+    Timer t;
+    spmv_residual(L.A, L.x, L.b, L.r, wc);
+    if (optimized) {
+      restrict_identity_block(L.PfT, L.r, L.rc_pre, L.nc, wc);
+      // Gather into the child's CF-permuted working order.
+      const std::vector<Int>& perm = N.perm.perm;
+      if (!perm.empty()) {
+        parallel_for(0, N.n, [&](Int i) { N.b[i] = L.rc_pre[perm[i]]; });
+      } else {
+        copy(L.rc_pre, N.b);
+      }
+    } else {
+      // Baseline: transpose P anew for every restriction (§3.2 calls this
+      // out as the dominant SpMV cost in HYPRE_base).
+      CSRMatrix R = transpose_serial(L.P, wc);
+      spmv(R, L.r, N.b, wc);
+    }
+    if (pt) pt->add("SpMV", t.seconds());
+  }
+
+  set_zero(N.x);
+  // gamma = 1 is the V-cycle; gamma = 2 revisits the coarse problem (with
+  // the accumulated coarse iterate) for a W-cycle.
+  for (Int g = 0; g < std::max<Int>(1, h.opts.cycle_gamma); ++g)
+    vcycle_level(h, l + 1, pt, wc, /*zero_entry=*/g == 0);
+
+  // Prolongation: x += P e.
+  {
+    Timer t;
+    if (optimized) {
+      const std::vector<Int>& perm = N.perm.perm;
+      if (!perm.empty()) {
+        // Scatter the child's correction back to this level's coarse
+        // numbering, then apply the identity-block interpolation.
+        parallel_for(0, N.n, [&](Int i) { L.rc_pre[perm[i]] = N.x[i]; });
+        interp_add_identity_block(L.Pf, L.rc_pre, L.x, L.nc, wc);
+      } else {
+        interp_add_identity_block(L.Pf, N.x, L.x, L.nc, wc);
+      }
+    } else {
+      spmv(L.P, N.x, L.temp, wc);
+      axpy(1.0, L.temp, L.x, wc);
+    }
+    if (pt) pt->add("SpMV", t.seconds());
+  }
+
+  // Post-smoothing.
+  {
+    Timer t;
+    smooth(h, L, L.b, L.x, /*pre=*/false, /*zero_init=*/false, wc);
+    if (pt) pt->add("GS", t.seconds());
+  }
+}
+
+}  // namespace
+
+void vcycle_workspace(Hierarchy& h, const Vector& b_work, Vector& x_work,
+                      PhaseTimes* pt, WorkCounters* wc) {
+  require(!h.levels.empty(), "vcycle: empty hierarchy");
+  Level& L0 = h.levels[0];
+  copy(b_work, L0.b);
+  copy(x_work, L0.x);
+  vcycle_level(h, 0, pt, wc);
+  copy(L0.x, x_work);
+}
+
+void vcycle(Hierarchy& h, const Vector& b, Vector& x, PhaseTimes* pt,
+            WorkCounters* wc) {
+  require(!h.levels.empty(), "vcycle: empty hierarchy");
+  Level& L0 = h.levels[0];
+  const bool permuted = h.opts.variant == Variant::kOptimized &&
+                        !L0.perm.perm.empty();
+  if (!permuted) {
+    copy(b, L0.b);
+    copy(x, L0.x);
+    vcycle_level(h, 0, pt, wc);
+    copy(L0.x, x);
+    return;
+  }
+  Timer t;
+  const std::vector<Int>& perm = L0.perm.perm;
+  parallel_for(0, L0.n, [&](Int i) {
+    L0.b[i] = b[perm[i]];
+    L0.x[i] = x[perm[i]];
+  });
+  if (pt) pt->add("Solve_etc", t.seconds());
+  vcycle_level(h, 0, pt, wc);
+  t.reset();
+  parallel_for(0, L0.n, [&](Int i) { x[perm[i]] = L0.x[i]; });
+  if (pt) pt->add("Solve_etc", t.seconds());
+}
+
+}  // namespace hpamg

@@ -1,0 +1,30 @@
+// V-cycle execution over a built hierarchy.
+//
+// The optimized variant runs entirely in each level's CF-permuted
+// numbering: smoothing sweeps the contiguous coarse then fine ranges (no
+// per-row branch), restriction uses the kept R = P^T with the identity
+// block skipped, and coarse-level pre-smoothing exploits the zero initial
+// guess. The baseline variant smooths with the per-row C/F branch and
+// re-transposes P on every restriction, as HYPRE 2.10.0b did.
+#pragma once
+
+#include "amg/hierarchy.hpp"
+#include "support/timer.hpp"
+
+namespace hpamg {
+
+/// One V-cycle: x <- x + B(b - A x) where B is the multigrid operator.
+/// b and x are in the ORIGINAL ordering of the input matrix; the cycle
+/// permutes in/out of level-0 working order when the hierarchy is
+/// optimized. Pass `pt` to accumulate the Fig 5 solve-phase breakdown
+/// (GS / SpMV / BLAS1 / Solve_etc).
+void vcycle(Hierarchy& h, const Vector& b, Vector& x,
+            PhaseTimes* pt = nullptr, WorkCounters* wc = nullptr);
+
+/// Same, but b/x are already in level-0 working (permuted) order. The
+/// standalone solver keeps its vectors permuted across iterations and uses
+/// this entry point to avoid per-cycle gathers.
+void vcycle_workspace(Hierarchy& h, const Vector& b_work, Vector& x_work,
+                      PhaseTimes* pt = nullptr, WorkCounters* wc = nullptr);
+
+}  // namespace hpamg

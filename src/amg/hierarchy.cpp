@@ -1,0 +1,283 @@
+#include "amg/hierarchy.hpp"
+
+#include <sstream>
+
+#include "amg/interp_classical.hpp"
+#include "matrix/transpose.hpp"
+#include "spgemm/rap.hpp"
+#include "spgemm/spgemm.hpp"
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+
+/// Interpolation dispatch for a single (non-2-stage) level.
+CSRMatrix build_interp(const CSRMatrix& A, const CSRMatrix& S,
+                       const CFMarker& cf, const AMGOptions& o,
+                       InterpKind kind, WorkCounters* wc) {
+  const bool optimized = o.variant == Variant::kOptimized;
+  switch (kind) {
+    case InterpKind::kDirect: {
+      CSRMatrix P = direct_interp(A, S, cf, wc);
+      return truncate_interpolation(P, o.truncation, wc);
+    }
+    case InterpKind::kMultipass: {
+      MultipassOptions mo;
+      mo.truncation = o.truncation;
+      return multipass_interp(A, S, cf, mo, wc);
+    }
+    case InterpKind::kExtPI:
+    case InterpKind::kExtPI2Stage:
+    default: {
+      ExtPIOptions eo;
+      eo.truncation = o.truncation;
+      eo.fused_truncation = optimized;  // baseline truncates in a 2nd pass
+      // The optimized hierarchy feeds CF-permuted operators (coarse-first
+      // markers), enabling the §3.1.2 partitioned-row builder.
+      bool coarse_first = true;
+      Int nc2 = 0;
+      while (nc2 < Int(cf.size()) && cf[nc2] > 0) ++nc2;
+      for (Int i = nc2; i < Int(cf.size()) && coarse_first; ++i)
+        if (cf[i] > 0) coarse_first = false;
+      if (optimized && o.partitioned_interp && coarse_first)
+        return extpi_interp_partitioned(A, S, cf, eo, wc);
+      return extpi_interp(A, S, cf, eo, wc);
+    }
+  }
+}
+
+/// 2-stage extended+i for aggressive coarsening (Table 4's 2s-ei):
+/// stage 1 interpolates to the first-pass C points, stage 2 interpolates
+/// those to the aggressively-selected C points on the intermediate
+/// operator; the composite P1*P2 is truncated at every stage.
+CSRMatrix build_interp_2stage(const CSRMatrix& A, const CSRMatrix& S,
+                              const CFMarker& cf_final,
+                              const CFMarker& cf_first, const AMGOptions& o,
+                              WorkCounters* wc) {
+  const bool optimized = o.variant == Variant::kOptimized;
+  ExtPIOptions eo;
+  eo.truncation = o.truncation;
+  eo.fused_truncation = optimized;
+
+  CSRMatrix P1 = build_interp(A, S, cf_first, o, InterpKind::kExtPI, wc);
+  CSRMatrix P1T = optimized ? transpose_parallel(P1, wc)
+                            : transpose_serial(P1, wc);
+  CSRMatrix A1 = optimized ? rap_fused_rowwise(P1T, A, P1, {}, wc)
+                           : rap_fused_hypre(P1T, A, P1, wc);
+  A1.sort_rows();
+  CSRMatrix S1 = strength_matrix(A1, o.strength, wc);
+
+  // Markers on the C1-compact index space: coarse iff aggressively coarse.
+  CFMarker cf2;
+  cf2.reserve(A1.nrows);
+  for (std::size_t i = 0; i < cf_first.size(); ++i)
+    if (cf_first[i] > 0) cf2.push_back(cf_final[i] > 0 ? 1 : -1);
+  require(Int(cf2.size()) == A1.nrows, "2-stage: C1 index space mismatch");
+
+  CSRMatrix P2 = extpi_interp(A1, S1, cf2, eo, wc);
+  CSRMatrix P = optimized ? spgemm_onepass(P1, P2, {}, wc)
+                          : spgemm_twopass(P1, P2, wc);
+  return truncate_interpolation(P, o.truncation, wc);
+}
+
+void build_smoother_plans(Level& L, const AMGOptions& o) {
+  switch (o.smoother) {
+    case SmootherKind::kHybridGS:
+      if (o.variant == Variant::kOptimized)
+        L.gs_opt = std::make_unique<HybridGSOptimized>(L.A, o.gs_partitions);
+      else
+        L.gs_base = std::make_unique<HybridGSBaseline>(L.A, o.gs_partitions);
+      break;
+    case SmootherKind::kLexGS:
+      L.lexgs = std::make_unique<LexGS>(L.A);
+      break;
+    case SmootherKind::kMultiColorGS:
+      L.mcgs = std::make_unique<MultiColorGS>(L.A);
+      break;
+    case SmootherKind::kJacobi:
+      break;
+  }
+}
+
+void size_workspace(Level& L) {
+  L.b.assign(L.n, 0.0);
+  L.x.assign(L.n, 0.0);
+  L.temp.assign(L.n, 0.0);
+  L.r.assign(L.n, 0.0);
+  L.rc_pre.assign(std::max<Int>(L.nc, 1), 0.0);
+}
+
+}  // namespace
+
+double Hierarchy::operator_complexity() const {
+  if (levels.empty() || levels[0].A.nnz() == 0) return 0.0;
+  double total = 0.0;
+  for (const Level& l : levels) total += double(l.A.nnz());
+  return total / double(levels[0].A.nnz());
+}
+
+double Hierarchy::grid_complexity() const {
+  if (levels.empty() || levels[0].n == 0) return 0.0;
+  double total = 0.0;
+  for (const Level& l : levels) total += double(l.n);
+  return total / double(levels[0].n);
+}
+
+std::uint64_t Hierarchy::footprint_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const Level& l : levels) {
+    bytes += l.A.footprint_bytes() + l.P.footprint_bytes() +
+             l.Pf.footprint_bytes() + l.PfT.footprint_bytes();
+    if (l.gs_opt) bytes += l.gs_opt->footprint_bytes();
+  }
+  return bytes;
+}
+
+Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
+  require(A_in.nrows == A_in.ncols, "build_hierarchy: matrix must be square");
+  Hierarchy h;
+  h.opts = opts;
+  const bool optimized = opts.variant == Variant::kOptimized;
+  WorkCounters* wc = &h.setup_work;
+
+  CSRMatrix A_work = A_in;
+  {
+    ScopedPhase sp(h.setup_times, "Setup_etc");
+    if (!A_work.rows_sorted()) A_work.sort_rows();
+  }
+
+  for (Int l = 0; l < opts.max_levels; ++l) {
+    const Int n = A_work.nrows;
+    const bool last = (l == opts.max_levels - 1) || n <= opts.coarse_size;
+    if (last) break;
+
+    // ---- Strength + coarsening ----
+    Timer phase;
+    CSRMatrix S = optimized ? strength_matrix(A_work, opts.strength, wc)
+                            : strength_matrix_serial(A_work, opts.strength, wc);
+    CSRMatrix ST =
+        optimized ? transpose_parallel(S, wc) : transpose_serial(S, wc);
+    PmisOptions po;
+    po.seed = opts.seed + std::uint64_t(l) * 0x1000193;
+    po.rng = optimized ? opts.rng : RngKind::kSequential;
+    const bool aggressive = l < opts.num_aggressive_levels &&
+                            (opts.interp == InterpKind::kMultipass ||
+                             opts.interp == InterpKind::kExtPI2Stage);
+    CFMarker cf, cf_first;
+    if (aggressive)
+      cf = pmis_aggressive(S, ST, po, &cf_first, wc);
+    else
+      cf = pmis_coarsen(S, ST, po, wc);
+    Int nc = count_coarse(cf);
+    h.setup_times.add("Strength+Coarsen", phase.seconds());
+
+    if (nc == 0 || nc == n) break;  // cannot coarsen further
+
+    Level L;
+    L.n = n;
+    L.nc = nc;
+
+    // ---- CF reordering (optimized only; charged to Setup_etc) ----
+    CSRMatrix S_work = std::move(S);
+    if (optimized) {
+      ScopedPhase sp(h.setup_times, "Setup_etc");
+      L.perm = cf_permutation(cf);
+      L.A = permute_symmetric(A_work, L.perm);
+      L.A.sort_rows();
+      S_work = permute_symmetric(S_work, L.perm);
+      S_work.sort_rows();
+      CFMarker cf_perm(n);
+      for (Int i = 0; i < n; ++i) cf_perm[i] = i < nc ? 1 : -1;
+      if (aggressive) {
+        CFMarker cff(n);
+        for (Int i = 0; i < n; ++i) cff[i] = cf_first[L.perm.perm[i]];
+        cf_first = std::move(cff);
+      }
+      cf = std::move(cf_perm);
+    } else {
+      L.A = std::move(A_work);
+      L.cf = cf;
+    }
+
+    // ---- Interpolation ----
+    phase.reset();
+    CSRMatrix P;
+    const InterpKind kind =
+        aggressive ? opts.interp
+                   : (opts.interp == InterpKind::kExtPI2Stage ||
+                              opts.interp == InterpKind::kMultipass
+                          ? InterpKind::kExtPI
+                          : opts.interp);
+    if (aggressive && kind == InterpKind::kExtPI2Stage)
+      P = build_interp_2stage(L.A, S_work, cf, cf_first, opts, wc);
+    else
+      P = build_interp(L.A, S_work, cf, opts, kind, wc);
+    h.setup_times.add("Interp", phase.seconds());
+
+    // ---- Galerkin product ----
+    phase.reset();
+    CSRMatrix A_next;
+    if (optimized) {
+      // P = [I; Pf] after CF reordering: keep only the fine block and its
+      // transpose (R reused by the solve phase), and run the
+      // identity-block RAP.
+      L.Pf = csr_block(P, nc, n, 0, nc);
+      L.PfT = transpose_parallel(L.Pf, wc);
+      A_next = rap_cf_block(L.A, L.Pf, L.PfT, nc, {}, wc);
+    } else {
+      L.P = std::move(P);
+      CSRMatrix R = transpose_serial(L.P, wc);  // baseline: not kept
+      A_next = rap_fused_hypre(R, L.A, L.P, wc);
+    }
+    A_next.sort_rows();
+    h.setup_times.add("RAP", phase.seconds());
+
+    // ---- Smoother plans + workspace ----
+    {
+      ScopedPhase sp(h.setup_times, "Setup_etc");
+      build_smoother_plans(L, opts);
+      size_workspace(L);
+      h.stats.push_back({L.n, L.A.nnz(), L.nc,
+                         optimized ? L.Pf.nnz() + nc : L.P.nnz()});
+    }
+    h.levels.push_back(std::move(L));
+    A_work = std::move(A_next);
+  }
+
+  // ---- Coarsest level ----
+  {
+    ScopedPhase sp(h.setup_times, "Setup_etc");
+    Level L;
+    L.n = A_work.nrows;
+    L.nc = 0;
+    L.A = std::move(A_work);
+    if (L.n <= opts.coarse_size * 4 && L.n <= 2048) {
+      h.coarse_lu = LUSolver(L.A);
+    } else {
+      // Too large for a dense factorization (max_levels capped the
+      // hierarchy): approximate with smoothing sweeps, as the paper notes
+      // is common for the coarsest level.
+      build_smoother_plans(L, opts);
+    }
+    size_workspace(L);
+    h.stats.push_back({L.n, L.A.nnz(), 0, 0});
+    h.levels.push_back(std::move(L));
+  }
+  return h;
+}
+
+std::string hierarchy_summary(const Hierarchy& h) {
+  std::ostringstream os;
+  os << "lvl        rows          nnz  nnz/row     coarse\n";
+  for (std::size_t l = 0; l < h.stats.size(); ++l) {
+    const LevelStats& s = h.stats[l];
+    os << l << "  " << s.rows << "  " << s.nnz << "  "
+       << (s.rows ? double(s.nnz) / s.rows : 0.0) << "  " << s.coarse << "\n";
+  }
+  os << "operator complexity: " << h.operator_complexity()
+     << ", grid complexity: " << h.grid_complexity() << "\n";
+  return os.str();
+}
+
+}  // namespace hpamg

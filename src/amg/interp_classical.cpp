@@ -1,0 +1,105 @@
+#include "amg/interp_classical.hpp"
+
+#include <cmath>
+
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+std::vector<Int> coarse_index_map(const CFMarker& cf, Int* ncoarse_out) {
+  std::vector<Int> cmap(cf.size(), -1);
+  Int nc = 0;
+  for (std::size_t i = 0; i < cf.size(); ++i)
+    if (cf[i] > 0) cmap[i] = nc++;
+  if (ncoarse_out) *ncoarse_out = nc;
+  return cmap;
+}
+
+CSRMatrix direct_interp(const CSRMatrix& A, const CSRMatrix& S,
+                        const CFMarker& cf, WorkCounters* wc) {
+  const Int n = A.nrows;
+  Int nc = 0;
+  std::vector<Int> cmap = coarse_index_map(cf, &nc);
+  CSRMatrix P(n, nc);
+
+  // Count pass: C rows have one entry; F rows one per strong C neighbor.
+  parallel_for(0, n, [&](Int i) {
+    if (cf[i] > 0) {
+      P.rowptr[i + 1] = 1;
+      return;
+    }
+    Int cnt = 0;
+    for (Int k = S.rowptr[i]; k < S.rowptr[i + 1]; ++k)
+      if (cf[S.colidx[k]] > 0) ++cnt;
+    P.rowptr[i + 1] = cnt;
+  });
+  exclusive_scan(P.rowptr);
+  P.colidx.resize(P.rowptr[n]);
+  P.values.resize(P.rowptr[n]);
+
+  parallel_for_dynamic(0, n, [&](Int i) {
+    Int pos = P.rowptr[i];
+    if (cf[i] > 0) {
+      P.colidx[pos] = cmap[i];
+      P.values[pos] = 1.0;
+      return;
+    }
+    if (P.rowptr[i + 1] == pos) return;  // F point with no strong C neighbor
+    // Split the full row by sign; strong-C subsets likewise. A and S rows
+    // are sorted so membership is a merge walk.
+    double diag = 0.0;
+    double sum_neg = 0.0, sum_pos = 0.0;      // over all off-diagonals
+    double csum_neg = 0.0, csum_pos = 0.0;    // over strong C neighbors
+    Int ks = S.rowptr[i];
+    const Int ks_end = S.rowptr[i + 1];
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int j = A.colidx[k];
+      const double v = A.values[k];
+      if (j == i) {
+        diag = v;
+        continue;
+      }
+      if (v < 0)
+        sum_neg += v;
+      else
+        sum_pos += v;
+      while (ks < ks_end && S.colidx[ks] < j) ++ks;
+      const bool strong = ks < ks_end && S.colidx[ks] == j;
+      if (strong && cf[j] > 0) {
+        if (v < 0)
+          csum_neg += v;
+        else
+          csum_pos += v;
+      }
+    }
+    const double alpha = csum_neg != 0.0 ? sum_neg / csum_neg : 0.0;
+    // Positive connections without positive C support fold into the diagonal.
+    double beta = 0.0;
+    double dd = diag;
+    if (csum_pos != 0.0)
+      beta = sum_pos / csum_pos;
+    else
+      dd += sum_pos;
+    if (dd == 0.0) return;  // degenerate row; leave empty
+    ks = S.rowptr[i];
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int j = A.colidx[k];
+      if (j == i) continue;
+      while (ks < ks_end && S.colidx[ks] < j) ++ks;
+      const bool strong = ks < ks_end && S.colidx[ks] == j;
+      if (!strong || cf[j] <= 0) continue;
+      const double v = A.values[k];
+      const double w = -(v < 0 ? alpha : beta) * v / dd;
+      P.colidx[pos] = cmap[j];
+      P.values[pos] = w;
+      ++pos;
+    }
+  });
+  if (wc) {
+    wc->bytes_read += 2 * A.nnz() * (sizeof(Int) + sizeof(double));
+    wc->flops += 2 * std::uint64_t(P.nnz());
+  }
+  return P;
+}
+
+}  // namespace hpamg

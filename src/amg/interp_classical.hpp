@@ -1,0 +1,23 @@
+// Direct (distance-one classical) interpolation.
+//
+// The simplest classical-AMG interpolation: an F point interpolates from
+// its strong C neighbors only, with the remaining connections collapsed
+// into the scaling so constants are interpolated exactly. Used as the
+// reference operator in tests and as pass one of multipass interpolation.
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "matrix/permute.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+/// Builds the n_l x n_{l+1} interpolation matrix. C-point rows are identity.
+/// A rows and S rows must be column-sorted.
+CSRMatrix direct_interp(const CSRMatrix& A, const CSRMatrix& S,
+                        const CFMarker& cf, WorkCounters* wc = nullptr);
+
+/// Compact coarse index for each point (-1 for F points).
+std::vector<Int> coarse_index_map(const CFMarker& cf, Int* ncoarse_out);
+
+}  // namespace hpamg

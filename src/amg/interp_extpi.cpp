@@ -1,0 +1,471 @@
+#include "amg/interp_extpi.hpp"
+
+#include <cmath>
+
+#include "amg/interp_classical.hpp"
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+
+inline double sign_of(double v) { return v >= 0 ? 1.0 : -1.0; }
+
+/// ā_kl: the sign-filtered coefficient of Eq. (1).
+inline double abar(double a_kk, double a_kl) {
+  return sign_of(a_kk) == sign_of(a_kl) ? 0.0 : a_kl;
+}
+
+/// Per-thread scratch for one row's construction.
+struct RowScratch {
+  // chat_pos[j] >= row_start  <=>  global column j is in Ĉ_i; the value is
+  // its slot in (cols, acc). The "marker array" idiom of §3.1.1 applied to
+  // interpolation (§3.1.2 notes the same pattern appears here).
+  std::vector<Int> chat_pos;
+  std::vector<Int> cols;     // global column ids of Ĉ_i (current row)
+  std::vector<double> acc;   // accumulating numerator of w_ij
+  std::vector<Int> strong;   // in-row offsets into A of strong neighbors
+
+  explicit RowScratch(Int n) : chat_pos(n, -1) {}
+};
+
+}  // namespace
+
+CSRMatrix extpi_interp(const CSRMatrix& A, const CSRMatrix& S,
+                       const CFMarker& cf, const ExtPIOptions& opt,
+                       WorkCounters* wc) {
+  require(A.nrows == A.ncols, "extpi_interp: A must be square");
+  const Int n = A.nrows;
+  Int nc = 0;
+  std::vector<Int> cmap = coarse_index_map(cf, &nc);
+
+  const int nt = num_threads();
+  std::vector<Int> bounds = partition_by_weight(A.rowptr, nt);
+  std::vector<std::vector<Int>> chunk_col(nt);
+  std::vector<std::vector<double>> chunk_val(nt);
+  std::vector<std::vector<Int>> chunk_rownnz(nt);
+  std::vector<WorkCounters> counters(nt);
+
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    WorkCounters& cnt = counters[t];
+    const Int row_lo = bounds[t], row_hi = bounds[t + 1];
+    auto& out_cols = chunk_col[t];
+    auto& out_vals = chunk_val[t];
+    auto& rownnz = chunk_rownnz[t];
+    rownnz.assign(row_hi - row_lo, 0);
+    RowScratch scratch(n);
+    Int mark_base = 0;  // monotone row_start for the chat_pos marker
+
+    for (Int i = row_lo; i < row_hi; ++i) {
+      if (cf[i] > 0) {
+        out_cols.push_back(cmap[i]);
+        out_vals.push_back(1.0);
+        rownnz[i - row_lo] = 1;
+        ++mark_base;
+        continue;
+      }
+      const Int row_start = mark_base;
+      scratch.cols.clear();
+      scratch.acc.clear();
+      scratch.strong.clear();
+
+      // ---- Collect S_i (strong neighbors) by merge-walking A_i and S_i;
+      //      seed Ĉ_i with C_i^s and the C_j^s of every strong F neighbor.
+      Int ks = S.rowptr[i];
+      const Int ks_end = S.rowptr[i + 1];
+      auto chat_insert = [&](Int col) {
+        ++cnt.branches;
+        if (scratch.chat_pos[col] < row_start) {
+          scratch.chat_pos[col] = row_start + Int(scratch.cols.size());
+          scratch.cols.push_back(col);
+          scratch.acc.push_back(0.0);
+        }
+      };
+      for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+        const Int j = A.colidx[k];
+        if (j == i) continue;
+        while (ks < ks_end && S.colidx[ks] < j) ++ks;
+        if (!(ks < ks_end && S.colidx[ks] == j)) continue;  // weak
+        scratch.strong.push_back(k);
+        if (cf[j] > 0) {
+          chat_insert(j);
+        } else {
+          // strong F neighbor: contribute its strong C neighbors (dist-2)
+          for (Int ks2 = S.rowptr[j]; ks2 < S.rowptr[j + 1]; ++ks2) {
+            const Int j2 = S.colidx[ks2];
+            if (j2 != i && cf[j2] > 0) chat_insert(j2);
+          }
+          cnt.bytes_read += (S.rowptr[j + 1] - S.rowptr[j]) * sizeof(Int);
+        }
+      }
+      const Int chat_n = Int(scratch.cols.size());
+      if (chat_n == 0) {
+        // No interpolatory set; row stays empty (smoothing handles it).
+        mark_base += 1;
+        continue;
+      }
+
+      // ---- Numerator seeds: a_ij for j ∈ Ĉ_i ∩ N_i; weak neighbors
+      //      outside Ĉ_i fold into the diagonal ã_ii.
+      double atilde = 0.0;
+      std::size_t sp = 0;  // walks scratch.strong (sorted by offset)
+      for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+        const Int j = A.colidx[k];
+        const double v = A.values[k];
+        if (j == i) {
+          atilde += v;
+          continue;
+        }
+        while (sp < scratch.strong.size() && scratch.strong[sp] < k) ++sp;
+        const bool strong = sp < scratch.strong.size() && scratch.strong[sp] == k;
+        ++cnt.branches;
+        if (scratch.chat_pos[j] >= row_start) {
+          scratch.acc[scratch.chat_pos[j] - row_start] += v;
+        } else if (!(strong && cf[j] <= 0)) {
+          // j ∉ Ĉ_i and not a strong F neighbor (those are distributed via
+          // b_ik below): weak connection, folded into the diagonal.
+          atilde += v;
+        }
+      }
+
+      // ---- Distance-two terms: for each strong F neighbor k, distribute
+      //      a_ik over Ĉ_i ∪ {i} weighted by ā_kl / b_ik.
+      for (std::size_t sk = 0; sk < scratch.strong.size(); ++sk) {
+        const Int kofs = scratch.strong[sk];
+        const Int k = A.colidx[kofs];
+        if (cf[k] > 0) continue;  // only F_i^s here
+        const double a_ik = A.values[kofs];
+        // Find a_kk and b_ik in one sweep of row k.
+        double a_kk = 0.0;
+        for (Int kk = A.rowptr[k]; kk < A.rowptr[k + 1]; ++kk)
+          if (A.colidx[kk] == k) {
+            a_kk = A.values[kk];
+            break;
+          }
+        double b_ik = 0.0;
+        for (Int kk = A.rowptr[k]; kk < A.rowptr[k + 1]; ++kk) {
+          const Int l = A.colidx[kk];
+          ++cnt.branches;
+          if (l == i || scratch.chat_pos[l] >= row_start)
+            b_ik += abar(a_kk, A.values[kk]);
+        }
+        cnt.bytes_read += 2 * (A.rowptr[k + 1] - A.rowptr[k]) *
+                          (sizeof(Int) + sizeof(double));
+        if (b_ik == 0.0) {
+          // No common interpolatory support: lump a_ik into the diagonal
+          // (HYPRE's fallback), keeping row sums exact.
+          atilde += a_ik;
+          continue;
+        }
+        const double scale = a_ik / b_ik;
+        cnt.flops += 1;
+        for (Int kk = A.rowptr[k]; kk < A.rowptr[k + 1]; ++kk) {
+          const Int l = A.colidx[kk];
+          const double ab = abar(a_kk, A.values[kk]);
+          if (ab == 0.0) continue;
+          ++cnt.branches;
+          if (l == i) {
+            atilde += scale * ab;
+            cnt.flops += 2;
+          } else if (scratch.chat_pos[l] >= row_start) {
+            scratch.acc[scratch.chat_pos[l] - row_start] += scale * ab;
+            cnt.flops += 2;
+          }
+        }
+      }
+
+      // ---- Finalize w_ij = -acc_j / ã_ii, then (optionally fused)
+      //      truncation before the row is emitted.
+      thread_local std::vector<Int> row_cols;
+      thread_local std::vector<double> row_vals;
+      row_cols.clear();
+      row_vals.clear();
+      if (atilde != 0.0) {
+        const double inv = -1.0 / atilde;
+        for (Int c = 0; c < chat_n; ++c) {
+          const double w = inv * scratch.acc[c];
+          if (w == 0.0) continue;
+          row_cols.push_back(cmap[scratch.cols[c]]);
+          row_vals.push_back(w);
+          cnt.flops += 1;
+        }
+      }
+      Int len = Int(row_cols.size());
+      if (opt.fused_truncation)
+        len = truncate_row(row_cols.data(), row_vals.data(), len,
+                           opt.truncation);
+      out_cols.insert(out_cols.end(), row_cols.begin(), row_cols.begin() + len);
+      out_vals.insert(out_vals.end(), row_vals.begin(), row_vals.begin() + len);
+      rownnz[i - row_lo] = len;
+      // Advance past every marker value this row handed out so stale
+      // entries always test below the next row_start.
+      mark_base += chat_n;
+    }
+    cnt.bytes_written +=
+        out_cols.size() * (sizeof(Int) + sizeof(double));
+  }
+
+  // Stitch per-thread chunks.
+  CSRMatrix P(n, nc);
+  for (int t = 0; t < nt; ++t)
+    for (std::size_t r = 0; r < chunk_rownnz[t].size(); ++r)
+      P.rowptr[bounds[t] + Int(r) + 1] = chunk_rownnz[t][r];
+  exclusive_scan(P.rowptr);
+  P.colidx.resize(P.rowptr[n]);
+  P.values.resize(P.rowptr[n]);
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    const Int dst = P.rowptr[bounds[t]];
+    std::copy(chunk_col[t].begin(), chunk_col[t].end(), P.colidx.begin() + dst);
+    std::copy(chunk_val[t].begin(), chunk_val[t].end(), P.values.begin() + dst);
+  }
+  if (wc)
+    for (const WorkCounters& c : counters) *wc += c;
+  if (!opt.fused_truncation) {
+    // Baseline: whole-matrix truncation as a separate pass.
+    return truncate_interpolation(P, opt.truncation, wc);
+  }
+  return P;
+}
+
+namespace {
+
+/// Row-partitioned representation for the §3.1.2 variant: A without its
+/// diagonal, columns grouped per row into {coarse same-sign-as-diag,
+/// coarse opposite-sign, fine} by one counting sweep.
+struct PartitionedA {
+  CSRMatrix M;             ///< off-diagonal entries, grouped
+  std::vector<Int> ptr1;   ///< end of coarse-same-sign segment
+  std::vector<Int> ptr2;   ///< end of coarse-opposite-sign segment
+  std::vector<double> diag;
+};
+
+PartitionedA partition_rows_cf(const CSRMatrix& A, Int nc) {
+  PartitionedA p;
+  const Int n = A.nrows;
+  p.diag.assign(n, 0.0);
+  p.M = CSRMatrix(n, n);
+  parallel_for(0, n, [&](Int i) {
+    Int cnt = 0;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      if (A.colidx[k] == i)
+        p.diag[i] = A.values[k];
+      else
+        ++cnt;
+    }
+    p.M.rowptr[i + 1] = cnt;
+  });
+  exclusive_scan(p.M.rowptr);
+  p.M.colidx.resize(p.M.rowptr[n]);
+  p.M.values.resize(p.M.rowptr[n]);
+  parallel_for(0, n, [&](Int i) {
+    Int pos = p.M.rowptr[i];
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+      if (A.colidx[k] != i) {
+        p.M.colidx[pos] = A.colidx[k];
+        p.M.values[pos] = A.values[k];
+        ++pos;
+      }
+  });
+  auto sgn = [](double v) { return v >= 0 ? 1.0 : -1.0; };
+  RowPartition rp = three_way_partition_rows(
+      p.M, [&](Int i, Int col, double val) -> int {
+        if (col >= nc) return 2;                       // fine
+        return sgn(val) == sgn(p.diag[i]) ? 0 : 1;     // abar == 0 / != 0
+      });
+  p.ptr1 = std::move(rp.ptr1);
+  p.ptr2 = std::move(rp.ptr2);
+  return p;
+}
+
+}  // namespace
+
+CSRMatrix extpi_interp_partitioned(const CSRMatrix& A, const CSRMatrix& S,
+                                   const CFMarker& cf,
+                                   const ExtPIOptions& opt,
+                                   WorkCounters* wc) {
+  require(A.nrows == A.ncols, "extpi_partitioned: A must be square");
+  const Int n = A.nrows;
+  Int nc = 0;
+  while (nc < n && cf[nc] > 0) ++nc;
+  for (Int i = nc; i < n; ++i)
+    require(cf[i] <= 0, "extpi_partitioned: cf must be coarse-first");
+
+  PartitionedA pa = partition_rows_cf(A, nc);
+  const CSRMatrix& M = pa.M;
+
+  const int nt = num_threads();
+  std::vector<Int> bounds(nt + 1);
+  for (int t = 0; t <= nt; ++t) bounds[t] = Int(Long(n) * t / nt);
+  std::vector<std::vector<Int>> chunk_col(nt);
+  std::vector<std::vector<double>> chunk_val(nt);
+  std::vector<std::vector<Int>> chunk_rownnz(nt);
+  std::vector<WorkCounters> counters(nt);
+
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    WorkCounters& cnt = counters[t];
+    const Int row_lo = bounds[t], row_hi = bounds[t + 1];
+    auto& out_cols = chunk_col[t];
+    auto& out_vals = chunk_val[t];
+    auto& rownnz = chunk_rownnz[t];
+    rownnz.assign(row_hi - row_lo, 0);
+
+    // Markers: strong-neighbor stamp over all columns; Ĉ slot over coarse
+    // columns only (Ĉ contains only C points in the coarse-first range).
+    std::vector<Int> smark(n, -1);
+    std::vector<Int> chat_pos(nc, -1);
+    std::vector<Int> chat_cols;
+    std::vector<double> acc;
+    Int stamp = 0;
+    Int chat_base = 0;
+
+    for (Int i = row_lo; i < row_hi; ++i) {
+      if (cf[i] > 0) {
+        out_cols.push_back(i);  // coarse-first: compact index == row index
+        out_vals.push_back(1.0);
+        rownnz[i - row_lo] = 1;
+        continue;
+      }
+      // Stamp strong neighbors of i.
+      ++stamp;
+      for (Int k = S.rowptr[i]; k < S.rowptr[i + 1]; ++k)
+        smark[S.colidx[k]] = stamp;
+
+      const Int row_start = chat_base;
+      chat_cols.clear();
+      acc.clear();
+      auto chat_insert = [&](Int c) {
+        if (chat_pos[c] < row_start) {
+          chat_pos[c] = row_start + Int(chat_cols.size());
+          chat_cols.push_back(c);
+          acc.push_back(0.0);
+        }
+        ++cnt.branches;
+      };
+      // Ĉ: strong coarse neighbors (both sign segments) + strong C sets of
+      // strong fine neighbors. No classification branches: the segment
+      // boundaries say what each entry is.
+      for (Int k = M.rowptr[i]; k < pa.ptr2[i]; ++k)
+        if (smark[M.colidx[k]] == stamp) chat_insert(M.colidx[k]);
+      for (Int k = pa.ptr2[i]; k < M.rowptr[i + 1]; ++k) {
+        const Int j = M.colidx[k];
+        if (smark[j] != stamp) continue;
+        for (Int ks = S.rowptr[j]; ks < S.rowptr[j + 1]; ++ks) {
+          const Int j2 = S.colidx[ks];
+          if (j2 < nc) chat_insert(j2);  // coarse test = one compare
+        }
+        cnt.bytes_read += (S.rowptr[j + 1] - S.rowptr[j]) * sizeof(Int);
+      }
+      const Int chat_n = Int(chat_cols.size());
+      if (chat_n == 0) {
+        ++chat_base;
+        continue;
+      }
+
+      // Numerator seeds; weak columns outside Ĉ lump into the diagonal.
+      double atilde = pa.diag[i];
+      for (Int k = M.rowptr[i]; k < pa.ptr2[i]; ++k) {
+        const Int c = M.colidx[k];
+        if (chat_pos[c] >= row_start)
+          acc[chat_pos[c] - row_start] += M.values[k];
+        else
+          atilde += M.values[k];
+      }
+      for (Int k = pa.ptr2[i]; k < M.rowptr[i + 1]; ++k)
+        if (smark[M.colidx[k]] != stamp) atilde += M.values[k];
+
+      // Distance-two terms through strong fine neighbors: the b_ik and
+      // scatter loops touch ONLY the opposite-sign coarse segment (the
+      // same-sign segment has abar == 0 by construction) plus the fine
+      // segment entry l == i.
+      for (Int k = pa.ptr2[i]; k < M.rowptr[i + 1]; ++k) {
+        const Int j = M.colidx[k];
+        if (smark[j] != stamp) continue;
+        const double a_ik = M.values[k];
+        const double a_kk = pa.diag[j];
+        // ā_ki: the single fine-segment entry pointing back at i, sign
+        // filtered against a_kk (the only sign test left in the loop).
+        double abar_ki = 0.0;
+        for (Int kk = pa.ptr2[j]; kk < M.rowptr[j + 1]; ++kk)
+          if (M.colidx[kk] == i) {
+            const double v = M.values[kk];
+            if ((v >= 0) != (a_kk >= 0)) abar_ki = v;
+            break;
+          }
+        double b_ik = abar_ki;
+        for (Int kk = pa.ptr1[j]; kk < pa.ptr2[j]; ++kk) {
+          const Int l = M.colidx[kk];
+          if (chat_pos[l] >= row_start) b_ik += M.values[kk];
+          ++cnt.branches;
+        }
+        cnt.bytes_read += (pa.ptr2[j] - pa.ptr1[j]) *
+                          (sizeof(Int) + sizeof(double));
+        if (b_ik == 0.0) {
+          atilde += a_ik;
+          continue;
+        }
+        const double scale = a_ik / b_ik;
+        cnt.flops += 1;
+        atilde += scale * abar_ki;
+        for (Int kk = pa.ptr1[j]; kk < pa.ptr2[j]; ++kk) {
+          const Int l = M.colidx[kk];
+          const Int slot = chat_pos[l];
+          if (slot >= row_start) {
+            acc[slot - row_start] += scale * M.values[kk];
+            cnt.flops += 2;
+          }
+        }
+      }
+
+      // Finalize + fused truncation.
+      thread_local std::vector<Int> row_cols;
+      thread_local std::vector<double> row_vals;
+      row_cols.clear();
+      row_vals.clear();
+      if (atilde != 0.0) {
+        const double inv = -1.0 / atilde;
+        for (Int c = 0; c < chat_n; ++c) {
+          const double w = inv * acc[c];
+          if (w == 0.0) continue;
+          row_cols.push_back(chat_cols[c]);
+          row_vals.push_back(w);
+          cnt.flops += 1;
+        }
+      }
+      Int len = Int(row_cols.size());
+      if (opt.fused_truncation)
+        len = truncate_row(row_cols.data(), row_vals.data(), len,
+                           opt.truncation);
+      out_cols.insert(out_cols.end(), row_cols.begin(), row_cols.begin() + len);
+      out_vals.insert(out_vals.end(), row_vals.begin(), row_vals.begin() + len);
+      rownnz[i - row_lo] = len;
+      chat_base += chat_n;
+    }
+  }
+
+  CSRMatrix P(n, nc);
+  for (int t = 0; t < nt; ++t)
+    for (std::size_t r = 0; r < chunk_rownnz[t].size(); ++r)
+      P.rowptr[bounds[t] + Int(r) + 1] = chunk_rownnz[t][r];
+  exclusive_scan(P.rowptr);
+  P.colidx.resize(P.rowptr[n]);
+  P.values.resize(P.rowptr[n]);
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    const Int dst = P.rowptr[bounds[t]];
+    std::copy(chunk_col[t].begin(), chunk_col[t].end(), P.colidx.begin() + dst);
+    std::copy(chunk_val[t].begin(), chunk_val[t].end(), P.values.begin() + dst);
+  }
+  if (wc)
+    for (const WorkCounters& c : counters) *wc += c;
+  if (!opt.fused_truncation) return truncate_interpolation(P, opt.truncation, wc);
+  return P;
+}
+
+}  // namespace hpamg

@@ -1,0 +1,49 @@
+// Extended+i interpolation (De Sterck, Falgout, Nolting, Yang 2008) —
+// the distance-two interpolation of SC'15 §3.1.2, Eq. (1):
+//
+//   w_ij = -(1/ã_ii) (a_ij + Σ_{k ∈ F_i^s} a_ik ā_kj / b_ik),  j ∈ Ĉ_i
+//   ã_ii = a_ii + Σ_{n ∈ N_i^w \ Ĉ_i} a_in + Σ_{k ∈ F_i^s} a_ik ā_ki / b_ik
+//   b_ik = Σ_{l ∈ Ĉ_i ∪ {i}} ā_kl,
+//   ā_kl = 0 if sign(a_kk) == sign(a_kl), else a_kl
+//
+// where Ĉ_i = C_i^s ∪ ⋃_{j ∈ F_i^s} C_j^s is the distance-two coarse set.
+//
+// Two construction modes mirror the paper:
+//  - baseline: build the full row, then truncate the assembled matrix in a
+//    separate pass (extra stream over P);
+//  - optimized (fused_truncation): truncate each row right after it is
+//    built, before it ever reaches memory (§3.1.2).
+#pragma once
+
+#include "amg/truncate.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/permute.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+struct ExtPIOptions {
+  TruncationOptions truncation;  ///< trunc_fact=0.1, max_elmts=4 (Table 3)
+  bool fused_truncation = true;  ///< truncate per-row during construction
+};
+
+/// Builds the n_l x n_{l+1} extended+i interpolation matrix.
+/// A rows and S rows must be column-sorted. C-point rows are identity.
+CSRMatrix extpi_interp(const CSRMatrix& A, const CSRMatrix& S,
+                       const CFMarker& cf, const ExtPIOptions& opt = {},
+                       WorkCounters* wc = nullptr);
+
+/// The paper's §3.1.2 variant: operates on a CF-permuted operator whose
+/// rows have been 3-way partitioned into {coarse same-sign-as-diagonal,
+/// coarse opposite-sign, fine} columns by a single counting sweep. The
+/// sign test of ā_kl and the coarse/fine classification disappear from the
+/// inner b_ik loops — the partition boundaries ARE the classification.
+/// `cf` must be coarse-first (cf[i] > 0 iff i < nc); A/S rows sorted.
+/// Produces the same operator as extpi_interp (entry order may differ, so
+/// max_elmts tie-breaking can select different equal-weight subsets).
+CSRMatrix extpi_interp_partitioned(const CSRMatrix& A, const CSRMatrix& S,
+                                   const CFMarker& cf,
+                                   const ExtPIOptions& opt = {},
+                                   WorkCounters* wc = nullptr);
+
+}  // namespace hpamg

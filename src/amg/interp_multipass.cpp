@@ -1,0 +1,170 @@
+#include "amg/interp_multipass.hpp"
+
+#include <cmath>
+
+#include "amg/interp_classical.hpp"
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+CSRMatrix multipass_interp(const CSRMatrix& A, const CSRMatrix& S,
+                           const CFMarker& cf, const MultipassOptions& opt,
+                           WorkCounters* wc) {
+  require(A.nrows == A.ncols, "multipass_interp: A must be square");
+  const Int n = A.nrows;
+  Int nc = 0;
+  std::vector<Int> cmap = coarse_index_map(cf, &nc);
+
+  // Row-by-row dynamic representation during the passes; assembled into CSR
+  // at the end. rows[i] empty + !done[i] means "not yet interpolated".
+  std::vector<std::vector<std::pair<Int, double>>> rows(n);
+  std::vector<char> done(n, 0);
+
+  // Pass 0/1: C points identity; F points with strong C neighbors get
+  // direct interpolation.
+  parallel_for_dynamic(0, n, [&](Int i) {
+    if (cf[i] > 0) {
+      rows[i].push_back({cmap[i], 1.0});
+      done[i] = 1;
+      return;
+    }
+    double diag = 0.0, sum_all = 0.0, sum_c = 0.0;
+    Int ks = S.rowptr[i];
+    const Int ks_end = S.rowptr[i + 1];
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int j = A.colidx[k];
+      const double v = A.values[k];
+      if (j == i) {
+        diag = v;
+        continue;
+      }
+      sum_all += v;
+      while (ks < ks_end && S.colidx[ks] < j) ++ks;
+      if (ks < ks_end && S.colidx[ks] == j && cf[j] > 0) sum_c += v;
+    }
+    if (sum_c == 0.0 || diag == 0.0) return;  // later pass
+    // Direct interpolation with full-row mass pushed onto the strong C set:
+    // w_ij = -(a_ij / a_ii) * (Σ_k a_ik / Σ_{C} a_ij).
+    const double alpha = sum_all / sum_c;
+    ks = S.rowptr[i];
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int j = A.colidx[k];
+      if (j == i) continue;
+      while (ks < ks_end && S.colidx[ks] < j) ++ks;
+      if (ks < ks_end && S.colidx[ks] == j && cf[j] > 0)
+        rows[i].push_back({cmap[j], -alpha * A.values[k] / diag});
+    }
+    done[i] = 1;
+  });
+
+  // Later passes: substitute already-done strong neighbors' rows.
+  for (Int pass = 2; pass <= opt.max_passes; ++pass) {
+    std::vector<Int> todo;
+    for (Int i = 0; i < n; ++i)
+      if (!done[i]) todo.push_back(i);
+    if (todo.empty()) break;
+    std::vector<char> newly(n, 0);
+    parallel_for_dynamic(0, Int(todo.size()), [&](Int ti) {
+      const Int i = todo[ti];
+      // Weighted substitution through done strong neighbors; everything
+      // else is lumped into the diagonal scaling.
+      thread_local std::vector<Int> pos;  // coarse col -> slot marker
+      thread_local std::vector<Int> cols;
+      thread_local std::vector<double> acc;
+      if (Int(pos.size()) < nc) pos.assign(nc, -1);
+      cols.clear();
+      acc.clear();
+
+      double diag = 0.0, lump = 0.0;
+      bool any = false;
+      Int ks = S.rowptr[i];
+      const Int ks_end = S.rowptr[i + 1];
+      for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+        const Int j = A.colidx[k];
+        const double v = A.values[k];
+        if (j == i) {
+          diag = v;
+          continue;
+        }
+        while (ks < ks_end && S.colidx[ks] < j) ++ks;
+        const bool strong = ks < ks_end && S.colidx[ks] == j;
+        if (strong && done[j]) {
+          any = true;
+          for (const auto& [c, w] : rows[j]) {
+            if (pos[c] < 0) {
+              pos[c] = Int(cols.size());
+              cols.push_back(c);
+              acc.push_back(0.0);
+            }
+            acc[pos[c]] += v * w;
+          }
+        } else {
+          lump += v;
+        }
+      }
+      const double dd = diag + lump;
+      if (!any || dd == 0.0) {
+        for (Int c : cols) pos[c] = -1;
+        return;
+      }
+      const double inv = -1.0 / dd;
+      auto& out = rows[i];
+      for (std::size_t s = 0; s < cols.size(); ++s) {
+        if (acc[s] != 0.0) out.push_back({cols[s], inv * acc[s]});
+        pos[cols[s]] = -1;
+      }
+      newly[i] = 1;
+    });
+    bool progressed = false;
+    for (Int i : todo)
+      if (newly[i]) {
+        done[i] = 1;
+        progressed = true;
+      }
+    if (!progressed) break;
+  }
+
+  // Assemble with fused per-row truncation.
+  CSRMatrix P(n, nc);
+  std::vector<Int> lens(n);
+  parallel_for_dynamic(0, n, [&](Int i) {
+    auto& r = rows[i];
+    if (cf[i] > 0) {
+      lens[i] = 1;
+      return;
+    }
+    thread_local std::vector<Int> c;
+    thread_local std::vector<double> v;
+    c.clear();
+    v.clear();
+    for (auto& [col, val] : r) {
+      c.push_back(col);
+      v.push_back(val);
+    }
+    const Int len = truncate_row(c.data(), v.data(), Int(c.size()),
+                                 opt.truncation);
+    r.clear();
+    for (Int k = 0; k < len; ++k) r.push_back({c[k], v[k]});
+    lens[i] = len;
+  });
+  for (Int i = 0; i < n; ++i) P.rowptr[i + 1] = lens[i];
+  exclusive_scan(P.rowptr);
+  P.colidx.resize(P.rowptr[n]);
+  P.values.resize(P.rowptr[n]);
+  parallel_for(0, n, [&](Int i) {
+    Int p = P.rowptr[i];
+    for (auto& [col, val] : rows[i]) {
+      P.colidx[p] = col;
+      P.values[p] = val;
+      ++p;
+    }
+  });
+  if (wc) {
+    wc->bytes_read += 3 * A.nnz() * (sizeof(Int) + sizeof(double));
+    wc->bytes_written += P.nnz() * (sizeof(Int) + sizeof(double));
+    wc->flops += 2 * std::uint64_t(P.nnz());
+  }
+  return P;
+}
+
+}  // namespace hpamg

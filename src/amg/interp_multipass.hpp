@@ -1,0 +1,27 @@
+// Multipass interpolation (Stüben 1999) — the long-range interpolation the
+// paper pairs with aggressive coarsening in the `mp` scheme (Table 4).
+//
+// Pass 1 builds direct interpolation for F points with at least one strong
+// C neighbor. Each later pass interpolates the remaining F points through
+// already-interpolated strong neighbors by substituting their interpolation
+// rows (weights composed through the neighbor), until no point makes
+// progress. F points never reached keep empty rows.
+#pragma once
+
+#include "amg/truncate.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/permute.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+struct MultipassOptions {
+  TruncationOptions truncation;
+  Int max_passes = 10;
+};
+
+CSRMatrix multipass_interp(const CSRMatrix& A, const CSRMatrix& S,
+                           const CFMarker& cf, const MultipassOptions& opt = {},
+                           WorkCounters* wc = nullptr);
+
+}  // namespace hpamg

@@ -1,0 +1,170 @@
+#include "amg/pmis.hpp"
+
+#include "support/hash.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace hpamg {
+
+namespace {
+
+constexpr signed char kUndecided = 0;
+constexpr signed char kCoarse = 1;
+constexpr signed char kFine = -1;
+
+std::vector<double> pmis_measures(const CSRMatrix& ST, const PmisOptions& opt) {
+  const Int n = ST.nrows;
+  std::vector<double> w(n);
+  if (opt.rng == RngKind::kParallelCounter) {
+    CounterRng rng(opt.seed);
+    parallel_for(0, n, [&](Int i) {
+      w[i] = double(ST.row_nnz(i)) + rng.uniform(i);
+    });
+  } else {
+    SequentialRng rng(opt.seed);
+    for (Int i = 0; i < n; ++i) w[i] = double(ST.row_nnz(i)) + rng.next();
+  }
+  return w;
+}
+
+}  // namespace
+
+CFMarker pmis_coarsen(const CSRMatrix& S, const CSRMatrix& ST,
+                      const PmisOptions& opt, WorkCounters* wc) {
+  require(S.nrows == S.ncols && ST.nrows == S.nrows,
+          "pmis_coarsen: bad shapes");
+  const Int n = S.nrows;
+  std::vector<double> w = pmis_measures(ST, opt);
+  CFMarker cf(n, kUndecided);
+
+  // Points that strongly influence nobody (w < 1) can never be useful C
+  // points. Points with no strong connections at all in either direction
+  // stay out of the C/F game entirely — PMIS makes them F.
+  parallel_for(0, n, [&](Int i) {
+    if (w[i] < 1.0) cf[i] = kFine;
+  });
+
+  std::vector<signed char> next(cf);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Phase 1: select the distributed independent set — an undecided point
+    // becomes C if its measure beats all undecided strong neighbors (in
+    // both directions of the strength graph).
+    std::int64_t promoted = 0;
+#pragma omp parallel for schedule(dynamic, 256) reduction(+ : promoted)
+    for (Int i = 0; i < n; ++i) {
+      if (cf[i] != kUndecided) continue;
+      // i wins iff its measure beats every undecided neighbor in the
+      // symmetrized strength graph. Measures are distinct w.p. 1 thanks to
+      // the random tie-breaker.
+      bool best = true;
+      for (Int k = S.rowptr[i]; k < S.rowptr[i + 1] && best; ++k) {
+        const Int j = S.colidx[k];
+        if (j != i && cf[j] == kUndecided && w[j] >= w[i]) best = false;
+      }
+      for (Int k = ST.rowptr[i]; k < ST.rowptr[i + 1] && best; ++k) {
+        const Int j = ST.colidx[k];
+        if (j != i && cf[j] == kUndecided && w[j] >= w[i]) best = false;
+      }
+      if (best) {
+        next[i] = kCoarse;
+        ++promoted;
+      }
+    }
+    if (promoted > 0) changed = true;
+    parallel_for(0, n, [&](Int i) { cf[i] = next[i]; });
+
+    // Phase 2: every undecided point strongly influenced by a new C point
+    // becomes F (it will interpolate from that C point).
+    std::int64_t demoted = 0;
+#pragma omp parallel for schedule(dynamic, 256) reduction(+ : demoted)
+    for (Int i = 0; i < n; ++i) {
+      if (cf[i] != kUndecided) continue;
+      for (Int k = S.rowptr[i]; k < S.rowptr[i + 1]; ++k) {
+        if (cf[S.colidx[k]] == kCoarse) {
+          next[i] = kFine;
+          ++demoted;
+          break;
+        }
+      }
+    }
+    if (demoted > 0) changed = true;
+    parallel_for(0, n, [&](Int i) { cf[i] = next[i]; });
+  }
+  // Anything still undecided has no undecided strong neighbors and no C
+  // influencer; make it C if it influences someone, F otherwise.
+  parallel_for(0, n, [&](Int i) {
+    if (cf[i] == kUndecided) cf[i] = ST.row_nnz(i) > 0 ? kCoarse : kFine;
+  });
+  if (wc) wc->bytes_read += 4 * (S.nnz() + ST.nnz()) * sizeof(Int);
+  return cf;
+}
+
+CFMarker pmis_aggressive(const CSRMatrix& S, const CSRMatrix& ST,
+                         const PmisOptions& opt, CFMarker* first_pass_out,
+                         WorkCounters* wc) {
+  CFMarker cf1 = pmis_coarsen(S, ST, opt, wc);
+  if (first_pass_out) *first_pass_out = cf1;
+  const Int n = S.nrows;
+
+  // Map first-pass C points to a compact index space.
+  std::vector<Int> cmap(n, -1);
+  Int nc1 = 0;
+  for (Int i = 0; i < n; ++i)
+    if (cf1[i] > 0) cmap[i] = nc1++;
+  if (nc1 == 0) return cf1;
+
+  // Distance-two strength graph among C1 points: c -> c' if S(c, c') or
+  // S(c, f) and S(f, c') for some F point f. Built row-wise with a hash set.
+  std::vector<std::vector<Int>> s2_rows(nc1);
+  parallel_for_dynamic(0, n, [&](Int i) {
+    if (cf1[i] <= 0) return;
+    HashSet<Int> seen(16);
+    for (Int k = S.rowptr[i]; k < S.rowptr[i + 1]; ++k) {
+      const Int j = S.colidx[k];
+      if (j == i) continue;
+      if (cf1[j] > 0) {
+        seen.insert(cmap[j]);
+      } else {
+        for (Int k2 = S.rowptr[j]; k2 < S.rowptr[j + 1]; ++k2) {
+          const Int j2 = S.colidx[k2];
+          if (j2 != i && cf1[j2] > 0) seen.insert(cmap[j2]);
+        }
+      }
+    }
+    seen.collect(s2_rows[cmap[i]]);
+  });
+  std::vector<Triplet> trip;
+  for (Int c = 0; c < nc1; ++c)
+    for (Int c2 : s2_rows[c]) trip.push_back({c, c2, 1.0});
+  CSRMatrix S2 = CSRMatrix::from_triplets(nc1, nc1, std::move(trip));
+  CSRMatrix S2T = S2;  // symmetrized by construction below
+  {
+    // S2 is not symmetric in general; build the transpose pattern.
+    std::vector<Triplet> tt;
+    for (Int i = 0; i < S2.nrows; ++i)
+      for (Int k = S2.rowptr[i]; k < S2.rowptr[i + 1]; ++k)
+        tt.push_back({S2.colidx[k], i, 1.0});
+    S2T = CSRMatrix::from_triplets(nc1, nc1, std::move(tt));
+  }
+  PmisOptions opt2 = opt;
+  opt2.seed = opt.seed ^ 0x9e3779b97f4a7c15ull;
+  CFMarker cf2 = pmis_coarsen(S2, S2T, opt2, wc);
+
+  // Final marker: C only if coarse in both passes.
+  CFMarker out(n, kFine);
+  parallel_for(0, n, [&](Int i) {
+    if (cf1[i] > 0 && cf2[cmap[i]] > 0) out[i] = kCoarse;
+  });
+  return out;
+}
+
+Int count_coarse(const CFMarker& cf) {
+  Int nc = 0;
+  for (signed char c : cf)
+    if (c > 0) ++nc;
+  return nc;
+}
+
+}  // namespace hpamg

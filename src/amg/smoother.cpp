@@ -1,0 +1,316 @@
+#include "amg/smoother.hpp"
+
+#include <algorithm>
+
+#include "matrix/permute.hpp"
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+void jacobi_sweep(const CSRMatrix& A, const Vector& b, Vector& x,
+                  Vector& temp, double weight, Int row_lo, Int row_hi,
+                  WorkCounters* wc) {
+  if (row_hi < 0) row_hi = A.nrows;
+  copy(x, temp);
+  parallel_for(row_lo, row_hi, [&](Int i) {
+    double acc = b[i];
+    double diag = 1.0;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int j = A.colidx[k];
+      if (j == i)
+        diag = A.values[k];
+      else
+        acc -= A.values[k] * temp[j];
+    }
+    x[i] = temp[i] + weight * (acc / diag - temp[i]);
+  });
+  if (wc) {
+    wc->flops += 2 * std::uint64_t(A.rowptr[row_hi] - A.rowptr[row_lo]);
+    wc->bytes_read += std::uint64_t(A.rowptr[row_hi] - A.rowptr[row_lo]) *
+                      (sizeof(Int) + 2 * sizeof(double));
+    wc->bytes_written += std::uint64_t(row_hi - row_lo) * sizeof(double);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+HybridGSBaseline::HybridGSBaseline(const CSRMatrix& A, int parts)
+    : bounds_(partition_by_weight(A.rowptr,
+                                  parts > 0 ? parts : num_threads())) {}
+
+void HybridGSBaseline::sweep(const CSRMatrix& A, const Vector& b, Vector& x,
+                             Vector& temp, bool forward,
+                             const signed char* cf, signed char want,
+                             WorkCounters* wc) const {
+  copy(x, temp);
+  const int nt = int(bounds_.size()) - 1;
+  std::vector<WorkCounters> counters(wc ? nt : 0);
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    const Int is = bounds_[t], ie = bounds_[t + 1];
+    WorkCounters local;
+    for (Int s = 0; s < ie - is; ++s) {
+      const Int i = forward ? is + s : ie - 1 - s;
+      // Baseline per-row C/F branch when doing C-F relaxation.
+      ++local.branches;
+      if (cf && cf[i] != want) continue;
+      double acc = b[i];
+      double diag = 1.0;
+      for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+        const Int j = A.colidx[k];
+        // Fig 2(a): one branch per column for the diagonal test and one for
+        // thread ownership.
+        local.branches += 2;
+        if (j == i) {
+          diag = A.values[k];
+        } else if (j >= is && j < ie) {
+          acc -= A.values[k] * x[j];
+        } else {
+          acc -= A.values[k] * temp[j];
+        }
+        local.flops += 2;
+      }
+      x[i] = acc / diag;
+      local.bytes_read += std::uint64_t(A.rowptr[i + 1] - A.rowptr[i]) *
+                          (sizeof(Int) + 2 * sizeof(double));
+      local.bytes_written += sizeof(double);
+    }
+    if (wc) counters[t] = local;
+  }
+  if (wc)
+    for (const WorkCounters& c : counters) *wc += c;
+}
+
+// ---------------------------------------------------------------------------
+
+HybridGSOptimized::HybridGSOptimized(const CSRMatrix& A, int parts) {
+  require(A.nrows == A.ncols, "HybridGSOptimized: matrix must be square");
+  const Int n = A.nrows;
+  bounds_ = partition_by_weight(A.rowptr,
+                                parts > 0 ? parts : num_threads());
+  inv_diag_.assign(n, 1.0);
+
+  // Copy A without its diagonal.
+  A_ = CSRMatrix(n, n);
+  parallel_for(0, n, [&](Int i) {
+    Int cnt = 0;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      if (A.colidx[k] == i)
+        inv_diag_[i] = A.values[k] != 0.0 ? 1.0 / A.values[k] : 1.0;
+      else
+        ++cnt;
+    }
+    A_.rowptr[i + 1] = cnt;
+  });
+  exclusive_scan(A_.rowptr);
+  A_.colidx.resize(A_.rowptr[n]);
+  A_.values.resize(A_.rowptr[n]);
+  parallel_for(0, n, [&](Int i) {
+    Int pos = A_.rowptr[i];
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+      if (A.colidx[k] != i) {
+        A_.colidx[pos] = A.colidx[k];
+        A_.values[pos] = A.values[k];
+        ++pos;
+      }
+  });
+
+  // Owner thread per row range: rows in [bounds_[t], bounds_[t+1]) belong
+  // to thread t; a column is "local" iff it falls in the owner's range.
+  std::vector<Int> owner(n);
+  for (int t = 0; t + 1 < int(bounds_.size()); ++t)
+    for (Int i = bounds_[t]; i < bounds_[t + 1]; ++i) owner[i] = t;
+  RowPartition part = three_way_partition_rows(
+      A_, [&](Int i, Int col, double) -> int {
+        if (owner[col] != owner[i]) return 2;  // external
+        return col < i ? 0 : 1;               // local lower / local upper
+      });
+  ptr1_ = std::move(part.ptr1);
+  ptr2_ = std::move(part.ptr2);
+}
+
+void HybridGSOptimized::sweep(const Vector& b, Vector& x, Vector& temp,
+                              Int row_lo, Int row_hi, bool forward,
+                              bool zero_init, WorkCounters* wc) const {
+  if (row_hi < 0) row_hi = A_.nrows;
+  if (!zero_init) copy(x, temp);
+  const int nt = int(bounds_.size()) - 1;
+  std::vector<WorkCounters> counters(wc ? nt : 0);
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    const Int is = std::max(bounds_[t], row_lo);
+    const Int ie = std::min(bounds_[t + 1], row_hi);
+    WorkCounters local;
+    const Int* HPAMG_RESTRICT colidx = A_.colidx.data();
+    const double* HPAMG_RESTRICT values = A_.values.data();
+    for (Int s = 0; s < ie - is; ++s) {
+      const Int i = forward ? is + s : ie - 1 - s;
+      double acc = b[i];
+      // Local-lower: already updated this sweep — read x directly.
+      for (Int k = A_.rowptr[i]; k < ptr1_[i]; ++k)
+        acc -= values[k] * x[colidx[k]];
+      if (!zero_init) {
+        // Local-upper: previous-sweep values, still in x (Gauss-Seidel).
+        for (Int k = ptr1_[i]; k < ptr2_[i]; ++k)
+          acc -= values[k] * x[colidx[k]];
+        // External: other threads' rows — read the pre-sweep copy.
+        for (Int k = ptr2_[i]; k < A_.rowptr[i + 1]; ++k)
+          acc -= values[k] * temp[colidx[k]];
+        local.flops += 2 * std::uint64_t(A_.rowptr[i + 1] - A_.rowptr[i]);
+      } else {
+        // Upper triangle and external entries multiply known zeros (§3.2):
+        // skip them entirely. Only the forward sweep preserves this
+        // invariant; callers assert forward when zero_init.
+        local.flops += 2 * std::uint64_t(ptr1_[i] - A_.rowptr[i]);
+      }
+      x[i] = acc * inv_diag_[i];
+      local.bytes_read += std::uint64_t(A_.rowptr[i + 1] - A_.rowptr[i]) *
+                          (sizeof(Int) + 2 * sizeof(double));
+      local.bytes_written += sizeof(double);
+    }
+    if (wc) counters[t] = local;
+  }
+  if (wc)
+    for (const WorkCounters& c : counters) *wc += c;
+}
+
+// ---------------------------------------------------------------------------
+
+LexGS::LexGS(const CSRMatrix& A) {
+  const Int n = A.nrows;
+  inv_diag_.assign(n, 1.0);
+  std::vector<Int> level(n, 0);
+  Int max_level = 0;
+  for (Int i = 0; i < n; ++i) {
+    Int lv = 0;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int j = A.colidx[k];
+      if (j < i) lv = std::max(lv, level[j] + 1);
+      if (j == i && A.values[k] != 0.0) inv_diag_[i] = 1.0 / A.values[k];
+    }
+    level[i] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  level_ptr_.assign(max_level + 2, 0);
+  for (Int i = 0; i < n; ++i) ++level_ptr_[level[i] + 1];
+  for (Int l = 0; l <= max_level; ++l) level_ptr_[l + 1] += level_ptr_[l];
+  level_rows_.resize(n);
+  std::vector<Int> fill(level_ptr_.begin(), level_ptr_.end() - 1);
+  for (Int i = 0; i < n; ++i) level_rows_[fill[level[i]]++] = i;
+}
+
+void LexGS::sweep_fused_residual(const CSRMatrix& A, Vector& x, Vector& r,
+                                 WorkCounters* wc) const {
+  // Residual-form Gauss-Seidel: with r = b - A x maintained exactly, the
+  // GS update of row i is simply delta = r_i / a_ii. The scatter of
+  // column i (== row i by symmetry) then restores the invariant. Rows
+  // within one wavefront level touch disjoint dependencies, but their
+  // scatters may collide on shared neighbors, so the scatter runs
+  // sequentially within a level on conflicting columns; with one thread
+  // per level partition the simple sequential-per-level form is exact.
+  const Int nlv = num_levels();
+  for (Int l = 0; l < nlv; ++l) {
+    for (Int p = level_ptr_[l]; p < level_ptr_[l + 1]; ++p) {
+      const Int i = level_rows_[p];
+      const double delta = r[i] * inv_diag_[i];
+      if (delta == 0.0) continue;
+      x[i] += delta;
+      for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+        r[A.colidx[k]] -= A.values[k] * delta;
+    }
+  }
+  if (wc) {
+    wc->flops += 3 * std::uint64_t(A.nnz());
+    wc->bytes_read +=
+        std::uint64_t(A.nnz()) * (sizeof(Int) + 2 * sizeof(double));
+    wc->bytes_written += std::uint64_t(A.nnz()) * sizeof(double);
+  }
+}
+
+void LexGS::sweep(const CSRMatrix& A, const Vector& b, Vector& x,
+                  bool forward, WorkCounters* wc) const {
+  const Int nlv = num_levels();
+  for (Int lw = 0; lw < nlv; ++lw) {
+    const Int l = forward ? lw : nlv - 1 - lw;
+    const Int lo = level_ptr_[l], hi = level_ptr_[l + 1];
+    parallel_for(lo, hi, [&](Int p) {
+      const Int i = level_rows_[p];
+      double acc = b[i];
+      for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+        const Int j = A.colidx[k];
+        if (j != i) acc -= A.values[k] * x[j];
+      }
+      x[i] = acc * inv_diag_[i];
+    });
+  }
+  if (wc) {
+    wc->flops += 2 * std::uint64_t(A.nnz());
+    wc->bytes_read += std::uint64_t(A.nnz()) * (sizeof(Int) + 2 * sizeof(double));
+    wc->bytes_written += std::uint64_t(A.nrows) * sizeof(double);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+MultiColorGS::MultiColorGS(const CSRMatrix& A) {
+  const Int n = A.nrows;
+  inv_diag_.assign(n, 1.0);
+  // Greedy first-fit coloring in row order; symmetric patterns get a
+  // proper coloring (no two neighbors share a color).
+  std::vector<Int> color(n, -1);
+  Int ncolors = 0;
+  std::vector<char> used;
+  for (Int i = 0; i < n; ++i) {
+    used.assign(ncolors + 1, 0);
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int j = A.colidx[k];
+      if (j == i) {
+        if (A.values[k] != 0.0) inv_diag_[i] = 1.0 / A.values[k];
+        continue;
+      }
+      if (color[j] >= 0) used[color[j]] = 1;
+    }
+    Int c = 0;
+    while (c < ncolors && used[c]) ++c;
+    color[i] = c;
+    ncolors = std::max(ncolors, c + 1);
+  }
+  color_ptr_.assign(ncolors + 1, 0);
+  for (Int i = 0; i < n; ++i) ++color_ptr_[color[i] + 1];
+  for (Int c = 0; c < ncolors; ++c) color_ptr_[c + 1] += color_ptr_[c];
+  color_rows_.resize(n);
+  std::vector<Int> fill(color_ptr_.begin(), color_ptr_.end() - 1);
+  for (Int i = 0; i < n; ++i) color_rows_[fill[color[i]]++] = i;
+}
+
+void MultiColorGS::sweep(const CSRMatrix& A, const Vector& b, Vector& x,
+                         bool forward, WorkCounters* wc) const {
+  const Int nc = num_colors();
+  for (Int cc = 0; cc < nc; ++cc) {
+    const Int c = forward ? cc : nc - 1 - cc;
+    const Int lo = color_ptr_[c], hi = color_ptr_[c + 1];
+    // Rows of one color have no mutual coupling: safe to update in
+    // parallel while reading every other color's current values.
+    parallel_for(lo, hi, [&](Int p) {
+      const Int i = color_rows_[p];
+      double acc = b[i];
+      for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+        const Int j = A.colidx[k];
+        if (j != i) acc -= A.values[k] * x[j];
+      }
+      x[i] = acc * inv_diag_[i];
+    });
+  }
+  if (wc) {
+    wc->flops += 2 * std::uint64_t(A.nnz());
+    // Each color pass re-streams the index structure: the memory-traffic
+    // cost behind AmgX's slower MULTICOLOR_GS iterations.
+    wc->bytes_read += std::uint64_t(A.nnz()) *
+                      (sizeof(Int) + 2 * sizeof(double));
+    wc->bytes_written += std::uint64_t(A.nrows) * sizeof(double);
+  }
+}
+
+}  // namespace hpamg

@@ -1,0 +1,140 @@
+// Smoothers: weighted Jacobi, hybrid Gauss-Seidel (baseline and the
+// reordered/partitioned optimized variant of SC'15 §3.2, Fig 2), and
+// lexicographic Gauss-Seidel with level scheduling (the comparison smoother
+// from §5.2 based on point-to-point synchronization [38]).
+//
+// Hybrid GS = Gauss-Seidel within a thread's row range, Jacobi across
+// threads: the output vector is copied to a temp buffer and columns owned
+// by other threads are read from the temp copy to honor write-after-read
+// dependencies.
+//
+// The optimized plan pre-partitions each row's columns into
+// {local-lower, local-upper, external} (diagonal stored separately), which
+// removes the per-column ownership branch of the baseline (Fig 2a) and the
+// per-column diagonal test, and enables skipping the upper triangle when
+// the initial guess is zero (common for coarse-level pre-smoothing).
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "matrix/vector_ops.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+/// One weighted-Jacobi sweep on rows [row_lo, row_hi): x <- x + w D^-1 r.
+void jacobi_sweep(const CSRMatrix& A, const Vector& b, Vector& x,
+                  Vector& temp, double weight = 2.0 / 3.0, Int row_lo = 0,
+                  Int row_hi = -1, WorkCounters* wc = nullptr);
+
+// ---------------------------------------------------------------------------
+// Baseline hybrid GS (Fig 2a): per-column ownership branch, per-column
+// diagonal test, operates on the unmodified matrix.
+// ---------------------------------------------------------------------------
+
+class HybridGSBaseline {
+ public:
+  /// `parts` = number of hybrid partitions (Jacobi boundaries). 0 uses the
+  /// OpenMP thread count; setting it explicitly emulates the paper's
+  /// 14-thread sockets on hosts with fewer cores (convergence behaviour
+  /// depends on the partitioning, not on real parallelism).
+  explicit HybridGSBaseline(const CSRMatrix& A, int parts = 0);
+
+  /// One sweep over rows [row_lo, row_hi). If `cf` is non-null only rows
+  /// with marker == want are smoothed (the baseline's per-row C/F branch).
+  /// `forward` selects sweep direction within each thread's range.
+  void sweep(const CSRMatrix& A, const Vector& b, Vector& x, Vector& temp,
+             bool forward = true, const signed char* cf = nullptr,
+             signed char want = 0, WorkCounters* wc = nullptr) const;
+
+  const std::vector<Int>& thread_bounds() const { return bounds_; }
+
+ private:
+  std::vector<Int> bounds_;  ///< row ownership per thread (nnz-balanced)
+};
+
+// ---------------------------------------------------------------------------
+// Optimized hybrid GS (Fig 2b): rows pre-partitioned, diagonal extracted.
+// ---------------------------------------------------------------------------
+
+class HybridGSOptimized {
+ public:
+  /// Builds the plan: copies A without its diagonal, partitions each row's
+  /// columns into local-lower / local-upper / external w.r.t. the owning
+  /// thread's row range, and caches 1/a_ii. `parts` as in HybridGSBaseline.
+  explicit HybridGSOptimized(const CSRMatrix& A, int parts = 0);
+
+  /// One sweep over rows [row_lo, row_hi) (e.g. the coarse or fine block of
+  /// a CF-permuted operator — no per-row branch needed).
+  /// zero_init: x is known to be all zeros in [row_lo, row_hi); skips the
+  /// upper-triangle and external reads of not-yet-written entries.
+  void sweep(const Vector& b, Vector& x, Vector& temp, Int row_lo, Int row_hi,
+             bool forward = true, bool zero_init = false,
+             WorkCounters* wc = nullptr) const;
+
+  const std::vector<Int>& thread_bounds() const { return bounds_; }
+  std::uint64_t footprint_bytes() const { return A_.footprint_bytes(); }
+
+ private:
+  CSRMatrix A_;              ///< off-diagonal entries, partitioned per row
+  std::vector<Int> ptr1_;    ///< end of local-lower within each row
+  std::vector<Int> ptr2_;    ///< end of local-upper (start of external)
+  std::vector<double> inv_diag_;
+  std::vector<Int> bounds_;
+};
+
+// ---------------------------------------------------------------------------
+// Lexicographic GS with level scheduling.
+// ---------------------------------------------------------------------------
+
+class LexGS {
+ public:
+  /// Builds the wavefront schedule from the lower-triangular dependency
+  /// graph (setup cost the paper charges against its faster convergence).
+  explicit LexGS(const CSRMatrix& A);
+
+  void sweep(const CSRMatrix& A, const Vector& b, Vector& x,
+             bool forward = true, WorkCounters* wc = nullptr) const;
+
+  /// Fused GS + SpMV (the [39]-style fusion the paper evaluates in §5.2):
+  /// maintains the residual incrementally — per row, delta = r_i / a_ii
+  /// updates x_i and the scatter r -= A(:, i) * delta keeps r = b - A x
+  /// exact, so the post-sweep residual SpMV disappears. Requires symmetric
+  /// A (column i == row i). r must hold b - A x on entry.
+  void sweep_fused_residual(const CSRMatrix& A, Vector& x, Vector& r,
+                            WorkCounters* wc = nullptr) const;
+
+  Int num_levels() const { return Int(level_ptr_.size()) - 1; }
+
+ private:
+  std::vector<Int> level_ptr_;   ///< level boundaries into level_rows_
+  std::vector<Int> level_rows_;  ///< rows grouped by wavefront level
+  std::vector<double> inv_diag_;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-color GS: the smoother class AmgX exposes as MULTICOLOR_GS
+// (§2, §5.2). Rows are greedily colored so no two adjacent rows share a
+// color; all rows of one color update in parallel with full Gauss-Seidel
+// coupling to the other colors. Converges like true GS (often better than
+// hybrid GS at high partition counts — the paper measures 1.4x fewer
+// iterations for AmgX's variant) but touches the matrix once per color,
+// costing more memory passes per sweep (AmgX: 2.8x slower solve).
+// ---------------------------------------------------------------------------
+
+class MultiColorGS {
+ public:
+  explicit MultiColorGS(const CSRMatrix& A);
+
+  /// One full sweep (all colors, ascending); backward = descending colors.
+  void sweep(const CSRMatrix& A, const Vector& b, Vector& x,
+             bool forward = true, WorkCounters* wc = nullptr) const;
+
+  Int num_colors() const { return Int(color_ptr_.size()) - 1; }
+
+ private:
+  std::vector<Int> color_ptr_;   ///< color boundaries into color_rows_
+  std::vector<Int> color_rows_;  ///< rows grouped by color
+  std::vector<double> inv_diag_;
+};
+
+}  // namespace hpamg

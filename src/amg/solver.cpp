@@ -1,0 +1,189 @@
+#include "amg/solver.hpp"
+
+#include <cmath>
+
+#include "amg/spmv.hpp"
+#include "matrix/transpose.hpp"
+#include "spgemm/rap.hpp"
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+AMGSolver::AMGSolver(const CSRMatrix& A, const AMGOptions& opts)
+    : h_(build_hierarchy(A, opts)) {}
+
+SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
+                             Int max_iterations) {
+  SolveResult res;
+  Level& L0 = h_.levels[0];
+  require(Int(b.size()) == L0.n && Int(x.size()) == L0.n,
+          "AMGSolver::solve: vector size mismatch");
+  const bool optimized = h_.opts.variant == Variant::kOptimized;
+  const bool permuted = optimized && !L0.perm.perm.empty();
+  PhaseTimes& pt = res.solve_times;
+  WorkCounters* wc = &res.solve_work;
+
+  // Keep working vectors permuted across the whole solve; gather once.
+  Vector bw(L0.n), xw(L0.n), r(L0.n);
+  {
+    Timer t;
+    if (permuted) {
+      const std::vector<Int>& perm = L0.perm.perm;
+      parallel_for(0, L0.n, [&](Int i) {
+        bw[i] = b[perm[i]];
+        xw[i] = x[perm[i]];
+      });
+    } else {
+      copy(b, bw);
+      copy(x, xw);
+    }
+    pt.add("Solve_etc", t.seconds());
+  }
+
+  Timer t_blas;
+  double normb = norm2(bw, wc);
+  pt.add("BLAS1", t_blas.seconds());
+  if (normb == 0.0) normb = 1.0;
+
+  double relres = 0.0;
+  {
+    // Initial residual (x may be a nonzero initial guess).
+    Timer t;
+    if (optimized) {
+      relres = std::sqrt(spmv_residual_norm2sq_fused(L0.A, xw, bw, r, wc)) /
+               normb;
+      pt.add("SpMV", t.seconds());
+    } else {
+      spmv_residual(L0.A, xw, bw, r, wc);
+      pt.add("SpMV", t.seconds());
+      Timer t2;
+      relres = norm2(r, wc) / normb;
+      pt.add("BLAS1", t2.seconds());
+    }
+  }
+  if (relres < rtol) {
+    res.converged = true;
+    res.final_relres = relres;
+    return res;
+  }
+
+  for (Int it = 1; it <= max_iterations; ++it) {
+    vcycle_workspace(h_, bw, xw, &pt, wc);
+    Timer t;
+    if (optimized) {
+      // Fused residual + norm (§3.3): one pass instead of SpMV then dot.
+      relres = std::sqrt(spmv_residual_norm2sq_fused(L0.A, xw, bw, r, wc)) /
+               normb;
+      pt.add("SpMV", t.seconds());
+    } else {
+      spmv_residual(L0.A, xw, bw, r, wc);
+      pt.add("SpMV", t.seconds());
+      Timer t2;
+      relres = norm2(r, wc) / normb;
+      pt.add("BLAS1", t2.seconds());
+    }
+    res.history.push_back(relres);
+    res.iterations = it;
+    if (relres < rtol) {
+      res.converged = true;
+      break;
+    }
+    if (!std::isfinite(relres)) break;  // divergence guard
+  }
+  res.final_relres = relres;
+
+  Timer t;
+  if (permuted) {
+    const std::vector<Int>& perm = L0.perm.perm;
+    parallel_for(0, L0.n, [&](Int i) { x[perm[i]] = xw[i]; });
+  } else {
+    copy(xw, x);
+  }
+  pt.add("Solve_etc", t.seconds());
+  return res;
+}
+
+void AMGSolver::precondition(const Vector& b, Vector& x, PhaseTimes* pt,
+                             WorkCounters* wc) {
+  set_zero(x);
+  vcycle(h_, b, x, pt, wc);
+}
+
+void AMGSolver::refresh_values(const CSRMatrix& A_new) {
+  require(!h_.levels.empty(), "refresh_values: empty hierarchy");
+  require(A_new.nrows == h_.levels[0].n && A_new.nrows == A_new.ncols,
+          "refresh_values: size mismatch");
+  const bool optimized = h_.opts.variant == Variant::kOptimized;
+  ScopedPhase sp(h_.setup_times, "Setup_refresh");
+
+  CSRMatrix A_work = A_new;
+  if (!A_work.rows_sorted()) A_work.sort_rows();
+  for (std::size_t l = 0; l + 1 < h_.levels.size(); ++l) {
+    Level& L = h_.levels[l];
+    CSRMatrix A_level;
+    if (optimized && !L.perm.perm.empty()) {
+      A_level = permute_symmetric(A_work, L.perm);
+      A_level.sort_rows();
+    } else {
+      A_level = std::move(A_work);
+    }
+    if (l == 0) {
+      require(A_level.rowptr == L.A.rowptr && A_level.colidx == L.A.colidx,
+              "refresh_values: sparsity pattern differs from setup");
+    }
+    L.A = std::move(A_level);
+    // Frozen transfers, fresh Galerkin product.
+    CSRMatrix A_next =
+        optimized ? rap_cf_block(L.A, L.Pf, L.PfT, L.nc)
+                  : rap_fused_hypre(transpose_serial(L.P), L.A, L.P);
+    A_next.sort_rows();
+    // Smoother plans depend on the values (inverse diagonals).
+    L.gs_base.reset();
+    L.gs_opt.reset();
+    L.lexgs.reset();
+    L.mcgs.reset();
+    switch (h_.opts.smoother) {
+      case SmootherKind::kHybridGS:
+        if (optimized)
+          L.gs_opt =
+              std::make_unique<HybridGSOptimized>(L.A, h_.opts.gs_partitions);
+        else
+          L.gs_base =
+              std::make_unique<HybridGSBaseline>(L.A, h_.opts.gs_partitions);
+        break;
+      case SmootherKind::kLexGS:
+        L.lexgs = std::make_unique<LexGS>(L.A);
+        break;
+      case SmootherKind::kMultiColorGS:
+        L.mcgs = std::make_unique<MultiColorGS>(L.A);
+        break;
+      case SmootherKind::kJacobi:
+        break;
+    }
+    A_work = std::move(A_next);
+  }
+  Level& C = h_.levels.back();
+  C.A = std::move(A_work);
+  if (h_.coarse_lu.size() == C.n && C.n > 0) {
+    h_.coarse_lu = LUSolver(C.A);
+  } else if (C.gs_opt || C.gs_base || C.lexgs || C.mcgs) {
+    C.gs_opt.reset();
+    C.gs_base.reset();
+    C.lexgs.reset();
+    C.mcgs.reset();
+    if (h_.opts.smoother == SmootherKind::kHybridGS) {
+      if (optimized)
+        C.gs_opt =
+            std::make_unique<HybridGSOptimized>(C.A, h_.opts.gs_partitions);
+      else
+        C.gs_base =
+            std::make_unique<HybridGSBaseline>(C.A, h_.opts.gs_partitions);
+    } else if (h_.opts.smoother == SmootherKind::kLexGS) {
+      C.lexgs = std::make_unique<LexGS>(C.A);
+    } else if (h_.opts.smoother == SmootherKind::kMultiColorGS) {
+      C.mcgs = std::make_unique<MultiColorGS>(C.A);
+    }
+  }
+}
+
+}  // namespace hpamg

@@ -1,0 +1,68 @@
+// AMGSolver — the user-facing front end.
+//
+// Wraps setup (build_hierarchy) and solve: either standalone AMG iteration
+// (V-cycles to tolerance, the paper's single-node configuration, Table 3)
+// or as a preconditioner apply for the Krylov solvers in src/krylov
+// (the multi-node configuration, Table 4, uses FGMRES + AMG).
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "amg/cycle.hpp"
+#include "amg/hierarchy.hpp"
+
+namespace hpamg {
+
+struct SolveResult {
+  Int iterations = 0;
+  double final_relres = 0.0;
+  bool converged = false;
+  std::vector<double> history;  ///< relative residual after each iteration
+  PhaseTimes solve_times;       ///< GS / SpMV / BLAS1 / Solve_etc
+  WorkCounters solve_work;
+
+  /// Geometric-mean residual contraction per cycle ("convergence factor",
+  /// the paper's §2 quality metric); 0 when fewer than 2 samples.
+  double convergence_factor() const {
+    if (history.size() < 2 || history.front() <= 0.0) return 0.0;
+    return std::pow(history.back() / history.front(),
+                    1.0 / double(history.size() - 1));
+  }
+};
+
+class AMGSolver {
+ public:
+  /// Runs the setup phase immediately.
+  AMGSolver(const CSRMatrix& A, const AMGOptions& opts);
+
+  /// Standalone AMG: repeat V-cycles until ||b - Ax|| / ||b|| < rtol.
+  SolveResult solve(const Vector& b, Vector& x, double rtol = 1e-7,
+                    Int max_iterations = 500);
+
+  /// One V-cycle as a preconditioner apply: x = B(b), zero initial guess.
+  /// b and x are in the original matrix ordering.
+  void precondition(const Vector& b, Vector& x, PhaseTimes* pt = nullptr,
+                    WorkCounters* wc = nullptr);
+
+  /// Numeric setup refresh for time-dependent problems: A_new must have
+  /// the SAME sparsity pattern as the setup matrix, only different values.
+  /// The CF splittings and interpolation operators are frozen (lagged, the
+  /// standard reuse strategy); the level operators are recomputed through
+  /// the Galerkin products and the smoother plans rebuilt — skipping
+  /// strength, coarsening and interpolation construction entirely (the
+  /// paper's "setup will be called only occasionally" scenario, §5.2).
+  /// Throws if the pattern differs.
+  void refresh_values(const CSRMatrix& A_new);
+
+  Hierarchy& hierarchy() { return h_; }
+  const Hierarchy& hierarchy() const { return h_; }
+  const PhaseTimes& setup_times() const { return h_.setup_times; }
+  double operator_complexity() const { return h_.operator_complexity(); }
+  Int num_rows() const { return h_.levels.empty() ? 0 : h_.levels[0].n; }
+
+ private:
+  Hierarchy h_;
+};
+
+}  // namespace hpamg

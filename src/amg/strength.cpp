@@ -1,0 +1,87 @@
+#include "amg/strength.hpp"
+
+#include <cmath>
+
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+
+/// Row-local strength test shared by both variants: fills `strong` with
+/// the in-row offsets of strongly-influencing columns.
+inline void strong_columns(const CSRMatrix& A, Int i,
+                           const StrengthOptions& opt,
+                           std::vector<Int>& strong) {
+  strong.clear();
+  const Int lo = A.rowptr[i], hi = A.rowptr[i + 1];
+  double diag = 0.0, row_sum = 0.0, max_off = 0.0;
+  for (Int k = lo; k < hi; ++k) {
+    row_sum += A.values[k];
+    if (A.colidx[k] == i)
+      diag = A.values[k];
+  }
+  const double sgn = diag >= 0 ? 1.0 : -1.0;
+  for (Int k = lo; k < hi; ++k)
+    if (A.colidx[k] != i) max_off = std::max(max_off, -sgn * A.values[k]);
+  if (max_off <= 0.0) return;  // no candidate strong connections
+  if (opt.max_row_sum < 1.0 &&
+      std::abs(row_sum) > opt.max_row_sum * std::abs(diag))
+    return;  // weakly-varying row: treat all connections as weak
+  const double cut = opt.threshold * max_off;
+  for (Int k = lo; k < hi; ++k)
+    if (A.colidx[k] != i && -sgn * A.values[k] >= cut) strong.push_back(k);
+}
+
+}  // namespace
+
+CSRMatrix strength_matrix(const CSRMatrix& A, const StrengthOptions& opt,
+                          WorkCounters* wc) {
+  require(A.nrows == A.ncols, "strength_matrix: matrix must be square");
+  CSRMatrix S(A.nrows, A.ncols);
+  // Pass 1: per-row strong counts in parallel.
+  parallel_for_dynamic(0, A.nrows, [&](Int i) {
+    thread_local std::vector<Int> strong;
+    strong_columns(A, i, opt, strong);
+    S.rowptr[i + 1] = Int(strong.size());
+  });
+  // Prefix sum turns counts into offsets (the §3.3 parallelization).
+  exclusive_scan(S.rowptr);
+  S.colidx.resize(S.rowptr[S.nrows]);
+  S.values.assign(S.rowptr[S.nrows], 1.0);
+  // Pass 2: fill in parallel at the prefix-sum offsets.
+  parallel_for_dynamic(0, A.nrows, [&](Int i) {
+    thread_local std::vector<Int> strong;
+    strong_columns(A, i, opt, strong);
+    Int pos = S.rowptr[i];
+    for (Int k : strong) S.colidx[pos++] = A.colidx[k];
+  });
+  if (wc) {
+    wc->bytes_read += 2 * A.nnz() * (sizeof(Int) + sizeof(double));
+    wc->bytes_written += S.nnz() * sizeof(Int);
+  }
+  return S;
+}
+
+CSRMatrix strength_matrix_serial(const CSRMatrix& A,
+                                 const StrengthOptions& opt,
+                                 WorkCounters* wc) {
+  require(A.nrows == A.ncols, "strength_matrix: matrix must be square");
+  CSRMatrix S(A.nrows, A.ncols);
+  std::vector<Int> strong;
+  for (Int i = 0; i < A.nrows; ++i) {
+    strong_columns(A, i, opt, strong);
+    for (Int k : strong) {
+      S.colidx.push_back(A.colidx[k]);
+      S.values.push_back(1.0);
+    }
+    S.rowptr[i + 1] = Int(S.colidx.size());
+  }
+  if (wc) {
+    wc->bytes_read += A.nnz() * (sizeof(Int) + sizeof(double));
+    wc->bytes_written += S.nnz() * sizeof(Int);
+  }
+  return S;
+}
+
+}  // namespace hpamg

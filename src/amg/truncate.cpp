@@ -1,0 +1,96 @@
+#include "amg/truncate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+
+template <typename C>
+Int truncate_row_impl(C* cols, double* vals, Int len,
+                      const TruncationOptions& opt) {
+  if (len == 0) return 0;
+  const bool limit = opt.max_elmts > 0 && len > opt.max_elmts;
+  if (opt.trunc_fact <= 0.0 && !limit) return len;
+
+  double row_sum = 0.0, max_abs = 0.0;
+  for (Int k = 0; k < len; ++k) {
+    row_sum += vals[k];
+    max_abs = std::max(max_abs, std::abs(vals[k]));
+  }
+  double threshold = opt.trunc_fact * max_abs;
+  if (limit) {
+    // |a_{i(max_elmts)}|: the max_elmts-th largest magnitude. nth_element
+    // on a scratch copy keeps this O(len).
+    thread_local std::vector<double> mags;
+    mags.assign(len, 0.0);
+    for (Int k = 0; k < len; ++k) mags[k] = std::abs(vals[k]);
+    std::nth_element(mags.begin(), mags.begin() + (opt.max_elmts - 1),
+                     mags.end(), std::greater<double>());
+    threshold = std::max(threshold, mags[opt.max_elmts - 1]);
+  }
+
+  Int out = 0;
+  double kept_sum = 0.0;
+  for (Int k = 0; k < len; ++k) {
+    if (std::abs(vals[k]) >= threshold && (!limit || out < opt.max_elmts)) {
+      cols[out] = cols[k];
+      vals[out] = vals[k];
+      kept_sum += vals[k];
+      ++out;
+    }
+  }
+  // Rescale survivors to preserve the row sum (exact interpolation of
+  // constants survives truncation).
+  if (out > 0 && kept_sum != 0.0 && row_sum != 0.0) {
+    const double scale = row_sum / kept_sum;
+    for (Int k = 0; k < out; ++k) vals[k] *= scale;
+  }
+  return out;
+}
+
+}  // namespace
+
+Int truncate_row(Int* cols, double* vals, Int len,
+                 const TruncationOptions& opt) {
+  return truncate_row_impl(cols, vals, len, opt);
+}
+
+Int truncate_row(Long* cols, double* vals, Int len,
+                 const TruncationOptions& opt) {
+  return truncate_row_impl(cols, vals, len, opt);
+}
+
+CSRMatrix truncate_interpolation(const CSRMatrix& P,
+                                 const TruncationOptions& opt,
+                                 WorkCounters* wc) {
+  CSRMatrix Q(P.nrows, P.ncols);
+  std::vector<Int> scratch_cols(P.colidx);
+  std::vector<double> scratch_vals(P.values);
+  std::vector<Int> new_len(P.nrows);
+  parallel_for_dynamic(0, P.nrows, [&](Int i) {
+    new_len[i] = truncate_row(scratch_cols.data() + P.rowptr[i],
+                              scratch_vals.data() + P.rowptr[i],
+                              P.row_nnz(i), opt);
+  });
+  for (Int i = 0; i < P.nrows; ++i) Q.rowptr[i + 1] = new_len[i];
+  exclusive_scan(Q.rowptr);
+  Q.colidx.resize(Q.rowptr[Q.nrows]);
+  Q.values.resize(Q.rowptr[Q.nrows]);
+  parallel_for(0, P.nrows, [&](Int i) {
+    std::copy_n(scratch_cols.begin() + P.rowptr[i], new_len[i],
+                Q.colidx.begin() + Q.rowptr[i]);
+    std::copy_n(scratch_vals.begin() + P.rowptr[i], new_len[i],
+                Q.values.begin() + Q.rowptr[i]);
+  });
+  if (wc) {
+    wc->bytes_read += 2 * P.nnz() * (sizeof(Int) + sizeof(double));
+    wc->bytes_written += Q.nnz() * (sizeof(Int) + sizeof(double));
+  }
+  return Q;
+}
+
+}  // namespace hpamg

@@ -1,0 +1,39 @@
+// Interpolation truncation (SC'15 §3.1.2).
+//
+// For each row, entries with absolute value below
+//     max(trunc_fact * |a_{i(1)}|, |a_{i(max_elmts)}|)
+// are dropped — i.e. keep entries within trunc_fact of the row max, but at
+// most max_elmts of them — and the surviving entries are rescaled so the
+// row sum is preserved (HYPRE's convention, which keeps interpolation of
+// constants exact). The optimized interpolation constructors apply this
+// row-by-row, fused with construction; truncate_interpolation() is the
+// standalone (baseline) version that re-reads the whole matrix.
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+struct TruncationOptions {
+  double trunc_fact = 0.1;  ///< relative threshold (0 disables)
+  Int max_elmts = 4;        ///< max entries kept per row (0 disables)
+};
+
+/// Truncates one row in place in (cols, vals); returns the new length.
+/// Used by the fused construction path.
+Int truncate_row(Int* cols, double* vals, Int len,
+                 const TruncationOptions& opt);
+
+/// Long-column overload (distributed interpolation rows carry global
+/// coarse column ids).
+Int truncate_row(Long* cols, double* vals, Int len,
+                 const TruncationOptions& opt);
+
+/// Standalone truncation pass over a full interpolation matrix (baseline:
+/// construct everything, then truncate).
+CSRMatrix truncate_interpolation(const CSRMatrix& P,
+                                 const TruncationOptions& opt,
+                                 WorkCounters* wc = nullptr);
+
+}  // namespace hpamg

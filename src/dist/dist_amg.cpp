@@ -1,0 +1,394 @@
+#include "dist/dist_amg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dist/dist_transpose.hpp"
+#include "matrix/vector_ops.hpp"
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+constexpr int kTagYT = 7501;
+}
+
+double DistHierarchy::operator_complexity() const {
+  if (stats.empty() || stats[0].nnz == 0) return 0.0;
+  double total = 0.0;
+  for (const LevelStats& s : stats) total += double(s.nnz);
+  return total / double(stats[0].nnz);
+}
+
+void dist_spmv(simmpi::Comm& comm, const DistMatrix& A, HaloExchange& halo,
+               const Vector& x, Vector& x_ext, Vector& y) {
+  halo.exchange(x, x_ext);
+  const Int n = A.local_rows();
+  y.resize(n);
+  for (Int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (Int k = A.diag.rowptr[i]; k < A.diag.rowptr[i + 1]; ++k)
+      acc += A.diag.values[k] * x[A.diag.colidx[k]];
+    for (Int k = A.offd.rowptr[i]; k < A.offd.rowptr[i + 1]; ++k)
+      acc += A.offd.values[k] * x_ext[A.offd.colidx[k]];
+    y[i] = acc;
+  }
+}
+
+void dist_spmv_transpose(simmpi::Comm& comm, const DistMatrix& A,
+                         const Vector& x, Vector& y) {
+  // y (over A's columns partition) = diag^T x locally; offd^T contributions
+  // are partial sums for remote owners, shipped as (global index, value).
+  const Int n = A.local_rows();
+  y.assign(A.local_cols(), 0.0);
+  for (Int i = 0; i < n; ++i)
+    for (Int k = A.diag.rowptr[i]; k < A.diag.rowptr[i + 1]; ++k)
+      y[A.diag.colidx[k]] += A.diag.values[k] * x[i];
+
+  std::vector<double> partial(A.colmap.size(), 0.0);
+  for (Int i = 0; i < n; ++i)
+    for (Int k = A.offd.rowptr[i]; k < A.offd.rowptr[i + 1]; ++k)
+      partial[A.offd.colidx[k]] += A.offd.values[k] * x[i];
+
+  struct Contribution {
+    Long gcol;
+    double value;
+  };
+  const int nranks = comm.size();
+  std::vector<std::vector<Contribution>> outbox(nranks);
+  for (std::size_t j = 0; j < A.colmap.size(); ++j) {
+    if (partial[j] == 0.0) continue;
+    outbox[A.col_owner(A.colmap[j])].push_back({A.colmap[j], partial[j]});
+  }
+  for (int r = 0; r < nranks; ++r)
+    if (r != comm.rank()) comm.send_vec(r, kTagYT, outbox[r]);
+  const Long c0 = A.first_col();
+  for (int r = 0; r < nranks; ++r) {
+    if (r == comm.rank()) continue;
+    std::vector<Contribution> in = comm.recv_vec<Contribution>(r, kTagYT);
+    for (const Contribution& c : in) y[Int(c.gcol - c0)] += c.value;
+  }
+}
+
+double dist_dot(simmpi::Comm& comm, const Vector& a, const Vector& b) {
+  double local = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) local += a[i] * b[i];
+  return comm.allreduce_sum(local);
+}
+
+double dist_norm2(simmpi::Comm& comm, const Vector& a) {
+  return std::sqrt(dist_dot(comm, a, a));
+}
+
+namespace {
+
+/// Hybrid GS sweep over the listed rows: Gauss-Seidel within the rank
+/// (reads freshly updated local x), Jacobi across ranks (x_ext is the halo
+/// snapshot taken before the sweep).
+void gs_rows(const DistMatrix& A, const std::vector<double>& inv_diag,
+             const Vector& b, Vector& x, const Vector& x_ext,
+             const std::vector<Int>& rows_list) {
+  for (Int i : rows_list) {
+    double acc = b[i];
+    for (Int k = A.diag.rowptr[i]; k < A.diag.rowptr[i + 1]; ++k) {
+      const Int j = A.diag.colidx[k];
+      if (j != i) acc -= A.diag.values[k] * x[j];
+    }
+    for (Int k = A.offd.rowptr[i]; k < A.offd.rowptr[i + 1]; ++k)
+      acc -= A.offd.values[k] * x_ext[A.offd.colidx[k]];
+    x[i] = acc * inv_diag[i];
+  }
+}
+
+/// Baseline: one pass over all rows with the per-row CF branch.
+void gs_branchy(const DistMatrix& A, const std::vector<double>& inv_diag,
+                const Vector& b, Vector& x, const Vector& x_ext,
+                const CFMarker& cf, signed char want) {
+  for (Int i = 0; i < A.local_rows(); ++i) {
+    if ((want > 0) != (cf[i] > 0)) continue;
+    double acc = b[i];
+    for (Int k = A.diag.rowptr[i]; k < A.diag.rowptr[i + 1]; ++k) {
+      const Int j = A.diag.colidx[k];
+      if (j != i) acc -= A.diag.values[k] * x[j];
+    }
+    for (Int k = A.offd.rowptr[i]; k < A.offd.rowptr[i + 1]; ++k)
+      acc -= A.offd.values[k] * x_ext[A.offd.colidx[k]];
+    x[i] = acc * inv_diag[i];
+  }
+}
+
+void smooth_level(simmpi::Comm& comm, DistHierarchy& h, DistLevel& L,
+                  const Vector& b, Vector& x, bool pre) {
+  const bool optimized = h.opts.variant == Variant::kOptimized;
+  for (Int s = 0; s < h.opts.num_sweeps; ++s) {
+    // C-then-F for pre-smoothing, F-then-C for post; a halo refresh before
+    // each sub-sweep (HYPRE's hybrid C-F relaxation communication pattern).
+    for (int half = 0; half < 2; ++half) {
+      const bool coarse_pass = pre ? (half == 0) : (half == 1);
+      L.halo_A->exchange(x, L.x_ext);
+      if (optimized)
+        gs_rows(L.A, L.inv_diag, b, x, L.x_ext,
+                coarse_pass ? L.c_rows : L.f_rows);
+      else
+        gs_branchy(L.A, L.inv_diag, b, x, L.x_ext, L.cf,
+                   coarse_pass ? 1 : -1);
+    }
+  }
+}
+
+void dist_residual(simmpi::Comm& comm, DistLevel& L, const Vector& b,
+                   const Vector& x, Vector& r) {
+  dist_spmv(comm, L.A, *L.halo_A, x, L.x_ext, r);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+}
+
+void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
+                       PhaseTimes* pt) {
+  DistLevel& L = h.levels[l];
+  if (l == Int(h.levels.size()) - 1) {
+    CpuTimer t;
+    if (h.coarse_lu.size() > 0 &&
+        h.coarse_lu.size() == Int(h.coarse_starts.back())) {
+      // Coarsest: gather RHS to every rank, direct-solve, keep own slice.
+      Vector full_b = gather_vector(comm, L.b, h.coarse_starts);
+      Vector full_x(full_b.size(), 0.0);
+      h.coarse_lu.solve(full_b.data(), full_x.data());
+      const Long c0 = h.coarse_starts[comm.rank()];
+      for (Int i = 0; i < L.A.local_rows(); ++i) L.x[i] = full_x[c0 + i];
+    } else {
+      // Too large to replicate/factorize (max_levels capped the
+      // hierarchy): approximate with distributed GS sweeps (paper §2).
+      std::fill(L.x.begin(), L.x.end(), 0.0);
+      std::vector<Int> all_rows(L.A.local_rows());
+      for (Int i = 0; i < L.A.local_rows(); ++i) all_rows[i] = i;
+      for (int s = 0; s < 8; ++s) {
+        L.halo_A->exchange(L.x, L.x_ext);
+        gs_rows(L.A, L.inv_diag, L.b, L.x, L.x_ext, all_rows);
+      }
+    }
+    if (pt) pt->add("Solve_etc", t.seconds());
+    return;
+  }
+  DistLevel& N = h.levels[l + 1];
+  const bool optimized = h.opts.variant == Variant::kOptimized;
+
+  {
+    CpuTimer t;
+    smooth_level(comm, h, L, L.b, L.x, /*pre=*/true);
+    if (pt) pt->add("GS", t.seconds());
+  }
+  {
+    CpuTimer t;
+    dist_residual(comm, L, L.b, L.x, L.r);
+    if (optimized && L.has_R) {
+      dist_spmv(comm, L.R, *L.halo_R, L.r, L.temp, N.b);
+    } else {
+      dist_spmv_transpose(comm, L.P, L.r, N.b);
+    }
+    if (pt) pt->add("SpMV", t.seconds());
+  }
+  std::fill(N.x.begin(), N.x.end(), 0.0);
+  dist_vcycle_level(comm, h, l + 1, pt);
+  {
+    CpuTimer t;
+    // x += P e  (halo on the coarse vector).
+    dist_spmv(comm, L.P, *L.halo_P, N.x, L.temp, L.r);
+    for (std::size_t i = 0; i < L.x.size(); ++i) L.x[i] += L.r[i];
+    if (pt) pt->add("SpMV", t.seconds());
+  }
+  {
+    CpuTimer t;
+    smooth_level(comm, h, L, L.b, L.x, /*pre=*/false);
+    if (pt) pt->add("GS", t.seconds());
+  }
+}
+
+}  // namespace
+
+DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
+                             const DistAMGOptions& opts) {
+  DistHierarchy h;
+  h.opts = opts;
+  const bool optimized = opts.variant == Variant::kOptimized;
+  const simmpi::CommStats comm_before = comm.stats();
+  WorkCounters* wc = &h.setup_work;
+
+  DistSpgemmOptions so;
+  so.parallel_renumber = optimized;
+  so.onepass_local = optimized;
+  so.persistent = optimized;
+
+  auto comm_delta = [&comm](const simmpi::CommStats& before) {
+    simmpi::CommStats d = comm.stats();
+    d.messages_sent -= before.messages_sent;
+    d.bytes_sent -= before.bytes_sent;
+    d.allreduces -= before.allreduces;
+    d.request_setups -= before.request_setups;
+    d.persistent_starts -= before.persistent_starts;
+    return d;
+  };
+
+  DistMatrix A = A_in;
+  for (Int l = 0; l < opts.max_levels; ++l) {
+    if (A.global_rows <= opts.coarse_size || l == opts.max_levels - 1) break;
+
+    CpuTimer phase;
+    simmpi::CommStats snap = comm.stats();
+    DistMatrix S = dist_strength(A, opts.strength, optimized, wc);
+    DistMatrix ST = dist_transpose(comm, S, optimized, wc);
+    PmisOptions po;
+    po.seed = opts.seed + std::uint64_t(l) * 0x1000193;
+    const bool aggressive = l < opts.num_aggressive_levels &&
+                            (opts.interp == InterpKind::kMultipass ||
+                             opts.interp == InterpKind::kExtPI2Stage);
+    CFMarker cf, cf_first;
+    if (aggressive)
+      cf = dist_pmis_aggressive(comm, S, ST, po, &cf_first, wc);
+    else
+      cf = dist_pmis(comm, S, ST, po, wc);
+    CoarseNumbering cn = coarse_numbering(comm, cf);
+    h.setup_times.add("Strength+Coarsen", phase.seconds());
+    h.phase_comm["Strength+Coarsen"] += comm_delta(snap);
+    if (cn.global_coarse == 0 || cn.global_coarse == A.global_rows) break;
+
+    // ---- Interpolation ----
+    phase.reset();
+    snap = comm.stats();
+    DistInterpOptions io;
+    io.truncation = opts.truncation;
+    io.fused_truncation = optimized;
+    io.filtered_exchange = optimized;
+    io.persistent = optimized;
+    DistInterpInfo iinfo;
+    DistMatrix P;
+    if (aggressive && opts.interp == InterpKind::kMultipass) {
+      P = dist_multipass_interp(comm, A, S, cf, cn, io, wc, &iinfo);
+    } else if (aggressive && opts.interp == InterpKind::kExtPI2Stage) {
+      // Stage 1: extended+i onto the first-pass C points.
+      CoarseNumbering cn1 = coarse_numbering(comm, cf_first);
+      DistMatrix P1 =
+          dist_extpi_interp(comm, A, S, ST, cf_first, cn1, io, wc, &iinfo);
+      DistMatrix A1 = dist_rap(comm, A, P1, so, wc);
+      DistMatrix S1 = dist_strength(A1, opts.strength, optimized, wc);
+      DistMatrix ST1 = dist_transpose(comm, S1, optimized, wc);
+      // Stage 2 markers on the C1 index space (C1 points are A1's rows, in
+      // local ascending order on each rank).
+      CFMarker cf2;
+      for (std::size_t i = 0; i < cf_first.size(); ++i)
+        if (cf_first[i] > 0) cf2.push_back(cf[i] > 0 ? 1 : -1);
+      CoarseNumbering cn2 = coarse_numbering(comm, cf2);
+      DistMatrix P2 =
+          dist_extpi_interp(comm, A1, S1, ST1, cf2, cn2, io, wc, &iinfo);
+      P = dist_spgemm(comm, P1, P2, so, wc);
+      // Truncation at the final stage: per-row, then reassemble.
+      std::vector<std::vector<std::pair<Long, double>>> rows(P.local_rows());
+      std::vector<Long> rc;
+      std::vector<double> rv;
+      for (Int i = 0; i < P.local_rows(); ++i) {
+        rc.clear();
+        rv.clear();
+        for (Int k = P.diag.rowptr[i]; k < P.diag.rowptr[i + 1]; ++k) {
+          rc.push_back(P.first_col() + P.diag.colidx[k]);
+          rv.push_back(P.diag.values[k]);
+        }
+        for (Int k = P.offd.rowptr[i]; k < P.offd.rowptr[i + 1]; ++k) {
+          rc.push_back(P.colmap[P.offd.colidx[k]]);
+          rv.push_back(P.offd.values[k]);
+        }
+        Int len = Int(rc.size());
+        if (cf[i] <= 0)
+          len = truncate_row(rc.data(), rv.data(), len, opts.truncation);
+        for (Int k = 0; k < len; ++k) rows[i].push_back({rc[k], rv[k]});
+      }
+      P = assemble_dist_from_rows(comm, P.row_starts, P.col_starts, rows);
+    } else {
+      P = dist_extpi_interp(comm, A, S, ST, cf, cn, io, wc, &iinfo);
+    }
+    h.interp_exchange_bytes += iinfo.gathered_bytes;
+    h.setup_times.add("Interp", phase.seconds());
+    h.phase_comm["Interp"] += comm_delta(snap);
+
+    // ---- RAP ----
+    phase.reset();
+    snap = comm.stats();
+    DistLevel L;
+    L.A = std::move(A);
+    L.P = std::move(P);
+    DistMatrix A_next =
+        dist_rap(comm, L.A, L.P, so, wc, nullptr,
+                 optimized ? &L.R : nullptr);
+    L.has_R = optimized;
+    h.setup_times.add("RAP", phase.seconds());
+    h.phase_comm["RAP"] += comm_delta(snap);
+
+    // ---- Level finalization ----
+    phase.reset();
+    L.cf = cf;
+    const Int n = L.A.local_rows();
+    L.inv_diag.assign(n, 1.0);
+    for (Int i = 0; i < n; ++i)
+      for (Int k = L.A.diag.rowptr[i]; k < L.A.diag.rowptr[i + 1]; ++k)
+        if (L.A.diag.colidx[k] == i && L.A.diag.values[k] != 0.0)
+          L.inv_diag[i] = 1.0 / L.A.diag.values[k];
+    if (optimized) {
+      for (Int i = 0; i < n; ++i)
+        (cf[i] > 0 ? L.c_rows : L.f_rows).push_back(i);
+    }
+    L.halo_A = std::make_unique<HaloExchange>(comm, L.A.colmap,
+                                              L.A.row_starts, optimized);
+    L.halo_P = std::make_unique<HaloExchange>(comm, L.P.colmap,
+                                              L.P.col_starts, optimized);
+    if (L.has_R)
+      L.halo_R = std::make_unique<HaloExchange>(comm, L.R.colmap,
+                                                L.R.col_starts, optimized);
+    L.b.assign(n, 0.0);
+    L.x.assign(n, 0.0);
+    L.r.assign(n, 0.0);
+    L.temp.assign(std::max<std::size_t>(n, 1), 0.0);
+    h.stats.push_back({Int(L.A.global_rows), 0, Int(cn.global_coarse),
+                       L.P.nnz_local()});
+    h.stats.back().nnz = comm.allreduce_sum(L.A.nnz_local());
+    h.setup_times.add("Setup_etc", phase.seconds());
+    h.levels.push_back(std::move(L));
+    A = std::move(A_next);
+  }
+
+  // Coarsest level: replicate and LU-factor.
+  {
+    CpuTimer phase;
+    DistLevel L;
+    L.A = std::move(A);
+    h.coarse_starts = L.A.row_starts;
+    CSRMatrix full = gather_csr(comm, L.A);
+    if (full.nrows <= 4096) h.coarse_lu = LUSolver(full);
+    const Int n = L.A.local_rows();
+    L.inv_diag.assign(n, 1.0);
+    for (Int i = 0; i < n; ++i)
+      for (Int k = L.A.diag.rowptr[i]; k < L.A.diag.rowptr[i + 1]; ++k)
+        if (L.A.diag.colidx[k] == i && L.A.diag.values[k] != 0.0)
+          L.inv_diag[i] = 1.0 / L.A.diag.values[k];
+    L.halo_A = std::make_unique<HaloExchange>(comm, L.A.colmap,
+                                              L.A.row_starts, true);
+    L.b.assign(n, 0.0);
+    L.x.assign(n, 0.0);
+    L.r.assign(n, 0.0);
+    L.temp.assign(std::max<std::size_t>(n, 1), 0.0);
+    h.stats.push_back({Int(L.A.global_rows), 0, 0, 0});
+    h.stats.back().nnz = comm.allreduce_sum(L.A.nnz_local());
+    h.levels.push_back(std::move(L));
+    h.setup_times.add("Setup_etc", phase.seconds());
+  }
+  h.setup_comm = comm_delta(comm_before);
+  return h;
+}
+
+void dist_vcycle(simmpi::Comm& comm, DistHierarchy& h, const Vector& b,
+                 Vector& x, PhaseTimes* pt) {
+  DistLevel& L0 = h.levels[0];
+  copy(b, L0.b);
+  copy(x, L0.x);
+  dist_vcycle_level(comm, h, 0, pt);
+  copy(L0.x, x);
+}
+
+}  // namespace hpamg

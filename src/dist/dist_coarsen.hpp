@@ -1,0 +1,48 @@
+// Distributed strength-of-connection and PMIS coarsening.
+//
+// Strength is row-local, so the distributed strength matrix needs no
+// communication and shares A's colmap. PMIS iterates with halo exchanges of
+// the measures (once) and the C/F markers (each round), exactly the
+// communication structure of BoomerAMG's PMIS. The aggressive variant adds
+// a gather of remote strength rows to build the distance-two graph among
+// first-pass C points, plus a triplet exchange for its reverse edges.
+#pragma once
+
+#include "amg/pmis.hpp"
+#include "amg/strength.hpp"
+#include "dist/dist_matrix.hpp"
+#include "dist/halo.hpp"
+
+namespace hpamg {
+
+/// Distributed strength matrix; same row partition and colmap as A
+/// (entries are a subset of A's pattern).
+DistMatrix dist_strength(const DistMatrix& A, const StrengthOptions& opt,
+                         bool parallel_assembly = true,
+                         WorkCounters* wc = nullptr);
+
+/// Distributed PMIS. S is the distributed strength matrix, ST its
+/// distributed transpose (dist_transpose(S)). Returns the local CF marker.
+CFMarker dist_pmis(simmpi::Comm& comm, const DistMatrix& S,
+                   const DistMatrix& ST, const PmisOptions& opt = {},
+                   WorkCounters* wc = nullptr);
+
+/// Distributed aggressive (distance-two) PMIS; optionally returns the
+/// first-pass marker for 2-stage interpolation.
+CFMarker dist_pmis_aggressive(simmpi::Comm& comm, const DistMatrix& S,
+                              const DistMatrix& ST,
+                              const PmisOptions& opt = {},
+                              CFMarker* first_pass_out = nullptr,
+                              WorkCounters* wc = nullptr);
+
+/// Global coarse numbering: every rank numbers its C points consecutively;
+/// rank p's C points occupy [starts[p], starts[p+1]).
+struct CoarseNumbering {
+  std::vector<Long> starts;       ///< size nranks + 1
+  std::vector<Long> local_to_global;  ///< per local point; -1 for F points
+  Long global_coarse = 0;
+};
+
+CoarseNumbering coarse_numbering(simmpi::Comm& comm, const CFMarker& cf);
+
+}  // namespace hpamg

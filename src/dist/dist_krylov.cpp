@@ -1,0 +1,135 @@
+#include "dist/dist_krylov.hpp"
+
+#include <cmath>
+
+#include "krylov/gmres_common.hpp"
+#include "matrix/vector_ops.hpp"
+
+namespace hpamg {
+
+namespace {
+
+/// Residual with a caller-provided halo (avoids rebuilding patterns).
+void residual(simmpi::Comm& comm, const DistMatrix& A, HaloExchange& halo,
+              const Vector& x, Vector& x_ext, const Vector& b, Vector& r) {
+  dist_spmv(comm, A, halo, x, x_ext, r);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+}
+
+}  // namespace
+
+DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
+                            DistHierarchy& h, const Vector& b, Vector& x,
+                            double rtol, Int max_iterations, Int restart) {
+  DistSolveResult res;
+  const Int n = A.local_rows();
+  PhaseTimes& pt = res.solve_times;
+  HaloExchange halo(comm, A.colmap, A.row_starts, true);
+  Vector x_ext;
+
+  CpuTimer t_blas;
+  double normb = dist_norm2(comm, b);
+  pt.add("BLAS1", t_blas.seconds());
+  if (normb == 0.0) normb = 1.0;
+
+  std::vector<Vector> V(restart + 1, Vector(n, 0.0));
+  std::vector<Vector> Z(restart, Vector(n, 0.0));
+  Vector r(n), w(n);
+  Int total_it = 0;
+  double relres = 0.0;
+
+  while (total_it < max_iterations) {
+    {
+      CpuTimer t;
+      residual(comm, A, halo, x, x_ext, b, r);
+      pt.add("SpMV", t.seconds());
+    }
+    CpuTimer t2;
+    const double beta = dist_norm2(comm, r);
+    pt.add("BLAS1", t2.seconds());
+    relres = beta / normb;
+    if (relres < rtol) {
+      res.converged = true;
+      break;
+    }
+    copy(r, V[0]);
+    scale(1.0 / beta, V[0]);
+    detail::HessenbergLS ls(restart);
+    ls.set_rhs(beta);
+
+    Int j = 0;
+    for (; j < restart && total_it < max_iterations; ++j, ++total_it) {
+      // Preconditioner: one distributed AMG V-cycle.
+      std::fill(Z[j].begin(), Z[j].end(), 0.0);
+      dist_vcycle(comm, h, V[j], Z[j], &pt);
+      {
+        CpuTimer t;
+        dist_spmv(comm, A, halo, Z[j], x_ext, w);
+        pt.add("SpMV", t.seconds());
+      }
+      CpuTimer t3;
+      for (Int i = 0; i <= j; ++i) {
+        const double hij = dist_dot(comm, w, V[i]);
+        ls.h(i, j) = hij;
+        axpy(-hij, V[i], w);
+      }
+      const double hn = dist_norm2(comm, w);
+      ls.h(j + 1, j) = hn;
+      if (hn != 0.0) {
+        copy(w, V[j + 1]);
+        scale(1.0 / hn, V[j + 1]);
+      }
+      relres = ls.apply_rotations(j) / normb;
+      pt.add("BLAS1", t3.seconds());
+      res.iterations = total_it + 1;
+      if (relres < rtol || hn == 0.0) {
+        ++j;
+        ++total_it;
+        break;
+      }
+    }
+    CpuTimer t4;
+    std::vector<double> y = ls.solve(j);
+    for (Int i = 0; i < j; ++i) axpy(y[i], Z[i], x);
+    pt.add("BLAS1", t4.seconds());
+    if (relres < rtol) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.final_relres = relres;
+  return res;
+}
+
+DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
+                               DistHierarchy& h, const Vector& b, Vector& x,
+                               double rtol, Int max_iterations) {
+  DistSolveResult res;
+  PhaseTimes& pt = res.solve_times;
+  HaloExchange halo(comm, A.colmap, A.row_starts, true);
+  Vector x_ext, r(A.local_rows());
+
+  double normb = dist_norm2(comm, b);
+  if (normb == 0.0) normb = 1.0;
+  double relres = 0.0;
+  for (Int it = 1; it <= max_iterations; ++it) {
+    dist_vcycle(comm, h, b, x, &pt);
+    CpuTimer t;
+    dist_spmv(comm, A, halo, x, x_ext, r);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+    pt.add("SpMV", t.seconds());
+    CpuTimer t2;
+    relres = dist_norm2(comm, r) / normb;
+    pt.add("BLAS1", t2.seconds());
+    res.iterations = it;
+    if (relres < rtol) {
+      res.converged = true;
+      break;
+    }
+    if (!std::isfinite(relres)) break;
+  }
+  res.final_relres = relres;
+  return res;
+}
+
+}  // namespace hpamg

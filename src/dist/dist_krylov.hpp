@@ -1,0 +1,28 @@
+// Distributed Flexible GMRES with an AMG V-cycle preconditioner — the
+// paper's multi-node solver configuration (Table 4).
+#pragma once
+
+#include "dist/dist_amg.hpp"
+#include "krylov/krylov.hpp"
+
+namespace hpamg {
+
+struct DistSolveResult {
+  Int iterations = 0;
+  double final_relres = 0.0;
+  bool converged = false;
+  PhaseTimes solve_times;  ///< GS / SpMV / BLAS1 / Solve_MPI / Solve_etc
+};
+
+/// Collective FGMRES(m) on the distributed system, preconditioned by one
+/// V-cycle of `h` per iteration. x holds the local solution slice.
+DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
+                            DistHierarchy& h, const Vector& b, Vector& x,
+                            double rtol, Int max_iterations, Int restart = 50);
+
+/// Collective standalone AMG iteration (V-cycles to tolerance).
+DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
+                               DistHierarchy& h, const Vector& b, Vector& x,
+                               double rtol, Int max_iterations);
+
+}  // namespace hpamg

@@ -1,0 +1,156 @@
+#include "dist/dist_matrix.hpp"
+
+#include <algorithm>
+
+#include "support/parallel.hpp"
+#include "support/sort.hpp"
+
+namespace hpamg {
+
+int DistMatrix::col_owner(Long gcol) const {
+  auto it = std::upper_bound(col_starts.begin(), col_starts.end(), gcol);
+  return int(it - col_starts.begin()) - 1;
+}
+
+void DistMatrix::validate() const {
+  require(diag.nrows == local_rows() && offd.nrows == local_rows(),
+          "DistMatrix: local row count mismatch");
+  require(diag.ncols == local_cols(), "DistMatrix: diag col count mismatch");
+  require(offd.ncols == Int(colmap.size()),
+          "DistMatrix: offd/colmap size mismatch");
+  diag.validate();
+  offd.validate();
+  for (std::size_t j = 0; j < colmap.size(); ++j) {
+    require(colmap[j] < first_col() || colmap[j] >= last_col(),
+            "DistMatrix: colmap entry points into own range");
+    if (j > 0)
+      require(colmap[j - 1] < colmap[j], "DistMatrix: colmap not sorted");
+  }
+}
+
+std::vector<Long> even_partition(Long n, int nranks) {
+  std::vector<Long> starts(nranks + 1);
+  for (int r = 0; r <= nranks; ++r) starts[r] = n * r / nranks;
+  return starts;
+}
+
+DistMatrix build_dist_matrix(simmpi::Comm& comm, Long global_rows,
+                             Long global_cols, const RowBuilder& rows,
+                             const std::vector<Long>* row_starts) {
+  DistMatrix A;
+  A.global_rows = global_rows;
+  A.global_cols = global_cols;
+  A.my_rank = comm.rank();
+  A.row_starts =
+      row_starts ? *row_starts : even_partition(global_rows, comm.size());
+  A.col_starts = global_rows == global_cols
+                     ? A.row_starts
+                     : even_partition(global_cols, comm.size());
+  const Long r0 = A.first_row();
+  const Int nloc = A.local_rows();
+  const Long c0 = A.first_col(), c1 = A.last_col();
+
+  // Generate local rows once, splitting into diag / offd columns.
+  std::vector<std::pair<Long, double>> row;
+  std::vector<Long> offd_cols;
+  A.diag = CSRMatrix(nloc, A.local_cols());
+  A.offd = CSRMatrix(nloc, 0);
+  for (Int i = 0; i < nloc; ++i) {
+    row.clear();
+    rows(r0 + i, row);
+    Int nd = 0, no = 0;
+    for (auto& [gc, v] : row) {
+      if (gc >= c0 && gc < c1)
+        ++nd;
+      else {
+        ++no;
+        offd_cols.push_back(gc);
+      }
+    }
+    A.diag.rowptr[i + 1] = nd;
+    A.offd.rowptr[i + 1] = no;
+  }
+  exclusive_scan(A.diag.rowptr);
+  exclusive_scan(A.offd.rowptr);
+  A.colmap = parallel_sort_unique(std::move(offd_cols));
+  A.offd.ncols = Int(A.colmap.size());
+  A.diag.colidx.resize(A.diag.rowptr[nloc]);
+  A.diag.values.resize(A.diag.rowptr[nloc]);
+  A.offd.colidx.resize(A.offd.rowptr[nloc]);
+  A.offd.values.resize(A.offd.rowptr[nloc]);
+  for (Int i = 0; i < nloc; ++i) {
+    row.clear();
+    rows(r0 + i, row);
+    Int pd = A.diag.rowptr[i], po = A.offd.rowptr[i];
+    for (auto& [gc, v] : row) {
+      if (gc >= c0 && gc < c1) {
+        A.diag.colidx[pd] = Int(gc - c0);
+        A.diag.values[pd] = v;
+        ++pd;
+      } else {
+        const auto it =
+            std::lower_bound(A.colmap.begin(), A.colmap.end(), gc);
+        A.offd.colidx[po] = Int(it - A.colmap.begin());
+        A.offd.values[po] = v;
+        ++po;
+      }
+    }
+  }
+  A.diag.sort_rows();
+  A.offd.sort_rows();
+  return A;
+}
+
+DistMatrix distribute_csr(simmpi::Comm& comm, const CSRMatrix& A) {
+  require(A.nrows == A.ncols, "distribute_csr: matrix must be square");
+  return build_dist_matrix(
+      comm, A.nrows, A.ncols,
+      [&A](Long grow, std::vector<std::pair<Long, double>>& out) {
+        const Int i = Int(grow);
+        for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+          out.push_back({Long(A.colidx[k]), A.values[k]});
+      });
+}
+
+CSRMatrix gather_csr(simmpi::Comm& comm, const DistMatrix& A) {
+  // Serialize local rows as global triplets, circulate via send/recv.
+  std::vector<Triplet> trip;
+  const Long r0 = A.first_row();
+  const Long c0 = A.first_col();
+  for (Int i = 0; i < A.local_rows(); ++i) {
+    for (Int k = A.diag.rowptr[i]; k < A.diag.rowptr[i + 1]; ++k)
+      trip.push_back({Int(r0 + i), Int(c0 + A.diag.colidx[k]),
+                      A.diag.values[k]});
+    for (Int k = A.offd.rowptr[i]; k < A.offd.rowptr[i + 1]; ++k)
+      trip.push_back({Int(r0 + i), Int(A.colmap[A.offd.colidx[k]]),
+                      A.offd.values[k]});
+  }
+  constexpr int kTag = 7001;
+  for (int r = 0; r < comm.size(); ++r)
+    if (r != comm.rank()) comm.send_vec(r, kTag, trip);
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == comm.rank()) continue;
+    std::vector<Triplet> remote = comm.recv_vec<Triplet>(r, kTag);
+    trip.insert(trip.end(), remote.begin(), remote.end());
+  }
+  return CSRMatrix::from_triplets(Int(A.global_rows), Int(A.global_cols),
+                                  std::move(trip));
+}
+
+Vector gather_vector(simmpi::Comm& comm, const Vector& local,
+                     const std::vector<Long>& starts) {
+  constexpr int kTag = 7002;
+  for (int r = 0; r < comm.size(); ++r)
+    if (r != comm.rank()) comm.send_vec(r, kTag, local);
+  Vector full(starts.back());
+  std::copy(local.begin(), local.end(),
+            full.begin() + starts[comm.rank()]);
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == comm.rank()) continue;
+    Vector piece = comm.recv_vec<double>(r, kTag);
+    std::copy(piece.begin(), piece.end(), full.begin() + starts[r]);
+  }
+  return full;
+}
+
+}  // namespace hpamg

@@ -1,0 +1,43 @@
+// Distributed sparse matrix-matrix multiplication C = A * B
+// (SC'15 §4.1 Fig 3c): gather the B rows referenced by A's off-diagonal
+// columns, renumber the received global column indices into the local
+// compressed space (§4.2 — the step the paper parallelizes), run the local
+// SpGEMM kernel on the combined operands, and split the result back into
+// diag/offd + colmap form.
+#pragma once
+
+#include "dist/dist_matrix.hpp"
+#include "dist/simmpi.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+struct DistSpgemmOptions {
+  bool parallel_renumber = true;  ///< §4.2 scheme vs sequential ordered map
+  bool onepass_local = true;      ///< §3.1.1 one-pass local SpGEMM kernel
+  bool persistent = false;        ///< count row-gather sends as persistent
+};
+
+struct DistSpgemmInfo {
+  std::uint64_t gathered_rows = 0;
+  std::uint64_t gathered_bytes = 0;
+  double renumber_seconds = 0.0;
+  double local_seconds = 0.0;
+};
+
+DistMatrix dist_spgemm(simmpi::Comm& comm, const DistMatrix& A,
+                       const DistMatrix& B, const DistSpgemmOptions& opt = {},
+                       WorkCounters* wc = nullptr,
+                       DistSpgemmInfo* info = nullptr);
+
+/// Distributed Galerkin product P^T A P via dist_transpose + two
+/// dist_spgemm calls. The renumbering and gather costs dominate at scale
+/// exactly as the paper's Fig 7/8 show.
+/// If `R_out` is non-null it receives R = P^T (the optimized hierarchy
+/// keeps it for the solve phase instead of re-deriving the transpose).
+DistMatrix dist_rap(simmpi::Comm& comm, const DistMatrix& A,
+                    const DistMatrix& P, const DistSpgemmOptions& opt = {},
+                    WorkCounters* wc = nullptr, DistSpgemmInfo* info = nullptr,
+                    DistMatrix* R_out = nullptr);
+
+}  // namespace hpamg

@@ -1,0 +1,18 @@
+// Distributed matrix transpose: every local nonzero (i, j_global, v)
+// becomes (j_global, i_global, v) on the rank owning row j_global of the
+// result. One all-to-all of triplets, then local assembly with the same
+// diag/offd + colmap split as any distributed matrix.
+#pragma once
+
+#include "dist/dist_matrix.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+/// Returns A^T, row-partitioned by A's column partition. `parallel` selects
+/// the optimized local assembly (parallel counting sort, §3.3) versus the
+/// baseline sequential assembly.
+DistMatrix dist_transpose(simmpi::Comm& comm, const DistMatrix& A,
+                          bool parallel = true, WorkCounters* wc = nullptr);
+
+}  // namespace hpamg

@@ -1,0 +1,142 @@
+#include "dist/renumber.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/hash.hpp"
+#include "support/parallel.hpp"
+#include "support/sort.hpp"
+
+namespace hpamg {
+
+namespace {
+
+/// Index of g within the sorted array, or -1.
+inline Int sorted_find(const std::vector<Long>& v, Long g) {
+  auto it = std::lower_bound(v.begin(), v.end(), g);
+  return (it != v.end() && *it == g) ? Int(it - v.begin()) : -1;
+}
+
+}  // namespace
+
+RenumberResult renumber_columns_baseline(const RenumberInput& in,
+                                         WorkCounters* wc) {
+  const std::vector<Long>& gcol = *in.gcol;
+  const std::vector<Long>& existing = *in.existing;
+  RenumberResult out;
+  out.local.resize(gcol.size());
+
+  // Sequential ordered map of new entries: every insert is a tree walk and
+  // the structure serializes the whole pass — the scalability problem the
+  // parallel scheme removes.
+  std::map<Long, Int> fresh;
+  for (Long g : gcol) {
+    if (g >= in.own_first && g < in.own_last) continue;
+    if (sorted_find(existing, g) >= 0) continue;
+    fresh.emplace(g, 0);
+    if (wc) ++wc->hash_probes;
+  }
+  out.new_entries.reserve(fresh.size());
+  Int next = in.nloc + Int(existing.size());
+  for (auto& [g, idx] : fresh) {
+    idx = next++;
+    out.new_entries.push_back(g);
+  }
+  for (std::size_t k = 0; k < gcol.size(); ++k) {
+    const Long g = gcol[k];
+    if (g >= in.own_first && g < in.own_last) {
+      out.local[k] = Int(g - in.own_first);
+    } else if (Int pos = sorted_find(existing, g); pos >= 0) {
+      out.local[k] = in.nloc + pos;
+    } else {
+      out.local[k] = fresh.find(g)->second;
+      if (wc) ++wc->hash_probes;
+    }
+    if (wc) ++wc->branches;
+  }
+  if (wc) wc->bytes_read += gcol.size() * sizeof(Long);
+  return out;
+}
+
+RenumberResult renumber_columns_parallel(const RenumberInput& in,
+                                         WorkCounters* wc) {
+  const std::vector<Long>& gcol = *in.gcol;
+  const std::vector<Long>& existing = *in.existing;
+  RenumberResult out;
+  out.local.resize(gcol.size());
+  const Int n = Int(gcol.size());
+  const int nt = num_threads();
+
+  // Fig 4, lines 1-5: thread-private hash tables of new column indices.
+  // Locality of scientific matrices means each table filters most
+  // duplicates with no synchronization.
+  std::vector<std::vector<Long>> candidates(nt);
+  std::vector<WorkCounters> counters(nt);
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    auto [lo, hi] = chunk_range(n, nt, t);
+    HashSet<Long> seen(64);
+    for (Int k = lo; k < hi; ++k) {
+      const Long g = gcol[k];
+      if (g >= in.own_first && g < in.own_last) continue;
+      if (sorted_find(existing, g) >= 0) continue;
+      if (seen.insert(g)) candidates[t].push_back(g);
+      ++counters[t].hash_probes;
+    }
+  }
+  // Fig 4, line 6: merge into one sorted duplicate-free array.
+  std::vector<Long> all;
+  for (auto& c : candidates) all.insert(all.end(), c.begin(), c.end());
+  out.new_entries = parallel_sort_unique(std::move(all));
+
+  // Fig 4, line 7: reverse mapping as hash tables over disjoint sorted
+  // ranges — lookup = O(log t) range search + one probe.
+  const Int nn = Int(out.new_entries.size());
+  std::vector<Long> chunk_first(nt + 1);
+  std::vector<HashMap<Long>> reverse;
+  reverse.reserve(nt);
+  for (int t = 0; t < nt; ++t)
+    reverse.emplace_back(std::size_t(nn / nt + 8));
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    auto [lo, hi] = chunk_range(nn, nt, t);
+    for (Int j = lo; j < hi; ++j) reverse[t].put(out.new_entries[j], j);
+  }
+  for (int t = 0; t < nt; ++t) {
+    auto [lo, hi] = chunk_range(nn, nt, t);
+    chunk_first[t] = lo < nn ? out.new_entries[lo] : Long(1) << 62;
+  }
+  chunk_first[nt] = Long(1) << 62;
+
+  // Fig 4, lines 8-11: rewrite every nonzero's column index.
+  const Int base_new = in.nloc + Int(existing.size());
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    auto [lo, hi] = chunk_range(n, nt, t);
+    for (Int k = lo; k < hi; ++k) {
+      const Long g = gcol[k];
+      if (g >= in.own_first && g < in.own_last) {
+        out.local[k] = Int(g - in.own_first);
+      } else if (Int pos = sorted_find(existing, g); pos >= 0) {
+        out.local[k] = in.nloc + pos;
+      } else {
+        const int c = int(std::upper_bound(chunk_first.begin(),
+                                           chunk_first.end(), g) -
+                          chunk_first.begin()) - 1;
+        out.local[k] = base_new + reverse[c].get(g);
+        ++counters[t].hash_probes;
+      }
+      ++counters[t].branches;
+    }
+  }
+  if (wc) {
+    for (const WorkCounters& c : counters) *wc += c;
+    wc->bytes_read += gcol.size() * sizeof(Long);
+  }
+  return out;
+}
+
+}  // namespace hpamg

@@ -1,0 +1,47 @@
+// Column-index renumbering for distributed SpGEMM-like operations
+// (SC'15 §4.2, Fig 4).
+//
+// After gathering remote matrix rows, their global column indices must be
+// mapped into the rank's compressed local column space: own columns map to
+// [0, nloc), existing colmap entries to [nloc, nloc + m), and previously
+// unseen off-rank columns get fresh indices [nloc + m, ...) — a
+// sort-with-duplicate-elimination problem the paper identifies as a
+// dominant setup-phase cost at scale.
+//
+//  - renumber_columns_baseline: the straightforward sequential ordered-map
+//    approach (what "HYPRE_base" effectively does);
+//  - renumber_columns_parallel: the paper's scheme — thread-private hash
+//    tables filter duplicates without synchronization, a parallel merge
+//    sort with duplicate elimination builds the new colmap, and a reverse
+//    mapping (hash tables partitioned over disjoint sorted ranges) serves
+//    the final renumbering lookups at O(log t) instead of O(log n).
+#pragma once
+
+#include "support/common.hpp"
+#include "support/counters.hpp"
+
+#include <vector>
+
+namespace hpamg {
+
+struct RenumberInput {
+  const std::vector<Long>* gcol;      ///< global column per nonzero
+  Long own_first = 0;                 ///< own column range [first, last)
+  Long own_last = 0;
+  const std::vector<Long>* existing;  ///< current colmap (sorted, off-rank)
+  Int nloc = 0;                       ///< own columns map to [0, nloc)
+};
+
+struct RenumberResult {
+  std::vector<Int> local;        ///< combined local index per nonzero
+  std::vector<Long> new_entries; ///< sorted new colmap entries, indices
+                                 ///< [nloc + m, nloc + m + k)
+};
+
+RenumberResult renumber_columns_baseline(const RenumberInput& in,
+                                         WorkCounters* wc = nullptr);
+
+RenumberResult renumber_columns_parallel(const RenumberInput& in,
+                                         WorkCounters* wc = nullptr);
+
+}  // namespace hpamg

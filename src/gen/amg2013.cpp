@@ -1,0 +1,68 @@
+#include "gen/amg2013.hpp"
+
+#include <cmath>
+
+#include "gen/stencil.hpp"
+#include "support/rng.hpp"
+
+namespace hpamg {
+
+CSRMatrix amg2013_like(Int nx, Int ny, Int nz, double refine_frac,
+                       std::uint64_t seed) {
+  // Backbone: 7-point Laplacian with unit coefficients outside the refined
+  // box and 4x coefficients inside (refined cells => h/2 => 4x stiffness).
+  const Int x0 = Int(nx * (0.5 - refine_frac / 2));
+  const Int x1 = Int(nx * (0.5 + refine_frac / 2));
+  const Int y0 = Int(ny * (0.5 - refine_frac / 2));
+  const Int y1 = Int(ny * (0.5 + refine_frac / 2));
+  const Int z0 = Int(nz * (0.5 - refine_frac / 2));
+  const Int z1 = Int(nz * (0.5 + refine_frac / 2));
+  auto inside = [=](Int x, Int y, Int z) {
+    return x >= x0 && x < x1 && y >= y0 && y < y1 && z >= z0 && z < z1;
+  };
+  auto coeff = [=](Int x, Int y, Int z) {
+    return inside(x, y, z) ? 4.0 : 1.0;
+  };
+  CSRMatrix base = lap3d_7pt(nx, ny, nz, 1.0, 1.0, coeff);
+
+  // Seam rows: cells on the box surface get cross couplings to diagonal
+  // neighbors, mimicking the irregular interpolation stencils AMG2013
+  // produces at refinement boundaries.
+  CounterRng rng(seed);
+  std::vector<Triplet> trip;
+  const Int n = base.nrows;
+  std::vector<double> diag_add(n, 0.0);
+  for (Int z = 1; z + 1 < nz; ++z)
+    for (Int y = 1; y + 1 < ny; ++y)
+      for (Int x = 1; x + 1 < nx; ++x) {
+        const bool seam = inside(x, y, z) != inside(x + 1, y, z) ||
+                          inside(x, y, z) != inside(x, y + 1, z) ||
+                          inside(x, y, z) != inside(x, y, z + 1);
+        if (!seam) continue;
+        const Int i = grid_index(x, y, z, nx, ny);
+        // Couple to up to 4 diagonal neighbors selected pseudo-randomly so
+        // seam stencils are irregular, as in the real benchmark.
+        const Int cand[4] = {grid_index(x + 1, y + 1, z, nx, ny),
+                             grid_index(x - 1, y + 1, z, nx, ny),
+                             grid_index(x + 1, y, z + 1, nx, ny),
+                             grid_index(x, y + 1, z + 1, nx, ny)};
+        for (int c = 0; c < 4; ++c) {
+          if (rng.bits(std::uint64_t(i) * 4 + c) % 2) continue;
+          const Int j = cand[c];
+          const double w = 0.5;
+          trip.push_back({i, j, -w});
+          trip.push_back({j, i, -w});
+          diag_add[i] += w;
+          diag_add[j] += w;
+        }
+      }
+  for (Int i = 0; i < n; ++i)
+    for (Int k = base.rowptr[i]; k < base.rowptr[i + 1]; ++k) {
+      double v = base.values[k];
+      if (base.colidx[k] == i) v += diag_add[i];
+      trip.push_back({i, base.colidx[k], v});
+    }
+  return CSRMatrix::from_triplets(n, n, std::move(trip));
+}
+
+}  // namespace hpamg

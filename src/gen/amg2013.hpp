@@ -1,0 +1,21 @@
+// AMG2013-like semi-structured problem generator.
+//
+// The paper's weak-scaling experiments (Fig 6 d-f) use the default
+// semi-structured input of LLNL's AMG2013 benchmark (r=32, pooldist=1):
+// a mostly structured 3-D Laplace-type problem with irregular refinement
+// seams, ~8 nonzeros per row. We reproduce that profile with a 3-D 7-point
+// backbone plus a refined sub-box whose cells carry extra cross couplings
+// to their parent-level neighbors (the "seam" rows have 9-12 entries,
+// bringing the average to ~8).
+#pragma once
+
+#include "matrix/csr.hpp"
+
+namespace hpamg {
+
+/// Semi-structured operator on an nx x ny x nz grid with a refined central
+/// box covering `refine_frac` of each dimension.
+CSRMatrix amg2013_like(Int nx, Int ny, Int nz, double refine_frac = 0.4,
+                       std::uint64_t seed = 17);
+
+}  // namespace hpamg

@@ -1,0 +1,125 @@
+#include "gen/graph.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace hpamg {
+
+CSRMatrix circuit_like(Int nx, Int ny, double extra_frac, std::uint64_t seed) {
+  const Int n = nx * ny;
+  CounterRng rng(seed);
+  std::vector<Triplet> trip;
+  trip.reserve(std::size_t(n) * 6);
+  std::vector<double> diag(n, 0.0);
+  auto add_edge = [&](Int a, Int b, double w) {
+    trip.push_back({a, b, -w});
+    trip.push_back({b, a, -w});
+    diag[a] += w;
+    diag[b] += w;
+  };
+  for (Int y = 0; y < ny; ++y)
+    for (Int x = 0; x < nx; ++x) {
+      const Int i = y * nx + x;
+      // Resistor values vary by a couple of decades like real netlists.
+      if (x + 1 < nx)
+        add_edge(i, i + 1, std::exp(2.3 * (rng.uniform(4 * i) - 0.5)));
+      if (y + 1 < ny)
+        add_edge(i, i + nx, std::exp(2.3 * (rng.uniform(4 * i + 1) - 0.5)));
+      if (rng.uniform(4 * i + 2) < extra_frac) {
+        // Medium-range "via": jump up to 8 rows away.
+        const Int span = 2 + Int(rng.uniform(4 * i + 3) * 6);
+        const Int j = i + span * nx;
+        if (j < n) add_edge(i, j, 0.5);
+      }
+    }
+  // Ground a sparse subset of nodes so the Laplacian is nonsingular.
+  for (Int i = 0; i < n; i += 97) diag[i] += 1.0;
+  for (Int i = 0; i < n; ++i) trip.push_back({i, i, diag[i]});
+  return CSRMatrix::from_triplets(n, n, std::move(trip));
+}
+
+CSRMatrix thermal_like(Int nx, Int ny, std::uint64_t seed) {
+  CounterRng rng(seed);
+  // Smooth conductivity gradient (1e-1 .. 1e2) with mild local noise.
+  auto coeff = [=](Int x, Int y, Int) {
+    const double gx = double(x) / std::max<Int>(nx - 1, 1);
+    const double gy = double(y) / std::max<Int>(ny - 1, 1);
+    const double grade = std::pow(10.0, 3.0 * (0.5 * gx + 0.5 * gy) - 1.0);
+    const double noise =
+        std::exp(0.4 * (rng.uniform(std::uint64_t(y) * nx + x) - 0.5));
+    return grade * noise;
+  };
+  CSRMatrix base = lap2d_5pt(nx, ny, 1.0, coeff);
+  // Add skew couplings on half of the cells (triangulated elements).
+  std::vector<Triplet> trip;
+  const Int n = base.nrows;
+  trip.reserve(std::size_t(base.nnz()) + std::size_t(n) * 2);
+  std::vector<double> diag_add(n, 0.0);
+  for (Int y = 0; y + 1 < ny; ++y)
+    for (Int x = 0; x + 1 < nx; ++x) {
+      const Int i = y * nx + x;
+      if (rng.bits(i) & 1) {
+        const Int j = i + nx + 1;
+        const double w = 0.3 * coeff(x, y, 0);
+        trip.push_back({i, j, -w});
+        trip.push_back({j, i, -w});
+        diag_add[i] += w;
+        diag_add[j] += w;
+      }
+    }
+  for (Int i = 0; i < n; ++i)
+    for (Int k = base.rowptr[i]; k < base.rowptr[i + 1]; ++k) {
+      double v = base.values[k];
+      if (base.colidx[k] == i) v += diag_add[i];
+      trip.push_back({i, base.colidx[k], v});
+    }
+  return CSRMatrix::from_triplets(n, n, std::move(trip));
+}
+
+CSRMatrix two_cubes_like(Int nx, Int ny, Int nz, std::uint64_t seed) {
+  // Two cubic inclusions with a 1000x conductivity jump.
+  auto in_cube = [&](Int x, Int y, Int z, double cx, double cy, double cz) {
+    const double hx = nx / 6.0, hy = ny / 6.0, hz = nz / 6.0;
+    return std::abs(x - cx * nx) < hx && std::abs(y - cy * ny) < hy &&
+           std::abs(z - cz * nz) < hz;
+  };
+  auto coeff = [=](Int x, Int y, Int z) {
+    if (in_cube(x, y, z, 0.33, 0.33, 0.5) || in_cube(x, y, z, 0.67, 0.67, 0.5))
+      return 1000.0;
+    return 1.0;
+  };
+  CSRMatrix base = lap3d_7pt(nx, ny, nz, 1.0, 1.0, coeff);
+  // Shell diagonal couplings near the inclusions push nnz/row toward 9.
+  CounterRng rng(seed);
+  std::vector<Triplet> trip;
+  const Int n = base.nrows;
+  std::vector<double> diag_add(n, 0.0);
+  for (Int z = 0; z + 1 < nz; ++z)
+    for (Int y = 0; y + 1 < ny; ++y)
+      for (Int x = 0; x + 1 < nx; ++x) {
+        const Int i = grid_index(x, y, z, nx, ny);
+        const bool near =
+            coeff(x, y, z) != coeff(x + 1, y + 1, z) ||
+            coeff(x, y, z) != coeff(x, y + 1, z + 1) || (rng.bits(i) % 3 == 0);
+        if (!near) continue;
+        const Int j = grid_index(x + 1, y + 1, z, nx, ny);
+        const Int k = grid_index(x, y + 1, z + 1, nx, ny);
+        for (Int other : {j, k}) {
+          const double w = 0.25;
+          trip.push_back({i, other, -w});
+          trip.push_back({other, i, -w});
+          diag_add[i] += w;
+          diag_add[other] += w;
+        }
+      }
+  for (Int i = 0; i < n; ++i)
+    for (Int k = base.rowptr[i]; k < base.rowptr[i + 1]; ++k) {
+      double v = base.values[k];
+      if (base.colidx[k] == i) v += diag_add[i];
+      trip.push_back({i, base.colidx[k], v});
+    }
+  return CSRMatrix::from_triplets(n, n, std::move(trip));
+}
+
+}  // namespace hpamg

@@ -1,0 +1,28 @@
+// Unstructured graph-Laplacian generators standing in for the circuit and
+// FEM-mesh matrices of the paper's Table 2 suite (G2/G3_circuit, thermal2,
+// 2cubes_sphere): SPD M-matrices whose graphs mix a regular local structure
+// with irregular extra edges and coefficient jumps.
+#pragma once
+
+#include "gen/stencil.hpp"
+#include "matrix/csr.hpp"
+
+namespace hpamg {
+
+/// Circuit-like graph Laplacian: a 2-D grid backbone (resistor mesh, ~4
+/// neighbors) with a fraction `extra_frac` of nodes receiving one extra
+/// random medium-range edge (via/branch connections). ~5 nnz/row.
+CSRMatrix circuit_like(Int nx, Int ny, double extra_frac = 0.15,
+                       std::uint64_t seed = 7);
+
+/// Thermal-FEM-like operator: 2-D 5-point backbone with smoothly graded
+/// conductivity (3 orders of magnitude across the domain) plus skew
+/// couplings on half the cells — ~7 nnz/row, mildly irregular.
+CSRMatrix thermal_like(Int nx, Int ny, std::uint64_t seed = 11);
+
+/// Two-cubes-in-a-sphere-like operator: 3-D 7-point grid with two embedded
+/// high-conductivity cubic inclusions (x1000 coefficient jump) and shell
+/// diagonal couplings near the inclusions — ~9 nnz/row.
+CSRMatrix two_cubes_like(Int nx, Int ny, Int nz, std::uint64_t seed = 13);
+
+}  // namespace hpamg

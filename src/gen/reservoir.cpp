@@ -1,0 +1,62 @@
+#include "gen/reservoir.hpp"
+
+#include <cmath>
+
+#include "gen/stencil.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace hpamg {
+
+std::vector<double> permeability_field(Int nx, Int ny, Int nz,
+                                       const ReservoirOptions& opt) {
+  const Int n = nx * ny * nz;
+  CounterRng rng(opt.seed);
+  std::vector<double> white(n);
+  parallel_for(0, n, [&](Int i) { white[i] = rng.normal(i); });
+
+  // Separable moving-average along each axis produces a correlated Gaussian
+  // field (spectral moving-average method); three passes keep it O(n * L).
+  const Int L = std::max<Int>(1, opt.correlation_len);
+  std::vector<double> tmp(n);
+  auto smooth_axis = [&](const std::vector<double>& src,
+                         std::vector<double>& dst, int axis) {
+    parallel_for(0, n, [&](Int i) {
+      const Int x = i % nx, y = (i / nx) % ny, z = i / (nx * ny);
+      double acc = 0.0;
+      Int cnt = 0;
+      for (Int d = -L; d <= L; ++d) {
+        Int xx = x, yy = y, zz = z;
+        if (axis == 0) xx += d;
+        if (axis == 1) yy += d;
+        if (axis == 2) zz += d;
+        if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 || zz >= nz)
+          continue;
+        acc += src[grid_index(xx, yy, zz, nx, ny)];
+        ++cnt;
+      }
+      dst[i] = acc / std::sqrt(double(cnt));
+    });
+  };
+  smooth_axis(white, tmp, 0);
+  smooth_axis(tmp, white, 1);
+  smooth_axis(white, tmp, 2);
+
+  // Normalize to unit variance, then exponentiate.
+  double var = parallel_reduce_sum(0, n, [&](Int i) { return tmp[i] * tmp[i]; });
+  const double scale = var > 0 ? 1.0 / std::sqrt(var / n) : 1.0;
+  std::vector<double> K(n);
+  parallel_for(0, n, [&](Int i) { K[i] = std::exp(opt.sigma * scale * tmp[i]); });
+  return K;
+}
+
+CSRMatrix reservoir_matrix(Int nx, Int ny, Int nz,
+                           const ReservoirOptions& opt) {
+  std::vector<double> K = permeability_field(nx, ny, nz, opt);
+  auto coeff = [&K, nx, ny](Int x, Int y, Int z) {
+    return K[grid_index(x, y, z, nx, ny)];
+  };
+  return lap3d_7pt(nx, ny, nz, 1.0, 1.0, coeff);
+}
+
+}  // namespace hpamg

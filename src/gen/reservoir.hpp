@@ -1,0 +1,31 @@
+// Reservoir-simulation problem generator for the strong-scaling experiment
+// (SC'15 Fig 8). The paper uses an elliptic pressure equation with
+// geostatistically generated permeability fields (sequential Gaussian
+// simulation); those data are proprietary, so we synthesize the closest
+// equivalent: a 3-D 7-point finite-volume Poisson operator whose cell
+// permeability is log-normal, K = exp(sigma * G), with G a spatially
+// correlated Gaussian field built by moving-average smoothing of white
+// noise. The resulting operator has ~7 nnz/row and coefficient jumps of
+// several orders of magnitude — the ill-conditioning the paper highlights.
+#pragma once
+
+#include "matrix/csr.hpp"
+
+namespace hpamg {
+
+struct ReservoirOptions {
+  double sigma = 2.0;        ///< log-permeability std-dev (e^{±2σ} jumps)
+  Int correlation_len = 4;   ///< smoothing window half-width in cells
+  std::uint64_t seed = 42;
+};
+
+/// Generates the permeability field only (for inspection/tests).
+std::vector<double> permeability_field(Int nx, Int ny, Int nz,
+                                       const ReservoirOptions& opt);
+
+/// Generates the pressure-equation operator with harmonic-mean
+/// transmissibilities from the permeability field.
+CSRMatrix reservoir_matrix(Int nx, Int ny, Int nz,
+                           const ReservoirOptions& opt = {});
+
+}  // namespace hpamg

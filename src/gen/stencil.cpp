@@ -1,0 +1,154 @@
+#include "gen/stencil.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+
+struct Offset {
+  Int dx, dy, dz;
+  double weight;
+};
+
+/// Harmonic mean of cell coefficients across a face; the standard
+/// finite-volume transmissibility for discontinuous coefficients.
+double face_coeff(const CoeffField& coeff, Int x, Int y, Int z, Int dx,
+                  Int dy, Int dz) {
+  if (!coeff) return 1.0;
+  const double a = coeff(x, y, z);
+  const double b = coeff(x + dx, y + dy, z + dz);
+  return 2.0 * a * b / (a + b);
+}
+
+/// Generic structured-stencil assembly: for each interior neighbor the
+/// off-diagonal is -w * t(face); the diagonal accumulates +w * t(face) for
+/// every neighbor including ones dropped at the boundary (Dirichlet).
+CSRMatrix build_stencil(Int nx, Int ny, Int nz,
+                        const std::vector<Offset>& offsets,
+                        const CoeffField& coeff) {
+  require(nx > 0 && ny > 0 && nz > 0, "build_stencil: bad grid dims");
+  const Int n = nx * ny * nz;
+  CSRMatrix A(n, n);
+
+  // Count pass.
+  parallel_for(0, n, [&](Int i) {
+    const Int x = i % nx, y = (i / nx) % ny, z = i / (nx * ny);
+    Int cnt = 1;  // diagonal
+    for (const Offset& o : offsets) {
+      const Int xx = x + o.dx, yy = y + o.dy, zz = z + o.dz;
+      if (xx >= 0 && xx < nx && yy >= 0 && yy < ny && zz >= 0 && zz < nz)
+        ++cnt;
+    }
+    A.rowptr[i + 1] = cnt;
+  });
+  exclusive_scan(A.rowptr);
+  A.colidx.resize(A.rowptr[n]);
+  A.values.resize(A.rowptr[n]);
+
+  // Fill pass; columns emitted in ascending order by sorting offsets by
+  // linear displacement once.
+  std::vector<Offset> sorted = offsets;
+  std::sort(sorted.begin(), sorted.end(), [&](const Offset& a, const Offset& b) {
+    const Long da = (Long(a.dz) * ny + a.dy) * nx + a.dx;
+    const Long db = (Long(b.dz) * ny + b.dy) * nx + b.dx;
+    return da < db;
+  });
+  parallel_for(0, n, [&](Int i) {
+    const Int x = i % nx, y = (i / nx) % ny, z = i / (nx * ny);
+    Int pos = A.rowptr[i];
+    double diag = 0.0;
+    Int diag_pos = -1;
+    bool diag_written = false;
+    for (const Offset& o : sorted) {
+      const Long disp = (Long(o.dz) * ny + o.dy) * nx + o.dx;
+      if (disp > 0 && !diag_written) {
+        diag_pos = pos++;
+        A.colidx[diag_pos] = i;
+        diag_written = true;
+      }
+      const Int xx = x + o.dx, yy = y + o.dy, zz = z + o.dz;
+      const bool inside =
+          xx >= 0 && xx < nx && yy >= 0 && yy < ny && zz >= 0 && zz < nz;
+      // Dirichlet: the dropped boundary face still stiffens the diagonal;
+      // its transmissibility uses the cell's own coefficient (the ghost
+      // cell mirrors it), never evaluating the field out of bounds.
+      const double t =
+          o.weight * (inside ? face_coeff(coeff, x, y, z, o.dx, o.dy, o.dz)
+                             : (coeff ? coeff(x, y, z) : 1.0));
+      diag += t;
+      if (inside) {
+        A.colidx[pos] = grid_index(xx, yy, zz, nx, ny);
+        A.values[pos] = -t;
+        ++pos;
+      }
+    }
+    if (!diag_written) {
+      diag_pos = pos++;
+      A.colidx[diag_pos] = i;
+    }
+    A.values[diag_pos] = diag;
+  });
+  return A;
+}
+
+std::vector<Offset> axis_offsets_2d(double eps_y) {
+  return {{-1, 0, 0, 1.0}, {1, 0, 0, 1.0}, {0, -1, 0, eps_y}, {0, 1, 0, eps_y}};
+}
+
+std::vector<Offset> axis_offsets_3d(double eps_y, double eps_z) {
+  return {{-1, 0, 0, 1.0}, {1, 0, 0, 1.0},  {0, -1, 0, eps_y},
+          {0, 1, 0, eps_y}, {0, 0, -1, eps_z}, {0, 0, 1, eps_z}};
+}
+
+}  // namespace
+
+CSRMatrix lap2d_5pt(Int nx, Int ny, double eps_y, const CoeffField& coeff) {
+  return build_stencil(nx, ny, 1, axis_offsets_2d(eps_y), coeff);
+}
+
+CSRMatrix lap3d_7pt(Int nx, Int ny, Int nz, double eps_y, double eps_z,
+                    const CoeffField& coeff) {
+  return build_stencil(nx, ny, nz, axis_offsets_3d(eps_y, eps_z), coeff);
+}
+
+CSRMatrix lap3d_27pt(Int nx, Int ny, Int nz) {
+  std::vector<Offset> offs;
+  for (Int dz = -1; dz <= 1; ++dz)
+    for (Int dy = -1; dy <= 1; ++dy)
+      for (Int dx = -1; dx <= 1; ++dx)
+        if (dx || dy || dz) offs.push_back({dx, dy, dz, 1.0});
+  return build_stencil(nx, ny, nz, offs, nullptr);
+}
+
+CSRMatrix lap2d_9pt(Int nx, Int ny) {
+  std::vector<Offset> offs;
+  for (Int dy = -1; dy <= 1; ++dy)
+    for (Int dx = -1; dx <= 1; ++dx)
+      if (dx || dy) offs.push_back({dx, dy, 0, 1.0});
+  return build_stencil(nx, ny, 1, offs, nullptr);
+}
+
+CSRMatrix lap2d_7pt_skew(Int nx, Int ny) {
+  std::vector<Offset> offs = axis_offsets_2d(1.0);
+  offs.push_back({1, 1, 0, 0.5});
+  offs.push_back({-1, -1, 0, 0.5});
+  return build_stencil(nx, ny, 1, offs, nullptr);
+}
+
+CSRMatrix lap3d_13pt(Int nx, Int ny, Int nz, const CoeffField& coeff) {
+  std::vector<Offset> offs = axis_offsets_3d(1.0, 1.0);
+  const std::array<std::array<Int, 3>, 6> diag = {{{1, 1, 0},
+                                                   {-1, -1, 0},
+                                                   {1, 0, 1},
+                                                   {-1, 0, -1},
+                                                   {0, 1, 1},
+                                                   {0, -1, -1}}};
+  for (const auto& d : diag) offs.push_back({d[0], d[1], d[2], 0.35});
+  return build_stencil(nx, ny, nz, offs, coeff);
+}
+
+}  // namespace hpamg

@@ -1,0 +1,50 @@
+// Structured-grid stencil generators: 2-D/3-D Laplacians and variants.
+//
+// These generate the paper's benchmark operators: lap2d (5-point, AMG2013),
+// lap3d (27-point, HPCG) and the coefficient-field variants used to stand in
+// for the UF-collection matrices (see gen/suite.hpp and DESIGN.md §1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "support/common.hpp"
+
+namespace hpamg {
+
+/// Coefficient field: cell (x, y, z) -> local conductivity (> 0).
+/// A constant field gives the standard Laplacian.
+using CoeffField = std::function<double(Int, Int, Int)>;
+
+/// 2-D 5-point finite-difference Laplacian on an nx x ny grid
+/// (Dirichlet boundary folded into the diagonal), optionally with an
+/// anisotropy ratio eps scaling the y-direction coupling and a per-cell
+/// coefficient field combined by harmonic averaging across faces.
+CSRMatrix lap2d_5pt(Int nx, Int ny, double eps_y = 1.0,
+                    const CoeffField& coeff = nullptr);
+
+/// 3-D 7-point Laplacian on nx x ny x nz.
+CSRMatrix lap3d_7pt(Int nx, Int ny, Int nz, double eps_y = 1.0,
+                    double eps_z = 1.0, const CoeffField& coeff = nullptr);
+
+/// 3-D 27-point Laplacian (HPCG operator: diagonal 26, off-diagonals -1).
+CSRMatrix lap3d_27pt(Int nx, Int ny, Int nz);
+
+/// 2-D 9-point Laplacian (diagonal 8, off-diagonals -1).
+CSRMatrix lap2d_9pt(Int nx, Int ny);
+
+/// 2-D 5-point plus the two (+1,+1)/(-1,-1) diagonal couplings — a 7-point
+/// skewed stencil approximating triangulated FEM meshes (parabolic_fem-like).
+CSRMatrix lap2d_7pt_skew(Int nx, Int ny);
+
+/// 3-D stencil with 7-point core plus the 6 edge-diagonal couplings in the
+/// xy/xz/yz planes (13 neighbors + diagonal ~ 14 nnz/row, StocF-like).
+CSRMatrix lap3d_13pt(Int nx, Int ny, Int nz, const CoeffField& coeff = nullptr);
+
+/// Linear row index for grid coordinates.
+inline Int grid_index(Int x, Int y, Int z, Int nx, Int ny) {
+  return (z * ny + y) * nx + x;
+}
+
+}  // namespace hpamg

@@ -1,0 +1,113 @@
+#include "gen/suite.hpp"
+
+#include <cmath>
+
+#include "gen/amg2013.hpp"
+#include "gen/graph.hpp"
+#include "gen/reservoir.hpp"
+#include "gen/stencil.hpp"
+
+namespace hpamg {
+
+namespace {
+
+Int side2d(Long target_rows, double scale) {
+  return std::max<Int>(8, Int(std::lround(std::sqrt(double(target_rows) * scale))));
+}
+
+Int side3d(Long target_rows, double scale) {
+  return std::max<Int>(6, Int(std::lround(std::cbrt(double(target_rows) * scale))));
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& table2_suite() {
+  static const std::vector<SuiteEntry> suite = {
+      {"2cubes_sphere", 101492, 9, 0.25},
+      {"G2_circuit", 150102, 5, 0.25},
+      {"G3_circuit", 1585478, 5, 0.25},
+      {"StocF-1465", 1465137, 14, 0.6},
+      {"apache2", 715176, 7, 0.25},
+      {"atmosmodd", 1270432, 7, 0.25},
+      {"atmosmodj", 1270432, 7, 0.25},
+      {"atmosmodl", 1489752, 7, 0.25},
+      {"ecology2", 999999, 5, 0.25},
+      {"lap2d_2000", 4000000, 5, 0.25},
+      {"lap3d_128", 2097152, 27, 0.6},
+      {"parabolic_fem", 525825, 7, 0.25},
+      {"thermal2", 1228045, 7, 0.25},
+      {"tmt_sym", 726713, 5, 0.25},
+  };
+  return suite;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const SuiteEntry& e : table2_suite())
+    if (e.name == name) return e;
+  throw std::invalid_argument("unknown suite matrix: " + name);
+}
+
+CSRMatrix generate_suite_matrix(const std::string& name, double scale) {
+  const SuiteEntry& e = suite_entry(name);
+  const Long rows = e.paper_rows;
+  if (name == "2cubes_sphere") {
+    const Int s = side3d(rows, scale);
+    return two_cubes_like(s, s, s);
+  }
+  if (name == "G2_circuit" || name == "G3_circuit") {
+    const Int s = side2d(rows, scale);
+    return circuit_like(s, s, 0.15, name == "G2_circuit" ? 7 : 9);
+  }
+  if (name == "StocF-1465") {
+    const Int s = side3d(rows, scale);
+    // Porous-media flow: 13-pt stencil with log-normal coefficients.
+    ReservoirOptions opt;
+    opt.sigma = 1.5;
+    opt.seed = 23;
+    std::vector<double> K = permeability_field(s, s, s, opt);
+    auto coeff = [K = std::move(K), s](Int x, Int y, Int z) {
+      return K[grid_index(x, y, z, s, s)];
+    };
+    return lap3d_13pt(s, s, s, coeff);
+  }
+  if (name == "apache2") {
+    const Int s = side3d(rows, scale);
+    return lap3d_7pt(s, s, s);
+  }
+  if (name == "atmosmodd" || name == "atmosmodj") {
+    // Atmospheric models: anisotropic vertical coupling.
+    const Int s = side3d(rows, scale);
+    return lap3d_7pt(s, s, s, 1.0, name == "atmosmodd" ? 8.0 : 16.0);
+  }
+  if (name == "atmosmodl") {
+    const Int s = side3d(rows, scale);
+    return lap3d_7pt(s, s, s, 1.0, 32.0);
+  }
+  if (name == "ecology2" || name == "tmt_sym") {
+    const Int s = side2d(rows, scale);
+    // 5-point with mild coefficient variation.
+    auto coeff = [s](Int x, Int y, Int) {
+      return 1.0 + 0.5 * std::sin(0.05 * x) * std::cos(0.05 * y);
+    };
+    return lap2d_5pt(s, s, 1.0, coeff);
+  }
+  if (name == "lap2d_2000") {
+    const Int s = side2d(rows, scale);
+    return lap2d_5pt(s, s);
+  }
+  if (name == "lap3d_128") {
+    const Int s = side3d(rows, scale);
+    return lap3d_27pt(s, s, s);
+  }
+  if (name == "parabolic_fem") {
+    const Int s = side2d(rows, scale);
+    return lap2d_7pt_skew(s, s);
+  }
+  if (name == "thermal2") {
+    const Int s = side2d(rows, scale);
+    return thermal_like(s, s);
+  }
+  throw std::invalid_argument("unknown suite matrix: " + name);
+}
+
+}  // namespace hpamg

@@ -1,0 +1,59 @@
+#include <cmath>
+
+#include "amg/spmv.hpp"
+#include "krylov/krylov.hpp"
+
+namespace hpamg {
+
+KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
+                 const KrylovOptions& opt, const Preconditioner& precond) {
+  const Int n = A.nrows;
+  require(Int(b.size()) == n && Int(x.size()) == n, "pcg: size mismatch");
+  KrylovResult res;
+
+  Vector r(n), z(n), p(n), Ap(n);
+  spmv_residual(A, x, b, r);
+  double normb = norm2(b);
+  if (normb == 0.0) normb = 1.0;
+  double relres = norm2(r) / normb;
+  if (relres < opt.rtol) {
+    res.converged = true;
+    res.final_relres = relres;
+    return res;
+  }
+
+  if (precond)
+    precond(r, z);
+  else
+    copy(r, z);
+  copy(z, p);
+  double rz = dot(r, z);
+
+  for (Int it = 1; it <= opt.max_iterations; ++it) {
+    spmv(A, p, Ap);
+    const double pAp = dot(p, Ap);
+    if (pAp == 0.0 || !std::isfinite(pAp)) break;
+    const double alpha = rz / pAp;
+    axpy(alpha, p, x);
+    axpy(-alpha, Ap, r);
+    relres = norm2(r) / normb;
+    res.history.push_back(relres);
+    res.iterations = it;
+    if (relres < opt.rtol) {
+      res.converged = true;
+      break;
+    }
+    if (precond)
+      precond(r, z);
+    else
+      copy(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    xpby(z, beta, p);  // p = z + beta p
+  }
+  res.final_relres = relres;
+  return res;
+}
+
+}  // namespace hpamg

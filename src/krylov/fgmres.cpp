@@ -1,0 +1,84 @@
+#include "amg/spmv.hpp"
+#include "krylov/gmres_common.hpp"
+#include "krylov/krylov.hpp"
+
+namespace hpamg {
+
+// Flexible GMRES (Saad 1993): like right-preconditioned GMRES but stores
+// the preconditioned vectors Z_j so M may vary per iteration — the
+// configuration the paper uses with an AMG V-cycle preconditioner
+// (Table 4: "Flexible GMRES [34] with AMG preconditioner").
+KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
+                    const KrylovOptions& opt, const Preconditioner& precond) {
+  const Int n = A.nrows;
+  require(Int(b.size()) == n && Int(x.size()) == n, "fgmres: size mismatch");
+  KrylovResult res;
+  const Int m = opt.restart;
+
+  double normb = norm2(b);
+  if (normb == 0.0) normb = 1.0;
+
+  std::vector<Vector> V(m + 1, Vector(n, 0.0));
+  std::vector<Vector> Z(m, Vector(n, 0.0));
+  Vector r(n), w(n);
+  Int total_it = 0;
+
+  while (total_it < opt.max_iterations) {
+    spmv_residual(A, x, b, r);
+    const double beta = norm2(r);
+    double relres = beta / normb;
+    if (total_it == 0) res.history.push_back(relres);
+    if (relres < opt.rtol) {
+      res.converged = true;
+      res.final_relres = relres;
+      return res;
+    }
+    copy(r, V[0]);
+    scale(1.0 / beta, V[0]);
+    detail::HessenbergLS ls(m);
+    ls.set_rhs(beta);
+
+    Int j = 0;
+    for (; j < m && total_it < opt.max_iterations; ++j, ++total_it) {
+      if (precond)
+        precond(V[j], Z[j]);
+      else
+        copy(V[j], Z[j]);
+      spmv(A, Z[j], w);
+      for (Int i = 0; i <= j; ++i) {
+        const double hij = dot(w, V[i]);
+        ls.h(i, j) = hij;
+        axpy(-hij, V[i], w);
+      }
+      const double hn = norm2(w);
+      ls.h(j + 1, j) = hn;
+      if (hn != 0.0) {
+        copy(w, V[j + 1]);
+        scale(1.0 / hn, V[j + 1]);
+      }
+      relres = ls.apply_rotations(j) / normb;
+      res.history.push_back(relres);
+      res.iterations = total_it + 1;
+      if (relres < opt.rtol || hn == 0.0) {
+        ++j;
+        ++total_it;
+        break;
+      }
+    }
+    // x += Z y — the flexible update uses the stored preconditioned basis.
+    std::vector<double> y = ls.solve(j);
+    for (Int i = 0; i < j; ++i) axpy(y[i], Z[i], x);
+    if (relres < opt.rtol) {
+      res.converged = true;
+      res.final_relres = relres;
+      return res;
+    }
+    res.final_relres = relres;
+  }
+  spmv_residual(A, x, b, r);
+  res.final_relres = norm2(r) / normb;
+  res.converged = res.final_relres < opt.rtol;
+  return res;
+}
+
+}  // namespace hpamg

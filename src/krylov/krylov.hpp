@@ -1,0 +1,50 @@
+// Krylov solvers: CG / PCG, GMRES(m), and Flexible GMRES (Saad 1993).
+//
+// The paper's multi-node configuration (Table 4) wraps AMG as the
+// preconditioner of Flexible GMRES; FGMRES tolerates the slightly varying
+// preconditioner that a parallel AMG V-cycle is. CG is provided for SPD
+// systems and used by the examples.
+#pragma once
+
+#include <functional>
+
+#include "matrix/csr.hpp"
+#include "matrix/vector_ops.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+/// Preconditioner apply: z = M^{-1} r (must accept z == r storage aliasing
+/// being distinct; z is overwritten).
+using Preconditioner = std::function<void(const Vector& r, Vector& z)>;
+
+struct KrylovResult {
+  Int iterations = 0;
+  double final_relres = 0.0;
+  bool converged = false;
+  std::vector<double> history;
+};
+
+struct KrylovOptions {
+  double rtol = 1e-7;
+  Int max_iterations = 1000;
+  Int restart = 50;  ///< GMRES/FGMRES restart length
+};
+
+/// (Preconditioned) conjugate gradient. Pass a null precond for plain CG.
+KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
+                 const KrylovOptions& opt = {},
+                 const Preconditioner& precond = nullptr);
+
+/// Right-preconditioned restarted GMRES(m).
+KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
+                   const KrylovOptions& opt = {},
+                   const Preconditioner& precond = nullptr);
+
+/// Flexible GMRES(m): the preconditioner may change between iterations
+/// (stores the preconditioned basis Z).
+KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
+                    const KrylovOptions& opt = {},
+                    const Preconditioner& precond = nullptr);
+
+}  // namespace hpamg

@@ -1,0 +1,135 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+CSRMatrix::CSRMatrix(Int rows, Int cols) : nrows(rows), ncols(cols) {
+  require(rows >= 0 && cols >= 0, "CSRMatrix: negative dimensions");
+  rowptr.assign(std::size_t(rows) + 1, 0);
+}
+
+double CSRMatrix::at(Int i, Int j) const {
+  for (Int k = rowptr[i]; k < rowptr[i + 1]; ++k)
+    if (colidx[k] == j) return values[k];
+  return 0.0;
+}
+
+void CSRMatrix::sort_rows() {
+  parallel_for_dynamic(0, nrows, [&](Int i) {
+    const Int lo = rowptr[i], hi = rowptr[i + 1];
+    const Int len = hi - lo;
+    if (len <= 1) return;
+    std::vector<Int> order(len);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](Int a, Int b) {
+      return colidx[lo + a] < colidx[lo + b];
+    });
+    std::vector<Int> c(len);
+    std::vector<double> v(len);
+    for (Int k = 0; k < len; ++k) {
+      c[k] = colidx[lo + order[k]];
+      v[k] = values[lo + order[k]];
+    }
+    std::copy(c.begin(), c.end(), colidx.begin() + lo);
+    std::copy(v.begin(), v.end(), values.begin() + lo);
+  });
+}
+
+bool CSRMatrix::rows_sorted() const {
+  for (Int i = 0; i < nrows; ++i)
+    for (Int k = rowptr[i] + 1; k < rowptr[i + 1]; ++k)
+      if (colidx[k - 1] >= colidx[k]) return false;
+  return true;
+}
+
+void CSRMatrix::validate() const {
+  require(Int(rowptr.size()) == nrows + 1, "CSRMatrix: bad rowptr size");
+  require(rowptr[0] == 0, "CSRMatrix: rowptr[0] != 0");
+  for (Int i = 0; i < nrows; ++i)
+    require(rowptr[i] <= rowptr[i + 1], "CSRMatrix: rowptr not monotone");
+  require(colidx.size() == values.size(), "CSRMatrix: colidx/values mismatch");
+  require(Long(colidx.size()) == nnz(), "CSRMatrix: nnz mismatch");
+  for (Int c : colidx)
+    require(c >= 0 && c < ncols, "CSRMatrix: column index out of range");
+}
+
+CSRMatrix CSRMatrix::identity(Int n) {
+  CSRMatrix I(n, n);
+  I.colidx.resize(n);
+  I.values.assign(n, 1.0);
+  for (Int i = 0; i < n; ++i) {
+    I.rowptr[i] = i;
+    I.colidx[i] = i;
+  }
+  I.rowptr[n] = n;
+  return I;
+}
+
+CSRMatrix CSRMatrix::from_triplets(Int rows, Int cols,
+                                   std::vector<Triplet> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CSRMatrix A(rows, cols);
+  A.colidx.reserve(triplets.size());
+  A.values.reserve(triplets.size());
+  Int prev_row = -1, prev_col = -1;
+  for (const Triplet& t : triplets) {
+    require(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
+            "from_triplets: index out of range");
+    if (t.row == prev_row && t.col == prev_col) {
+      A.values.back() += t.value;
+      continue;
+    }
+    A.colidx.push_back(t.col);
+    A.values.push_back(t.value);
+    ++A.rowptr[t.row + 1];
+    prev_row = t.row;
+    prev_col = t.col;
+  }
+  for (Int i = 0; i < rows; ++i) A.rowptr[i + 1] += A.rowptr[i];
+  return A;
+}
+
+bool csr_approx_equal(const CSRMatrix& a, const CSRMatrix& b, double tol) {
+  if (a.nrows != b.nrows || a.ncols != b.ncols) return false;
+  if (a.rowptr != b.rowptr || a.colidx != b.colidx) return false;
+  for (std::size_t k = 0; k < a.values.size(); ++k) {
+    double scale = std::max({1.0, std::abs(a.values[k]), std::abs(b.values[k])});
+    if (std::abs(a.values[k] - b.values[k]) > tol * scale) return false;
+  }
+  return true;
+}
+
+bool csr_same_operator(const CSRMatrix& a, const CSRMatrix& b, double tol) {
+  if (a.nrows != b.nrows || a.ncols != b.ncols) return false;
+  std::vector<double> acc(a.ncols, 0.0);
+  for (Int i = 0; i < a.nrows; ++i) {
+    for (Int k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k)
+      acc[a.colidx[k]] += a.values[k];
+    for (Int k = b.rowptr[i]; k < b.rowptr[i + 1]; ++k)
+      acc[b.colidx[k]] -= b.values[k];
+    double row_scale = 1.0;
+    for (Int k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k)
+      row_scale = std::max(row_scale, std::abs(a.values[k]));
+    bool ok = true;
+    for (Int k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      if (std::abs(acc[a.colidx[k]]) > tol * row_scale) ok = false;
+      acc[a.colidx[k]] = 0.0;
+    }
+    for (Int k = b.rowptr[i]; k < b.rowptr[i + 1]; ++k) {
+      if (std::abs(acc[b.colidx[k]]) > tol * row_scale) ok = false;
+      acc[b.colidx[k]] = 0.0;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace hpamg

@@ -1,0 +1,80 @@
+// Compressed sparse row matrix — the central data structure of hpamg.
+//
+// Matches HYPRE's local CSR layout (rowptr / colidx / values). All AMG
+// kernels operate on this type; distributed matrices hold two of them
+// (block-diagonal and block-off-diagonal, see dist/dist_matrix.hpp).
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace hpamg {
+
+struct Triplet {
+  Int row;
+  Int col;
+  double value;
+};
+
+class CSRMatrix {
+ public:
+  Int nrows = 0;
+  Int ncols = 0;
+  std::vector<Int> rowptr;     ///< size nrows + 1
+  std::vector<Int> colidx;     ///< size nnz
+  std::vector<double> values;  ///< size nnz
+
+  CSRMatrix() = default;
+  /// Empty matrix of given shape (all-zero rows).
+  CSRMatrix(Int rows, Int cols);
+
+  Long nnz() const { return rowptr.empty() ? 0 : Long(rowptr[nrows]); }
+  Int row_begin(Int i) const { return rowptr[i]; }
+  Int row_end(Int i) const { return rowptr[i + 1]; }
+  Int row_nnz(Int i) const { return rowptr[i + 1] - rowptr[i]; }
+
+  /// Value at (i, j), 0 if not stored. Linear scan of the row — test/debug.
+  double at(Int i, Int j) const;
+
+  /// Diagonal entry of row i (0 if absent).
+  double diag(Int i) const { return at(i, i); }
+
+  /// Sorts column indices (and values) ascending within every row.
+  void sort_rows();
+
+  /// True if every row's column indices are sorted ascending.
+  bool rows_sorted() const;
+
+  /// Structural invariants: monotone rowptr, in-range column indices.
+  /// Throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// n x n identity.
+  static CSRMatrix identity(Int n);
+
+  /// Builds from (possibly unsorted, possibly duplicated) triplets;
+  /// duplicates are summed. Rows come out sorted.
+  static CSRMatrix from_triplets(Int rows, Int cols,
+                                 std::vector<Triplet> triplets);
+
+  /// Estimated memory footprint in bytes (CSR arrays only).
+  std::uint64_t footprint_bytes() const {
+    return std::uint64_t(rowptr.size()) * sizeof(Int) +
+           std::uint64_t(colidx.size()) * sizeof(Int) +
+           std::uint64_t(values.size()) * sizeof(double);
+  }
+};
+
+/// True when A and B have identical shape/pattern and values match to tol
+/// (absolute-or-relative). Rows must be sorted in both.
+bool csr_approx_equal(const CSRMatrix& a, const CSRMatrix& b,
+                      double tol = 1e-12);
+
+/// True when A and B represent the same operator: patterns may differ by
+/// explicit zeros; compares via row-wise accumulation. Rows need not be
+/// sorted. Used to compare baseline vs optimized kernels in tests.
+bool csr_same_operator(const CSRMatrix& a, const CSRMatrix& b,
+                       double tol = 1e-10);
+
+}  // namespace hpamg

@@ -1,0 +1,83 @@
+#include "matrix/dense.hpp"
+
+#include <cmath>
+
+namespace hpamg {
+
+DenseMatrix DenseMatrix::from_csr(const CSRMatrix& A) {
+  DenseMatrix D(A.nrows, A.ncols);
+  for (Int i = 0; i < A.nrows; ++i)
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+      D(i, A.colidx[k]) += A.values[k];
+  return D;
+}
+
+CSRMatrix DenseMatrix::to_csr(double drop_tol) const {
+  std::vector<Triplet> trip;
+  for (Int i = 0; i < nrows; ++i)
+    for (Int j = 0; j < ncols; ++j)
+      if (std::abs((*this)(i, j)) > drop_tol)
+        trip.push_back({i, j, (*this)(i, j)});
+  return CSRMatrix::from_triplets(nrows, ncols, std::move(trip));
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& B) const {
+  require(ncols == B.nrows, "DenseMatrix::multiply: shape mismatch");
+  DenseMatrix C(nrows, B.ncols);
+  for (Int i = 0; i < nrows; ++i)
+    for (Int k = 0; k < ncols; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (Int j = 0; j < B.ncols; ++j) C(i, j) += a * B(k, j);
+    }
+  return C;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix T(ncols, nrows);
+  for (Int i = 0; i < nrows; ++i)
+    for (Int j = 0; j < ncols; ++j) T(j, i) = (*this)(i, j);
+  return T;
+}
+
+LUSolver::LUSolver(const CSRMatrix& A) : n_(A.nrows) {
+  require(A.nrows == A.ncols, "LUSolver: matrix must be square");
+  lu_ = DenseMatrix::from_csr(A);
+  piv_.resize(n_);
+  for (Int k = 0; k < n_; ++k) {
+    // Partial pivoting.
+    Int p = k;
+    for (Int i = k + 1; i < n_; ++i)
+      if (std::abs(lu_(i, k)) > std::abs(lu_(p, k))) p = i;
+    piv_[k] = p;
+    if (p != k)
+      for (Int j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(p, j));
+    if (std::abs(lu_(k, k)) < 1e-300) {
+      singular_ = true;
+      lu_(k, k) = 1.0;  // keep solve well-defined; caller checks singular()
+      continue;
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (Int i = k + 1; i < n_; ++i) {
+      lu_(i, k) *= inv;
+      const double lik = lu_(i, k);
+      if (lik == 0.0) continue;
+      for (Int j = k + 1; j < n_; ++j) lu_(i, j) -= lik * lu_(k, j);
+    }
+  }
+}
+
+void LUSolver::solve(const double* b, double* x) const {
+  std::vector<double> y(b, b + n_);
+  for (Int k = 0; k < n_; ++k) {
+    std::swap(y[k], y[piv_[k]]);
+    for (Int i = k + 1; i < n_; ++i) y[i] -= lu_(i, k) * y[k];
+  }
+  for (Int i = n_ - 1; i >= 0; --i) {
+    double s = y[i];
+    for (Int j = i + 1; j < n_; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+}
+
+}  // namespace hpamg

@@ -1,0 +1,62 @@
+// Small dense-matrix bridge used by tests (reference SpGEMM / SpMV) and by
+// the coarsest-level direct solve of the multigrid hierarchy.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "support/common.hpp"
+
+namespace hpamg {
+
+/// Row-major dense matrix. Only intended for small sizes (coarsest AMG
+/// level, test references) — O(n^2) storage.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(Int rows, Int cols)
+      : nrows(rows), ncols(cols), data_(std::size_t(rows) * cols, 0.0) {}
+
+  double& operator()(Int i, Int j) { return data_[std::size_t(i) * ncols + j]; }
+  double operator()(Int i, Int j) const {
+    return data_[std::size_t(i) * ncols + j];
+  }
+
+  Int nrows = 0;
+  Int ncols = 0;
+
+  static DenseMatrix from_csr(const CSRMatrix& A);
+  CSRMatrix to_csr(double drop_tol = 0.0) const;
+
+  /// C = this * B (reference implementation for SpGEMM tests).
+  DenseMatrix multiply(const DenseMatrix& B) const;
+
+  /// this^T.
+  DenseMatrix transpose() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// In-place LU factorization with partial pivoting for the coarsest-level
+/// direct solve. Factorize once in setup, solve many times per V-cycle.
+class LUSolver {
+ public:
+  LUSolver() = default;
+  /// Factorizes A (must be square and nonsingular up to pivot tolerance).
+  explicit LUSolver(const CSRMatrix& A);
+
+  /// Solves LU x = b; x may alias b.
+  void solve(const double* b, double* x) const;
+
+  Int size() const { return n_; }
+  bool singular() const { return singular_; }
+
+ private:
+  Int n_ = 0;
+  bool singular_ = false;
+  DenseMatrix lu_;
+  std::vector<Int> piv_;
+};
+
+}  // namespace hpamg

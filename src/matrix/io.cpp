@@ -1,0 +1,65 @@
+#include "matrix/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hpamg {
+
+CSRMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_matrix_market: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+CSRMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  require(bool(std::getline(in, line)), "MatrixMarket: empty stream");
+  require(line.rfind("%%MatrixMarket", 0) == 0, "MatrixMarket: bad header");
+  std::istringstream hdr(line);
+  std::string tag, object, fmt, field, symmetry;
+  hdr >> tag >> object >> fmt >> field >> symmetry;
+  require(object == "matrix" && fmt == "coordinate",
+          "MatrixMarket: only coordinate matrices supported");
+  require(field == "real" || field == "integer" || field == "pattern",
+          "MatrixMarket: only real/integer/pattern fields supported");
+  const bool symmetric = (symmetry == "symmetric");
+  const bool pattern = (field == "pattern");
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long rows = 0, cols = 0, entries = 0;
+  dims >> rows >> cols >> entries;
+  require(rows > 0 && cols > 0, "MatrixMarket: bad dimensions");
+
+  std::vector<Triplet> trip;
+  trip.reserve(std::size_t(entries) * (symmetric ? 2 : 1));
+  for (long e = 0; e < entries; ++e) {
+    long i = 0, j = 0;
+    double v = 1.0;
+    in >> i >> j;
+    if (!pattern) in >> v;
+    require(bool(in), "MatrixMarket: truncated entries");
+    trip.push_back({Int(i - 1), Int(j - 1), v});
+    if (symmetric && i != j) trip.push_back({Int(j - 1), Int(i - 1), v});
+  }
+  return CSRMatrix::from_triplets(Int(rows), Int(cols), std::move(trip));
+}
+
+void write_matrix_market(const CSRMatrix& A, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "write_matrix_market: cannot open " + path);
+  write_matrix_market(A, out);
+}
+
+void write_matrix_market(const CSRMatrix& A, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << A.nrows << " " << A.ncols << " " << A.nnz() << "\n";
+  out.precision(17);
+  for (Int i = 0; i < A.nrows; ++i)
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+      out << (i + 1) << " " << (A.colidx[k] + 1) << " " << A.values[k] << "\n";
+}
+
+}  // namespace hpamg

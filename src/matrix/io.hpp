@@ -1,0 +1,22 @@
+// MatrixMarket coordinate-format I/O, so users can run the solver on the
+// University of Florida collection matrices the paper evaluates (Table 2)
+// when those files are available locally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csr.hpp"
+
+namespace hpamg {
+
+/// Reads a MatrixMarket coordinate file (real, general or symmetric —
+/// symmetric files are expanded to full storage). Throws on parse errors.
+CSRMatrix read_matrix_market(const std::string& path);
+CSRMatrix read_matrix_market(std::istream& in);
+
+/// Writes coordinate general format (1-based indices).
+void write_matrix_market(const CSRMatrix& A, const std::string& path);
+void write_matrix_market(const CSRMatrix& A, std::ostream& out);
+
+}  // namespace hpamg

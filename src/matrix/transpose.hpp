@@ -1,0 +1,22 @@
+// Sparse matrix transpose.
+//
+// The baseline mirrors HYPRE: a sequential bucket transpose performed anew
+// for every restriction in the solve phase. The optimized version (SC'15
+// §3.3) parallelizes the transpose with a parallel counting sort and
+// nnz-balanced row partitioning; the optimized hierarchy additionally keeps
+// R = P^T from setup so the solve phase never transposes at all.
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+/// Sequential transpose (baseline). Output rows are sorted.
+CSRMatrix transpose_serial(const CSRMatrix& A, WorkCounters* wc = nullptr);
+
+/// Thread-parallel transpose via parallel counting sort over column keys,
+/// load-balanced by nonzeros per row. Output rows are sorted.
+CSRMatrix transpose_parallel(const CSRMatrix& A, WorkCounters* wc = nullptr);
+
+}  // namespace hpamg

@@ -1,0 +1,84 @@
+#include "matrix/vector_ops.hpp"
+
+#include <cmath>
+
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+void count_stream(WorkCounters* wc, std::uint64_t n, int reads, int writes,
+                  std::uint64_t flops) {
+  if (!wc) return;
+  wc->bytes_read += n * reads * sizeof(double);
+  wc->bytes_written += n * writes * sizeof(double);
+  wc->flops += flops;
+}
+}  // namespace
+
+void axpy(double alpha, const Vector& x, Vector& y, WorkCounters* wc) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  const Int n = Int(x.size());
+  const double* HPAMG_RESTRICT xp = x.data();
+  double* HPAMG_RESTRICT yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (Int i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+  count_stream(wc, n, 2, 1, 2 * std::uint64_t(n));
+}
+
+void xpby(const Vector& x, double beta, Vector& y, WorkCounters* wc) {
+  require(x.size() == y.size(), "xpby: size mismatch");
+  const Int n = Int(x.size());
+  const double* HPAMG_RESTRICT xp = x.data();
+  double* HPAMG_RESTRICT yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (Int i = 0; i < n; ++i) yp[i] = xp[i] + beta * yp[i];
+  count_stream(wc, n, 2, 1, 2 * std::uint64_t(n));
+}
+
+void scale(double alpha, Vector& x, WorkCounters* wc) {
+  const Int n = Int(x.size());
+  double* HPAMG_RESTRICT xp = x.data();
+#pragma omp parallel for schedule(static)
+  for (Int i = 0; i < n; ++i) xp[i] *= alpha;
+  count_stream(wc, n, 1, 1, std::uint64_t(n));
+}
+
+double dot(const Vector& x, const Vector& y, WorkCounters* wc) {
+  require(x.size() == y.size(), "dot: size mismatch");
+  const Int n = Int(x.size());
+  const double* HPAMG_RESTRICT xp = x.data();
+  const double* HPAMG_RESTRICT yp = y.data();
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (Int i = 0; i < n; ++i) acc += xp[i] * yp[i];
+  count_stream(wc, n, 2, 0, 2 * std::uint64_t(n));
+  return acc;
+}
+
+double norm2(const Vector& x, WorkCounters* wc) {
+  return std::sqrt(dot(x, x, wc));
+}
+
+void set_zero(Vector& x) {
+  const Int n = Int(x.size());
+  double* HPAMG_RESTRICT xp = x.data();
+#pragma omp parallel for schedule(static)
+  for (Int i = 0; i < n; ++i) xp[i] = 0.0;
+}
+
+void copy(const Vector& src, Vector& dst) {
+  dst.resize(src.size());
+  const Int n = Int(src.size());
+  const double* HPAMG_RESTRICT sp = src.data();
+  double* HPAMG_RESTRICT dp = dst.data();
+#pragma omp parallel for schedule(static)
+  for (Int i = 0; i < n; ++i) dp[i] = sp[i];
+}
+
+double norm_inf(const Vector& x) {
+  return parallel_reduce_max(0, Int(x.size()),
+                             [&](Int i) { return std::abs(x[i]); });
+}
+
+}  // namespace hpamg

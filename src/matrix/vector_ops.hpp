@@ -1,0 +1,38 @@
+// BLAS1-style dense vector kernels (parallel). These are the "BLAS1" bar in
+// the paper's Fig 5 breakdown: scaling, axpy, inner products, norms.
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+using Vector = std::vector<double>;
+
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y, WorkCounters* wc = nullptr);
+
+/// y = x + beta * y
+void xpby(const Vector& x, double beta, Vector& y, WorkCounters* wc = nullptr);
+
+/// x *= alpha
+void scale(double alpha, Vector& x, WorkCounters* wc = nullptr);
+
+/// <x, y>
+double dot(const Vector& x, const Vector& y, WorkCounters* wc = nullptr);
+
+/// ||x||_2
+double norm2(const Vector& x, WorkCounters* wc = nullptr);
+
+/// x = 0
+void set_zero(Vector& x);
+
+/// dst = src (parallel copy)
+void copy(const Vector& src, Vector& dst);
+
+/// max_i |x_i|
+double norm_inf(const Vector& x);
+
+}  // namespace hpamg

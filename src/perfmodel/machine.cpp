@@ -1,0 +1,41 @@
+#include "perfmodel/machine.hpp"
+
+#include <algorithm>
+
+namespace hpamg {
+
+double MachineModel::seconds(const WorkCounters& wc) const {
+  const double bw_time =
+      double(wc.bytes_total()) / (stream_bw_bytes_per_s * sparse_efficiency);
+  const double flop_time = double(wc.flops) / peak_flops;
+  const double branch_time =
+      double(wc.branches) * branch_miss_rate * branch_miss_cost_s;
+  return std::max(bw_time, flop_time) + branch_time;
+}
+
+MachineModel haswell_socket() {
+  MachineModel m;
+  m.name = "Xeon E5-2697 v3 (1 socket)";
+  m.stream_bw_bytes_per_s = 54e9;          // Table 1
+  m.peak_flops = 14 * 2.6e9 * 16;          // 14 cores x 2.6 GHz x 16 DP flops
+  m.branch_miss_cost_s = 15.0 / 2.6e9 / 14;  // ~15 cycles, amortized
+  return m;
+}
+
+MachineModel k40c() {
+  MachineModel m;
+  m.name = "Tesla K40c";
+  m.stream_bw_bytes_per_s = 249e9;  // Table 1 (ECC off)
+  m.peak_flops = 1.43e12;
+  m.sparse_efficiency = 0.45;  // GPUs lose more on irregular gathers
+  m.branch_miss_cost_s = 0.0;  // divergence folded into sparse_efficiency
+  return m;
+}
+
+MachineModel endeavor_rank() {
+  MachineModel m = haswell_socket();
+  m.name = "Endeavor rank (1 of 2 sockets)";
+  return m;
+}
+
+}  // namespace hpamg

@@ -1,0 +1,45 @@
+// Machine models of the paper's evaluation hardware (SC'15 Table 1).
+//
+// AMG is memory-bandwidth bound (§1, §5.1: "STREAM triad performance ...
+// provides an upper-bound on achievable performance of AMG"), so the
+// compute model is a bandwidth roofline: time = bytes moved / effective
+// STREAM bandwidth, with a flop roofline as a secondary bound. These models
+// convert the machine-independent WorkCounters recorded by every kernel
+// into projected times on the paper's hardware (see DESIGN.md §1 for why
+// this substitution preserves the paper's comparisons).
+#pragma once
+
+#include <string>
+
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+struct MachineModel {
+  std::string name;
+  double stream_bw_bytes_per_s;  ///< STREAM triad bandwidth
+  double peak_flops;             ///< double-precision peak
+  /// Effective fraction of STREAM achieved by irregular sparse kernels
+  /// (gathers and short rows waste bus transactions).
+  double sparse_efficiency = 0.6;
+  /// Cost of one mispredicted data-dependent branch, seconds. The sparse
+  /// accumulator's insert-or-add branch mispredicts often (§3.1.1).
+  double branch_miss_cost_s;
+  double branch_miss_rate = 0.25;  ///< fraction of SPA branches mispredicted
+
+  /// Projected kernel time from counters (max of bandwidth and flop
+  /// rooflines plus branch-misprediction overhead).
+  double seconds(const WorkCounters& wc) const;
+};
+
+/// One socket of Xeon E5-2697 v3 (14 cores, 2.6 GHz, 54 GB/s STREAM).
+MachineModel haswell_socket();
+
+/// NVIDIA Tesla K40c (249 GB/s STREAM with ECC off, 876 MHz).
+MachineModel k40c();
+
+/// Endeavor compute node: 2 Haswell sockets (1 MPI rank per socket in the
+/// paper's runs, so per-rank resources equal one socket).
+MachineModel endeavor_rank();
+
+}  // namespace hpamg

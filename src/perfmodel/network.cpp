@@ -1,0 +1,22 @@
+#include "perfmodel/network.hpp"
+
+#include <cmath>
+
+namespace hpamg {
+
+double NetworkModel::seconds(const simmpi::CommStats& cs) const {
+  if (cs.messages_sent == 0) return 0.0;
+  const double mean = double(cs.bytes_sent) / double(cs.messages_sent);
+  const double np = double(cs.persistent_starts);
+  const double ns = double(cs.request_setups);
+  return np * message_seconds(mean, true) + ns * message_seconds(mean, false);
+}
+
+double NetworkModel::allreduce_seconds(int nranks) const {
+  if (nranks <= 1) return 0.0;
+  return std::ceil(std::log2(double(nranks))) * overhead_s;
+}
+
+NetworkModel endeavor_network() { return NetworkModel{}; }
+
+}  // namespace hpamg

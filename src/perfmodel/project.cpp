@@ -1,0 +1,11 @@
+#include "perfmodel/project.hpp"
+
+namespace hpamg {
+
+double projected_phase_seconds(double rank_cpu_seconds,
+                               const simmpi::CommStats& rank_comm,
+                               const NetworkModel& net) {
+  return rank_cpu_seconds + net.seconds(rank_comm);
+}
+
+}  // namespace hpamg

@@ -1,0 +1,46 @@
+// Galerkin triple product C = R * A * P (the "RAP" of SC'15 §3.1.1).
+//
+// Four implementations:
+//  - rap_unfused:       B = R*A materialized fully, then C = B*P. Two
+//                       complete SpGEMMs; B streams through memory twice.
+//  - rap_fused_hypre:   the baseline HYPRE fusion (paper Fig 1b): the triple
+//                       loop multiplies r_ij * a_jk and immediately scatters
+//                       temp * p_kl — saving B's storage but performing
+//                       redundant flops (the paper measures 1.73x more).
+//  - rap_fused_rowwise: the paper's fusion (Fig 1a): compute row B_i, then
+//                       immediately consume it into C_i while it is hot in
+//                       cache. Per-thread output chunks as in spgemm_onepass.
+//  - rap_cf_block:      exploits P = [I; P_F] after CF reordering:
+//                       RAP = Acc + Pf^T Afc + (Acf + Pf^T Aff) Pf, so the
+//                       triple product only touches the F x F block.
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "spgemm/spgemm.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+/// B = R*A then C = B*P, using the given SpGEMM building block.
+CSRMatrix rap_unfused(const CSRMatrix& R, const CSRMatrix& A,
+                      const CSRMatrix& P, bool onepass = true,
+                      WorkCounters* wc = nullptr);
+
+/// HYPRE-style fusion (Fig 1b) — the baseline.
+CSRMatrix rap_fused_hypre(const CSRMatrix& R, const CSRMatrix& A,
+                          const CSRMatrix& P, WorkCounters* wc = nullptr);
+
+/// Row-wise fusion (Fig 1a) — the optimized kernel.
+CSRMatrix rap_fused_rowwise(const CSRMatrix& R, const CSRMatrix& A,
+                            const CSRMatrix& P, const SpgemmOptions& opt = {},
+                            WorkCounters* wc = nullptr);
+
+/// Identity-block RAP. `Aperm` is the CF-permuted fine operator (coarse
+/// rows/cols first, nc of them), `Pf` the (n-nc) x nc fine block of the
+/// interpolation operator, and `PfT` its transpose (kept from setup).
+CSRMatrix rap_cf_block(const CSRMatrix& Aperm, const CSRMatrix& Pf,
+                       const CSRMatrix& PfT, Int nc,
+                       const SpgemmOptions& opt = {},
+                       WorkCounters* wc = nullptr);
+
+}  // namespace hpamg

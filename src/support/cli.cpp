@@ -1,0 +1,44 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+namespace hpamg {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opts_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      opts_[arg] = argv[++i];
+    } else {
+      opts_[arg] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return opts_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key,
+                     const std::string& fallback) const {
+  auto it = opts_.find(key);
+  return it == opts_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& key, long fallback) const {
+  auto it = opts_.find(key);
+  return it == opts_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = opts_.find(key);
+  return it == opts_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace hpamg

@@ -1,0 +1,29 @@
+// Minimal command-line option parser shared by benches and examples.
+// Supports `--key value`, `--key=value`, and boolean `--flag`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace hpamg {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  /// Positional (non --key) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> opts_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hpamg

@@ -1,0 +1,31 @@
+// Common type aliases and low-level helpers shared across hpamg.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hpamg {
+
+/// Local (per-rank) row/column index. 32-bit as in HYPRE's default build.
+using Int = std::int32_t;
+/// Global index across all ranks of a distributed matrix.
+using Long = std::int64_t;
+
+#if defined(__GNUC__)
+#define HPAMG_RESTRICT __restrict__
+#else
+#define HPAMG_RESTRICT
+#endif
+
+/// Throwing check used for API-boundary validation (kept in release builds).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// Integer ceil-division.
+constexpr Long ceil_div(Long a, Long b) { return (a + b - 1) / b; }
+
+}  // namespace hpamg

@@ -1,0 +1,15 @@
+#include "support/counters.hpp"
+
+#include <sstream>
+
+namespace hpamg {
+
+std::string WorkCounters::to_string() const {
+  std::ostringstream os;
+  os << "flops=" << flops << " read=" << bytes_read
+     << " written=" << bytes_written << " branches=" << branches
+     << " probes=" << hash_probes;
+  return os.str();
+}
+
+}  // namespace hpamg

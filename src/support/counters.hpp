@@ -1,0 +1,52 @@
+// Machine-independent work counters.
+//
+// On a virtualized single-core host, wall-clock cannot demonstrate the
+// paper's thread-level speedups; the algorithmic advantages (fewer flops,
+// fewer memory passes, fewer branch-heavy insertions, less communication)
+// are what the optimizations actually change, so kernels report them here.
+// The perfmodel converts these counts into projected times on the paper's
+// machines (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace hpamg {
+
+/// Work performed by one kernel invocation.
+struct WorkCounters {
+  std::uint64_t flops = 0;         ///< floating-point operations
+  std::uint64_t bytes_read = 0;    ///< bytes streamed from memory (model)
+  std::uint64_t bytes_written = 0; ///< bytes written to memory (model)
+  std::uint64_t branches = 0;      ///< data-dependent branches executed
+  std::uint64_t hash_probes = 0;   ///< sparse-accumulator / hash probes
+
+  WorkCounters& operator+=(const WorkCounters& o) {
+    flops += o.flops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    branches += o.branches;
+    hash_probes += o.hash_probes;
+    return *this;
+  }
+
+  std::uint64_t bytes_total() const { return bytes_read + bytes_written; }
+  std::string to_string() const;
+};
+
+/// Thread-local accumulation point kernels write into when counting is on.
+/// Counting costs a few percent; kernels take an optional pointer and skip
+/// all accounting when it is null.
+class CounterScope {
+ public:
+  explicit CounterScope(WorkCounters* sink) : sink_(sink) {}
+  bool enabled() const { return sink_ != nullptr; }
+  WorkCounters* sink() const { return sink_; }
+
+ private:
+  WorkCounters* sink_;
+};
+
+}  // namespace hpamg

@@ -1,0 +1,135 @@
+// Open-addressing hash containers for integer keys.
+//
+// The paper's column-index renumbering (§4.2, Fig 4) builds thread-private
+// hash tables of new off-rank column indices, then a reverse-mapping hash
+// table partitioned over threads. These are small, cache-friendly linear
+// probing tables with power-of-two capacity — no heap churn per insert.
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace hpamg {
+
+/// Mixes bits of a 64-bit key (splitmix64 finalizer).
+inline std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Linear-probing hash set of non-negative integer keys.
+template <typename K>
+class HashSet {
+ public:
+  explicit HashSet(std::size_t expected = 16) { rehash_for(expected); }
+
+  /// Inserts key; returns true if newly inserted.
+  bool insert(K key) {
+    if (2 * (size_ + 1) > slots_.size()) rehash_for(2 * slots_.size());
+    std::size_t i = probe(key);
+    if (slots_[i] == key) return false;
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool contains(K key) const { return slots_[probe(key)] == key; }
+  std::size_t size() const { return size_; }
+
+  /// Copies all keys out (unordered).
+  void collect(std::vector<K>& out) const {
+    for (K k : slots_)
+      if (k != kEmpty) out.push_back(k);
+  }
+
+ private:
+  static constexpr K kEmpty = K(-1);
+
+  std::size_t probe(K key) const {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_mix(std::uint64_t(key)) & mask;
+    while (slots_[i] != kEmpty && slots_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void rehash_for(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < 2 * expected) cap *= 2;
+    std::vector<K> old = std::move(slots_);
+    slots_.assign(cap, kEmpty);
+    size_ = 0;
+    for (K k : old)
+      if (k != kEmpty) insert(k);
+  }
+
+  std::vector<K> slots_;
+  std::size_t size_ = 0;
+};
+
+/// Linear-probing hash map from non-negative integer keys to Int values.
+template <typename K>
+class HashMap {
+ public:
+  explicit HashMap(std::size_t expected = 16) { rehash_for(expected); }
+
+  /// Inserts (key, value) if absent; returns the stored value either way.
+  Int insert_or_get(K key, Int value) {
+    if (2 * (size_ + 1) > keys_.size()) rehash_for(2 * keys_.size());
+    std::size_t i = probe(key);
+    if (keys_[i] == key) return vals_[i];
+    keys_[i] = key;
+    vals_[i] = value;
+    ++size_;
+    return value;
+  }
+
+  void put(K key, Int value) {
+    if (2 * (size_ + 1) > keys_.size()) rehash_for(2 * keys_.size());
+    std::size_t i = probe(key);
+    if (keys_[i] != key) {
+      keys_[i] = key;
+      ++size_;
+    }
+    vals_[i] = value;
+  }
+
+  /// Returns the value for key, or fallback if absent.
+  Int get(K key, Int fallback = -1) const {
+    std::size_t i = probe(key);
+    return keys_[i] == key ? vals_[i] : fallback;
+  }
+
+  bool contains(K key) const { return keys_[probe(key)] == key; }
+  std::size_t size() const { return size_; }
+
+ private:
+  static constexpr K kEmpty = K(-1);
+
+  std::size_t probe(K key) const {
+    std::size_t mask = keys_.size() - 1;
+    std::size_t i = hash_mix(std::uint64_t(key)) & mask;
+    while (keys_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void rehash_for(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < 2 * expected) cap *= 2;
+    std::vector<K> old_k = std::move(keys_);
+    std::vector<Int> old_v = std::move(vals_);
+    keys_.assign(cap, kEmpty);
+    vals_.assign(cap, 0);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_k.size(); ++i)
+      if (old_k[i] != kEmpty) put(old_k[i], old_v[i]);
+  }
+
+  std::vector<K> keys_;
+  std::vector<Int> vals_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hpamg

@@ -1,0 +1,61 @@
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+
+template <typename T>
+Long scan_impl(std::vector<T>& v) {
+  // In-place inclusive scan: with counts at v[i + 1] and v[0] == 0 this
+  // produces the CSR rowptr array directly.
+  const Int m = Int(v.size());
+  const int nt = num_threads();
+  if (m == 0) return 0;
+  std::vector<Long> partial(nt + 1, 0);
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    auto [lo, hi] = chunk_range(m, nt, t);
+    Long sum = 0;
+    for (Int i = lo; i < hi; ++i) sum += v[i];
+    partial[t + 1] = sum;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int p = 0; p < nt; ++p) partial[p + 1] += partial[p];
+    }
+    Long run = partial[t];
+    for (Int i = lo; i < hi; ++i) {
+      run += v[i];
+      v[i] = T(run);
+    }
+  }
+  return partial[nt];
+}
+
+}  // namespace
+
+Long exclusive_scan(std::vector<Int>& v) { return scan_impl(v); }
+Long exclusive_scan(std::vector<Long>& v) { return scan_impl(v); }
+
+std::vector<Int> partition_by_weight(const std::vector<Int>& rowptr,
+                                     int nparts) {
+  require(!rowptr.empty(), "partition_by_weight: empty rowptr");
+  const Int nrows = Int(rowptr.size()) - 1;
+  const Long total = rowptr[nrows];
+  std::vector<Int> bounds(nparts + 1);
+  bounds[0] = 0;
+  bounds[nparts] = nrows;
+  // Each boundary is the first row whose cumulative weight reaches the
+  // even share; rowptr is nondecreasing, so binary search suffices.
+  for (int p = 1; p < nparts; ++p) {
+    const Long target = total * p / nparts;
+    auto it = std::lower_bound(rowptr.begin(), rowptr.begin() + nrows + 1,
+                               Int(std::min<Long>(target, rowptr[nrows])));
+    Int row = Int(it - rowptr.begin());
+    bounds[p] = std::clamp(row, bounds[p - 1], nrows);
+  }
+  return bounds;
+}
+
+}  // namespace hpamg

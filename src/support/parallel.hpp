@@ -1,0 +1,75 @@
+// Thread-parallel primitives built on OpenMP: parallel_for, reductions,
+// prefix sums, and work partitioning helpers (by range and by weight).
+//
+// These are the building blocks behind the paper's "other optimizations"
+// (SC'15 §3.3): prefix-sum-parallelized matrix creation and nnz-balanced
+// partitioning of rows among threads.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace hpamg {
+
+/// Number of OpenMP threads a parallel region will use.
+inline int num_threads() { return omp_get_max_threads(); }
+
+/// Evenly split [0, n) into nparts chunks; returns the [begin, end) of part p.
+inline std::pair<Int, Int> chunk_range(Int n, int nparts, int p) {
+  Long lo = Long(n) * p / nparts;
+  Long hi = Long(n) * (p + 1) / nparts;
+  return {Int(lo), Int(hi)};
+}
+
+/// Parallel loop over [begin, end) with static scheduling.
+template <typename F>
+void parallel_for(Int begin, Int end, F&& f) {
+#pragma omp parallel for schedule(static)
+  for (Int i = begin; i < end; ++i) f(i);
+}
+
+/// Parallel loop with dynamic scheduling for irregular per-row work.
+template <typename F>
+void parallel_for_dynamic(Int begin, Int end, F&& f) {
+#pragma omp parallel for schedule(dynamic, 64)
+  for (Int i = begin; i < end; ++i) f(i);
+}
+
+/// Parallel sum-reduction of f(i) over [begin, end).
+template <typename F>
+double parallel_reduce_sum(Int begin, Int end, F&& f) {
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (Int i = begin; i < end; ++i) acc += f(i);
+  return acc;
+}
+
+/// Parallel max-reduction of f(i) over [begin, end).
+template <typename F>
+double parallel_reduce_max(Int begin, Int end, F&& f) {
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : acc)
+  for (Int i = begin; i < end; ++i) acc = std::max(acc, f(i));
+  return acc;
+}
+
+/// Rowptr-style prefix sum: v holds per-row counts at v[i + 1] with
+/// v[0] == 0; on return v[i] is the cumulative offset of row i and v.back()
+/// the total (i.e. an in-place inclusive scan). Returns the total.
+/// Parallelized with per-thread partial sums (two sweeps).
+Long exclusive_scan(std::vector<Int>& v);
+
+/// Long-counter overload.
+Long exclusive_scan(std::vector<Long>& v);
+
+/// Partition rows [0, nrows) among nparts workers so each gets roughly the
+/// same total weight (e.g. nonzeros per row given as rowptr differences).
+/// Returns nparts + 1 boundaries. Used for nnz-balanced transpose (§3.3).
+std::vector<Int> partition_by_weight(const std::vector<Int>& rowptr,
+                                     int nparts);
+
+}  // namespace hpamg

@@ -1,0 +1,59 @@
+// Counter-based splittable random number generator.
+//
+// PMIS coarsening assigns each grid point an independent random value. The
+// paper parallelizes this with the MKL parallel RNG (§3.3); we substitute a
+// counter-based generator (Philox-style mixing) that is deterministic per
+// (seed, counter) and therefore embarrassingly parallel: thread t can
+// generate value(i) for any i with no shared state.
+#pragma once
+
+#include <cmath>
+
+#include "support/common.hpp"
+#include "support/hash.hpp"
+
+namespace hpamg {
+
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  /// 64 uniformly mixed bits for counter i.
+  std::uint64_t bits(std::uint64_t i) const {
+    return hash_mix(hash_mix(seed_ ^ 0x5851f42d4c957f2dull) + i);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform(std::uint64_t i) const {
+    return double(bits(i) >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller on two decorrelated counters.
+  double normal(std::uint64_t i) const {
+    double u1 = uniform(2 * i);
+    double u2 = uniform(2 * i + 1);
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+  }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  std::uint64_t seed_;
+};
+
+/// Sequential (stateful) LCG mirroring HYPRE's simple serial RNG; used to
+/// model the baseline's sequential PMIS random number generation.
+class SequentialRng {
+ public:
+  explicit SequentialRng(std::uint64_t seed) : state_(seed | 1) {}
+
+  double next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return double(state_ >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hpamg

@@ -1,0 +1,101 @@
+#include "support/sort.hpp"
+
+#include <algorithm>
+
+#include "support/parallel.hpp"
+
+namespace hpamg {
+
+namespace {
+
+// Sort chunks in parallel, then do a tree of pairwise merges. Duplicates are
+// eliminated with std::unique after each merge (merge keeps runs sorted so a
+// linear unique pass suffices).
+template <typename T>
+std::vector<T> sort_unique_impl(std::vector<T> keys) {
+  const Int n = Int(keys.size());
+  const int nt = num_threads();
+  if (n < 4096 || nt == 1) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+  }
+  std::vector<std::vector<T>> runs(nt);
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    auto [lo, hi] = chunk_range(n, nt, t);
+    auto& r = runs[t];
+    r.assign(keys.begin() + lo, keys.begin() + hi);
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+  }
+  // Pairwise merge tree; each level halves the number of runs. Merges at the
+  // same level are independent and run in parallel.
+  for (int width = 1; width < nt; width *= 2) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int t = 0; t < nt; t += 2 * width) {
+      if (t + width >= nt) continue;
+      auto& a = runs[t];
+      auto& b = runs[t + width];
+      std::vector<T> merged;
+      merged.reserve(a.size() + b.size());
+      std::merge(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      a = std::move(merged);
+      b.clear();
+      b.shrink_to_fit();
+    }
+  }
+  return std::move(runs[0]);
+}
+
+}  // namespace
+
+std::vector<Long> parallel_sort_unique(std::vector<Long> keys) {
+  return sort_unique_impl(std::move(keys));
+}
+
+std::vector<Int> parallel_sort_unique(std::vector<Int> keys) {
+  return sort_unique_impl(std::move(keys));
+}
+
+void parallel_counting_sort(Int n, Int nkeys, const Int* keys,
+                            std::vector<Int>& order,
+                            std::vector<Int>& bucket_ptr) {
+  const int nt = num_threads();
+  order.resize(n);
+  bucket_ptr.assign(nkeys + 1, 0);
+  // Per-thread histograms: counts[t][k] = #items with key k in thread t's
+  // chunk. Laid out so the offset pass below assigns each (key, thread)
+  // pair a disjoint output range, preserving stability within a thread.
+  std::vector<std::vector<Int>> counts(nt, std::vector<Int>(nkeys, 0));
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    auto [lo, hi] = chunk_range(n, nt, t);
+    auto& c = counts[t];
+    for (Int i = lo; i < hi; ++i) ++c[keys[i]];
+  }
+  // Exclusive scan over (key-major, thread-minor) order.
+  Long run = 0;
+  for (Int k = 0; k < nkeys; ++k) {
+    bucket_ptr[k] = Int(run);
+    for (int t = 0; t < nt; ++t) {
+      Int c = counts[t][k];
+      counts[t][k] = Int(run);
+      run += c;
+    }
+  }
+  bucket_ptr[nkeys] = Int(run);
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    auto [lo, hi] = chunk_range(n, nt, t);
+    auto& c = counts[t];
+    for (Int i = lo; i < hi; ++i) order[c[keys[i]]++] = i;
+  }
+}
+
+}  // namespace hpamg

@@ -1,0 +1,32 @@
+// Parallel sorting utilities:
+//  - parallel merge sort with duplicate elimination (SC'15 §4.2 uses a
+//    Satish-style parallel merge sort "with a modification that also
+//    eliminates duplicates" to merge thread-private hash tables of new
+//    column indices into a sorted colmap);
+//  - parallel counting sort used for the matrix transpose (§3.3).
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace hpamg {
+
+/// Sort `keys` ascending and remove duplicates, in parallel.
+/// Each thread sorts a chunk, then chunks are merged pairwise; duplicate
+/// elimination happens during the merges and a final sweep.
+std::vector<Long> parallel_sort_unique(std::vector<Long> keys);
+
+/// Int overload.
+std::vector<Int> parallel_sort_unique(std::vector<Int> keys);
+
+/// Stable parallel counting sort of n items whose keys lie in [0, nkeys).
+/// `key(i)` maps item i to its bucket. Returns the permutation `order` such
+/// that iterating order[0..n) visits items grouped by ascending key, and
+/// fills `bucket_ptr` (size nkeys + 1) with group boundaries.
+/// This is the engine of the parallel transpose: keys are column indices.
+void parallel_counting_sort(Int n, Int nkeys, const Int* keys,
+                            std::vector<Int>& order,
+                            std::vector<Int>& bucket_ptr);
+
+}  // namespace hpamg

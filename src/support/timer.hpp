@@ -1,0 +1,88 @@
+// Wall-clock timing and a named-phase registry used by the AMG solver and
+// benchmarks to produce the per-kernel breakdowns of Fig 5 / Fig 7.
+#pragma once
+
+#include <ctime>
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace hpamg {
+
+/// Per-thread CPU-time stopwatch. Inside simmpi (many rank-threads
+/// timesharing the host's cores) this measures a rank's actual compute
+/// work, excluding time spent blocked on receives or descheduled — the
+/// quantity a dedicated node would spend.
+class CpuTimer {
+ public:
+  CpuTimer() { reset(); }
+  void reset() { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &start_); }
+  double seconds() const {
+    timespec now;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &now);
+    return double(now.tv_sec - start_.tv_sec) +
+           1e-9 * double(now.tv_nsec - start_.tv_nsec);
+  }
+
+ private:
+  timespec start_;
+};
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates seconds per named phase (e.g. "RAP", "Interp", "GS").
+class PhaseTimes {
+ public:
+  void add(const std::string& phase, double sec) { times_[phase] += sec; }
+  double get(const std::string& phase) const {
+    auto it = times_.find(phase);
+    return it == times_.end() ? 0.0 : it->second;
+  }
+  double total() const {
+    double t = 0;
+    for (auto& [k, v] : times_) t += v;
+    return t;
+  }
+  const std::map<std::string, double>& all() const { return times_; }
+  void clear() { times_.clear(); }
+  /// Merges another breakdown into this one.
+  void merge(const PhaseTimes& other) {
+    for (auto& [k, v] : other.times_) times_[k] += v;
+  }
+
+ private:
+  std::map<std::string, double> times_;
+};
+
+/// RAII helper: adds elapsed time to a phase on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimes& pt, std::string phase)
+      : pt_(pt), phase_(std::move(phase)) {}
+  ~ScopedPhase() { pt_.add(phase_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimes& pt_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace hpamg

@@ -1,0 +1,240 @@
+// Tests for the solver extensions: W-cycles, explicit hybrid-GS partition
+// counts, the fused lexicographic GS + SpMV kernel, and failure-injection /
+// degenerate-input behaviour of the hierarchy builder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amg/solver.hpp"
+#include "amg/spmv.hpp"
+#include "gen/stencil.hpp"
+#include "test_util.hpp"
+
+namespace hpamg {
+namespace {
+
+// ----------------------------------------------------------------- wcycle --
+
+TEST(WCycle, ConvergesAndNeedsNoMoreIterationsThanV) {
+  CSRMatrix A = lap2d_5pt(40, 40, 8.0);  // anisotropic: V-cycle struggles more
+  AMGOptions v_opts, w_opts;
+  w_opts.cycle_gamma = 2;
+  AMGSolver v_solver(A, v_opts), w_solver(A, w_opts);
+  Vector b(A.nrows, 1.0), xv(A.nrows, 0.0), xw(A.nrows, 0.0);
+  SolveResult rv = v_solver.solve(b, xv, 1e-8, 200);
+  SolveResult rw = w_solver.solve(b, xw, 1e-8, 200);
+  ASSERT_TRUE(rv.converged);
+  ASSERT_TRUE(rw.converged);
+  EXPECT_LE(rw.iterations, rv.iterations);
+}
+
+TEST(WCycle, BaselineVariantToo) {
+  CSRMatrix A = lap2d_5pt(25, 25);
+  AMGOptions o;
+  o.variant = Variant::kBaseline;
+  o.cycle_gamma = 2;
+  AMGSolver amg(A, o);
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  EXPECT_TRUE(amg.solve(b, x, 1e-7, 100).converged);
+}
+
+TEST(WCycle, GammaThreeStillConverges) {
+  CSRMatrix A = lap3d_7pt(10, 10, 10);
+  AMGOptions o;
+  o.cycle_gamma = 3;
+  AMGSolver amg(A, o);
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  EXPECT_TRUE(amg.solve(b, x, 1e-7, 100).converged);
+}
+
+// ------------------------------------------------------------ partitions ---
+
+TEST(GsPartitions, MorePartitionsWeakenConvergenceMonotonically) {
+  // Hybrid GS degrades toward Jacobi as partitions shrink toward single
+  // rows — the effect behind the paper's AmgX iteration-count comparison.
+  CSRMatrix A = lap2d_5pt(40, 40);
+  Vector b(A.nrows, 1.0);
+  Int iters_1 = 0, iters_14 = 0, iters_200 = 0;
+  for (auto [parts, out] : {std::pair<int, Int*>{1, &iters_1},
+                            {14, &iters_14},
+                            {200, &iters_200}}) {
+    AMGOptions o;
+    o.gs_partitions = parts;
+    AMGSolver amg(A, o);
+    Vector x(A.nrows, 0.0);
+    SolveResult r = amg.solve(b, x, 1e-7, 300);
+    ASSERT_TRUE(r.converged) << parts;
+    *out = r.iterations;
+  }
+  EXPECT_LE(iters_1, iters_14);
+  EXPECT_LE(iters_14, iters_200);
+}
+
+TEST(GsPartitions, SweepEquivalenceAcrossPartitionings) {
+  // Any partition count gives a valid hybrid sweep; with 1 partition it is
+  // exactly sequential GS.
+  CSRMatrix A = test::random_spd(100, 4, 3);
+  A.sort_rows();
+  HybridGSOptimized gs1(A, 1);
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0), t(A.nrows), ref(A.nrows, 0.0);
+  gs1.sweep(b, x, t, 0, A.nrows, true);
+  for (Int i = 0; i < A.nrows; ++i) {
+    double acc = b[i];
+    double diag = 1.0;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int j = A.colidx[k];
+      if (j == i)
+        diag = A.values[k];
+      else
+        acc -= A.values[k] * ref[j];
+    }
+    ref[i] = acc / diag;
+  }
+  for (Int i = 0; i < A.nrows; ++i) ASSERT_NEAR(x[i], ref[i], 1e-12);
+}
+
+// -------------------------------------------------------------- fused gs ---
+
+TEST(FusedLexGs, MatchesSweepPlusResidual) {
+  CSRMatrix A = test::random_spd(150, 4, 7);  // symmetric: fusion valid
+  A.sort_rows();
+  LexGS lex(A);
+  Vector b(A.nrows, 1.0);
+  Vector x1(A.nrows, 0.0), x2(A.nrows, 0.0), r1(A.nrows), r2(A.nrows);
+  spmv_residual(A, x2, b, r2);
+  for (int s = 0; s < 4; ++s) {
+    lex.sweep(A, b, x1);
+    spmv_residual(A, x1, b, r1);
+    lex.sweep_fused_residual(A, x2, r2);
+    for (Int i = 0; i < A.nrows; ++i) {
+      ASSERT_NEAR(x1[i], x2[i], 1e-11);
+      ASSERT_NEAR(r1[i], r2[i], 1e-10);
+    }
+  }
+}
+
+TEST(FusedLexGs, MaintainsExactResidualInvariant) {
+  CSRMatrix A = lap2d_5pt(20, 20);
+  LexGS lex(A);
+  Vector b(A.nrows, 2.0), x(A.nrows, 0.0), r(A.nrows);
+  spmv_residual(A, x, b, r);
+  for (int s = 0; s < 10; ++s) lex.sweep_fused_residual(A, x, r);
+  Vector r_true(A.nrows);
+  spmv_residual(A, x, b, r_true);
+  for (Int i = 0; i < A.nrows; ++i) ASSERT_NEAR(r[i], r_true[i], 1e-9);
+}
+
+// ------------------------------------------------------ failure injection --
+
+TEST(Degenerate, OneByOneMatrix) {
+  CSRMatrix A = CSRMatrix::from_triplets(1, 1, {{0, 0, 2.0}});
+  AMGSolver amg(A, {});
+  Vector b = {4.0}, x = {0.0};
+  SolveResult r = amg.solve(b, x, 1e-12, 10);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+}
+
+TEST(Degenerate, DiagonalMatrixSolvesDirectly) {
+  const Int n = 500;  // above coarse_size: exercises "cannot coarsen" exit
+  std::vector<Triplet> t;
+  for (Int i = 0; i < n; ++i) t.push_back({i, i, double(i % 7 + 1)});
+  CSRMatrix A = CSRMatrix::from_triplets(n, n, std::move(t));
+  AMGSolver amg(A, {});
+  Vector b(n, 1.0), x(n, 0.0);
+  SolveResult r = amg.solve(b, x, 1e-10, 100);
+  EXPECT_TRUE(r.converged);
+  for (Int i = 0; i < n; ++i) ASSERT_NEAR(x[i] * double(i % 7 + 1), 1.0, 1e-8);
+}
+
+TEST(Degenerate, DisconnectedBlocksSolve) {
+  // Two independent grids in one matrix.
+  CSRMatrix B = lap2d_5pt(12, 12);
+  std::vector<Triplet> t;
+  for (Int i = 0; i < B.nrows; ++i)
+    for (Int k = B.rowptr[i]; k < B.rowptr[i + 1]; ++k) {
+      t.push_back({i, B.colidx[k], B.values[k]});
+      t.push_back({i + B.nrows, B.colidx[k] + B.nrows, B.values[k]});
+    }
+  CSRMatrix A = CSRMatrix::from_triplets(2 * B.nrows, 2 * B.nrows,
+                                         std::move(t));
+  AMGSolver amg(A, {});
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  EXPECT_TRUE(amg.solve(b, x, 1e-7, 100).converged);
+}
+
+TEST(Degenerate, NonSquareRejected) {
+  CSRMatrix A(4, 5);
+  EXPECT_THROW(build_hierarchy(A, {}), std::invalid_argument);
+}
+
+TEST(Degenerate, WrongVectorSizesRejected) {
+  CSRMatrix A = lap2d_5pt(8, 8);
+  AMGSolver amg(A, {});
+  Vector b(10, 1.0), x(A.nrows, 0.0);
+  EXPECT_THROW(amg.solve(b, x), std::invalid_argument);
+}
+
+TEST(Degenerate, MassMatrixLikeAllWeakRows) {
+  // Strongly diagonally dominant rows with large row sums: max_row_sum
+  // strips all strong connections; everything becomes F and the hierarchy
+  // collapses to smoothing + the "cannot coarsen" exit. Must still solve.
+  const Int n = 300;
+  std::vector<Triplet> t;
+  for (Int i = 0; i < n; ++i) {
+    t.push_back({i, i, 10.0});
+    if (i + 1 < n) {
+      t.push_back({i, i + 1, -0.1});
+      t.push_back({i + 1, i, -0.1});
+    }
+  }
+  CSRMatrix A = CSRMatrix::from_triplets(n, n, std::move(t));
+  AMGSolver amg(A, {});
+  EXPECT_EQ(amg.hierarchy().num_levels(), 1);  // nothing coarsenable
+  Vector b(n, 1.0), x(n, 0.0);
+  EXPECT_TRUE(amg.solve(b, x, 1e-10, 200).converged);
+}
+
+TEST(Degenerate, HugeCoarseLevelFallsBackToSmoothing) {
+  // max_levels = 2 leaves a coarse level too large for dense LU; the
+  // coarse solve must fall back to smoothing sweeps and still converge
+  // (more V-cycles).
+  CSRMatrix A = lap2d_5pt(60, 60);
+  AMGOptions o;
+  o.max_levels = 2;
+  AMGSolver amg(A, o);
+  EXPECT_EQ(amg.hierarchy().coarse_lu.size(), 0);  // no LU built
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  SolveResult r = amg.solve(b, x, 1e-7, 300);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Degenerate, NegativeDefiniteOperator) {
+  // -Laplacian: negative diagonal flips the strength sign convention;
+  // the solver must still work.
+  CSRMatrix A = lap2d_5pt(20, 20);
+  for (auto& v : A.values) v = -v;
+  AMGSolver amg(A, {});
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  SolveResult r = amg.solve(b, x, 1e-7, 100);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Degenerate, RepeatedSolvesReuseHierarchy) {
+  CSRMatrix A = lap2d_5pt(20, 20);
+  AMGSolver amg(A, {});
+  Vector b(A.nrows, 1.0);
+  Int first = 0;
+  for (int s = 0; s < 3; ++s) {
+    Vector x(A.nrows, 0.0);
+    SolveResult r = amg.solve(b, x, 1e-7, 100);
+    ASSERT_TRUE(r.converged);
+    if (s == 0)
+      first = r.iterations;
+    else
+      EXPECT_EQ(r.iterations, first);  // deterministic reuse
+  }
+}
+
+}  // namespace
+}  // namespace hpamg

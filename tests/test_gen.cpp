@@ -1,0 +1,203 @@
+// Problem-generator tests: every operator in the Table 2 suite and the
+// multi-node inputs must be a well-formed, symmetric, diagonally dominant
+// M-matrix-like operator of roughly the documented density.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/amg2013.hpp"
+#include "gen/graph.hpp"
+#include "gen/reservoir.hpp"
+#include "gen/stencil.hpp"
+#include "gen/suite.hpp"
+#include "test_util.hpp"
+
+namespace hpamg {
+namespace {
+
+void expect_symmetric(const CSRMatrix& A, double tol = 1e-12) {
+  for (Int i = 0; i < std::min<Int>(A.nrows, 500); ++i)
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+      ASSERT_NEAR(A.values[k], A.at(A.colidx[k], i), tol)
+          << "asym at (" << i << "," << A.colidx[k] << ")";
+}
+
+void expect_weak_diag_dominance(const CSRMatrix& A, double slack = 1e-9) {
+  for (Int i = 0; i < A.nrows; ++i) {
+    double diag = 0.0, off = 0.0;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      if (A.colidx[k] == i)
+        diag = A.values[k];
+      else
+        off += std::abs(A.values[k]);
+    }
+    ASSERT_GE(diag + slack, off) << "row " << i;
+    ASSERT_GT(diag, 0.0) << "row " << i;
+  }
+}
+
+TEST(Stencil, Lap2d5ptInteriorRow) {
+  CSRMatrix A = lap2d_5pt(5, 5);
+  A.validate();
+  EXPECT_EQ(A.nrows, 25);
+  // Interior point (2,2) = row 12: diagonal 4, four -1 neighbors.
+  EXPECT_DOUBLE_EQ(A.at(12, 12), 4.0);
+  EXPECT_DOUBLE_EQ(A.at(12, 11), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(12, 13), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(12, 7), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(12, 17), -1.0);
+  EXPECT_EQ(A.row_nnz(12), 5);
+  // Dirichlet: corner diagonal still 4 (dropped neighbors contribute).
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 4.0);
+  expect_symmetric(A);
+}
+
+TEST(Stencil, Lap3d27ptDensity) {
+  CSRMatrix A = lap3d_27pt(8, 8, 8);
+  A.validate();
+  expect_symmetric(A);
+  expect_weak_diag_dominance(A);
+  // Interior rows have 27 entries; HPCG's stencil.
+  const Int mid = grid_index(4, 4, 4, 8, 8);
+  EXPECT_EQ(A.row_nnz(mid), 27);
+  EXPECT_DOUBLE_EQ(A.at(mid, mid), 26.0);
+}
+
+TEST(Stencil, AnisotropyScalesCoupling) {
+  CSRMatrix A = lap2d_5pt(6, 6, 8.0);
+  const Int mid = grid_index(3, 3, 0, 6, 6);
+  EXPECT_DOUBLE_EQ(A.at(mid, mid - 1), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(mid, mid - 6), -8.0);
+}
+
+TEST(Stencil, CoefficientFieldUsesHarmonicMean) {
+  auto coeff = [](Int x, Int, Int) { return x == 0 ? 1.0 : 4.0; };
+  CSRMatrix A = lap2d_5pt(2, 1, 1.0, coeff);
+  // Face between cells 0 and 1: 2*1*4/(1+4) = 1.6.
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -1.6);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), -1.6);
+}
+
+TEST(Stencil, SkewAnd13ptShapes) {
+  CSRMatrix S = lap2d_7pt_skew(10, 10);
+  S.validate();
+  expect_symmetric(S);
+  CSRMatrix T = lap3d_13pt(6, 6, 6);
+  T.validate();
+  expect_symmetric(T);
+  const Int mid = grid_index(3, 3, 3, 6, 6);
+  EXPECT_EQ(T.row_nnz(mid), 13);
+}
+
+TEST(Graph, CircuitLikeIsSymmetricSolvableLaplacian) {
+  CSRMatrix A = circuit_like(30, 30);
+  A.validate();
+  expect_symmetric(A, 1e-10);
+  expect_weak_diag_dominance(A);
+  const double nnz_per_row = double(A.nnz()) / A.nrows;
+  EXPECT_GT(nnz_per_row, 4.0);
+  EXPECT_LT(nnz_per_row, 7.0);
+}
+
+TEST(Graph, ThermalLikeHasCoefficientSpread) {
+  CSRMatrix A = thermal_like(40, 40);
+  A.validate();
+  expect_symmetric(A, 1e-9);
+  expect_weak_diag_dominance(A);
+  double dmin = 1e300, dmax = 0;
+  for (Int i = 0; i < A.nrows; ++i) {
+    dmin = std::min(dmin, A.diag(i));
+    dmax = std::max(dmax, A.diag(i));
+  }
+  EXPECT_GT(dmax / dmin, 100.0);  // graded conductivity
+}
+
+TEST(Graph, TwoCubesHasJumpAndShellCouplings) {
+  CSRMatrix A = two_cubes_like(12, 12, 12);
+  A.validate();
+  expect_symmetric(A, 1e-9);
+  expect_weak_diag_dominance(A);
+  const double nnz_per_row = double(A.nnz()) / A.nrows;
+  EXPECT_GT(nnz_per_row, 7.0);
+}
+
+TEST(Amg2013Like, SemiStructuredDensity) {
+  CSRMatrix A = amg2013_like(16, 16, 16);
+  A.validate();
+  expect_symmetric(A, 1e-9);
+  expect_weak_diag_dominance(A);
+  const double nnz_per_row = double(A.nnz()) / A.nrows;
+  EXPECT_GT(nnz_per_row, 6.5);
+  EXPECT_LT(nnz_per_row, 9.5);  // paper: ~8 nnz/row
+}
+
+TEST(Reservoir, PermeabilityFieldIsLogNormalWithJumps) {
+  ReservoirOptions opt;
+  std::vector<double> K = permeability_field(20, 20, 20, opt);
+  double kmin = 1e300, kmax = 0;
+  for (double k : K) {
+    ASSERT_GT(k, 0.0);
+    kmin = std::min(kmin, k);
+    kmax = std::max(kmax, k);
+  }
+  EXPECT_GT(kmax / kmin, 1e3);  // orders-of-magnitude contrast
+}
+
+TEST(Reservoir, FieldIsSpatiallyCorrelated) {
+  ReservoirOptions opt;
+  std::vector<double> K = permeability_field(30, 30, 1, opt);
+  // Neighboring cells correlate far more than distant ones.
+  double near = 0, far = 0;
+  int cnt = 0;
+  for (Int y = 0; y < 30; ++y)
+    for (Int x = 0; x + 10 < 30; ++x) {
+      const double a = std::log(K[y * 30 + x]);
+      near += std::abs(a - std::log(K[y * 30 + x + 1]));
+      far += std::abs(a - std::log(K[y * 30 + x + 10]));
+      ++cnt;
+    }
+  EXPECT_LT(near / cnt, 0.7 * far / cnt);
+}
+
+TEST(Reservoir, MatrixWellFormed) {
+  CSRMatrix A = reservoir_matrix(12, 12, 12);
+  A.validate();
+  expect_symmetric(A, 1e-9);
+  expect_weak_diag_dominance(A);
+}
+
+TEST(Suite, RegistryMatchesTable2) {
+  const auto& suite = table2_suite();
+  ASSERT_EQ(suite.size(), 14u);
+  EXPECT_EQ(suite[0].name, "2cubes_sphere");
+  EXPECT_EQ(suite[10].name, "lap3d_128");
+  EXPECT_EQ(suite[10].paper_rows, 2097152);
+  EXPECT_EQ(suite[10].paper_nnz_per_row, 27);
+  EXPECT_THROW(suite_entry("nonexistent"), std::invalid_argument);
+}
+
+class SuiteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteSweep, GeneratesWellFormedOperatorAtScale) {
+  const SuiteEntry& e = table2_suite()[GetParam()];
+  CSRMatrix A = generate_suite_matrix(e.name, 0.002);
+  A.validate();
+  ASSERT_GT(A.nrows, 0);
+  // Density within 2.5x of the paper's nnz/row (small sizes have more
+  // boundary rows, so allow slack).
+  const double nnz_per_row = double(A.nnz()) / A.nrows;
+  EXPECT_GT(nnz_per_row, e.paper_nnz_per_row / 2.5) << e.name;
+  EXPECT_LT(nnz_per_row, e.paper_nnz_per_row * 2.5) << e.name;
+  expect_weak_diag_dominance(A);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, SuiteSweep, ::testing::Range(0, 14));
+
+TEST(Suite, ScaleControlsSize) {
+  CSRMatrix small = generate_suite_matrix("ecology2", 0.001);
+  CSRMatrix larger = generate_suite_matrix("ecology2", 0.004);
+  EXPECT_GT(larger.nrows, 2 * small.nrows);
+}
+
+}  // namespace
+}  // namespace hpamg

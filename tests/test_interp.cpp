@@ -1,0 +1,336 @@
+// Interpolation operator tests: direct, extended+i (Eq. 1) and multipass,
+// plus truncation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amg/interp_classical.hpp"
+#include "amg/interp_extpi.hpp"
+#include "amg/interp_multipass.hpp"
+#include "amg/pmis.hpp"
+#include "amg/strength.hpp"
+#include "amg/truncate.hpp"
+#include "gen/stencil.hpp"
+#include "matrix/transpose.hpp"
+#include "test_util.hpp"
+
+namespace hpamg {
+namespace {
+
+struct Splitting {
+  CSRMatrix A, S;
+  CFMarker cf;
+  Int nc;
+};
+
+Splitting make_splitting(CSRMatrix A, std::uint64_t seed = 1) {
+  Splitting sp;
+  sp.A = std::move(A);
+  sp.S = strength_matrix(sp.A, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(sp.S);
+  PmisOptions po;
+  po.seed = seed;
+  sp.cf = pmis_coarsen(sp.S, ST, po);
+  sp.nc = count_coarse(sp.cf);
+  return sp;
+}
+
+void expect_interp_shape(const CSRMatrix& P, const Splitting& sp) {
+  P.validate();
+  EXPECT_EQ(P.nrows, sp.A.nrows);
+  EXPECT_EQ(P.ncols, sp.nc);
+  // C rows are exact identity in the compact coarse numbering.
+  Int c = 0;
+  for (Int i = 0; i < P.nrows; ++i) {
+    if (sp.cf[i] > 0) {
+      ASSERT_EQ(P.row_nnz(i), 1);
+      EXPECT_EQ(P.colidx[P.rowptr[i]], c);
+      EXPECT_DOUBLE_EQ(P.values[P.rowptr[i]], 1.0);
+      ++c;
+    }
+  }
+}
+
+/// For Laplacian-like rows (zero row sums, all-negative off-diagonals), any
+/// consistent interpolation has unit row sums: constants interpolate
+/// exactly.
+void expect_unit_rowsums_interior(const CSRMatrix& P, const CSRMatrix& A,
+                                  const CFMarker& cf, double tol = 1e-10) {
+  for (Int i = 0; i < P.nrows; ++i) {
+    if (cf[i] > 0 || P.row_nnz(i) == 0) continue;
+    double asum = 0.0;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) asum += A.values[k];
+    if (std::abs(asum) > 1e-12) continue;  // boundary row: skip
+    double psum = 0.0;
+    for (Int k = P.rowptr[i]; k < P.rowptr[i + 1]; ++k) psum += P.values[k];
+    EXPECT_NEAR(psum, 1.0, tol) << "row " << i;
+  }
+}
+
+// A Laplacian with pure Neumann-like interior: use periodic-free interior
+// rows of a large enough grid so many rows have zero row sum? Dirichlet
+// folding keeps the row sum nonzero only at boundaries, interior rows of
+// lap2d_5pt sum to 0.
+TEST(ExtPI, ShapeAndConstantInterpolationOnLap2d) {
+  Splitting sp = make_splitting(lap2d_5pt(20, 20));
+  ExtPIOptions opt;
+  opt.truncation.trunc_fact = 0.0;
+  opt.truncation.max_elmts = 0;  // no truncation: exact Eq. (1)
+  CSRMatrix P = extpi_interp(sp.A, sp.S, sp.cf, opt);
+  expect_interp_shape(P, sp);
+  expect_unit_rowsums_interior(P, sp.A, sp.cf);
+  // Every F row with strong connections interpolates from something.
+  for (Int i = 0; i < P.nrows; ++i)
+    if (sp.cf[i] <= 0 && sp.S.row_nnz(i) > 0) EXPECT_GT(P.row_nnz(i), 0);
+}
+
+TEST(ExtPI, TruncationPreservesRowSumsAndCapsEntries) {
+  Splitting sp = make_splitting(lap3d_7pt(8, 8, 8));
+  ExtPIOptions full;
+  full.truncation.trunc_fact = 0.0;
+  full.truncation.max_elmts = 0;
+  ExtPIOptions trunc;  // Table 3 defaults: 0.1 / 4
+  CSRMatrix Pf = extpi_interp(sp.A, sp.S, sp.cf, full);
+  CSRMatrix Pt = extpi_interp(sp.A, sp.S, sp.cf, trunc);
+  EXPECT_LE(Pt.nnz(), Pf.nnz());
+  for (Int i = 0; i < Pt.nrows; ++i) {
+    if (sp.cf[i] > 0) continue;
+    EXPECT_LE(Pt.row_nnz(i), 4);
+    if (Pf.row_nnz(i) == 0) continue;
+    double sf = 0, st = 0;
+    for (Int k = Pf.rowptr[i]; k < Pf.rowptr[i + 1]; ++k) sf += Pf.values[k];
+    for (Int k = Pt.rowptr[i]; k < Pt.rowptr[i + 1]; ++k) st += Pt.values[k];
+    EXPECT_NEAR(sf, st, 1e-9 * std::max(1.0, std::abs(sf)));
+  }
+}
+
+TEST(ExtPI, FusedAndSeparateTruncationAgree) {
+  Splitting sp = make_splitting(lap2d_5pt(25, 17), 5);
+  ExtPIOptions fused, separate;
+  fused.fused_truncation = true;
+  separate.fused_truncation = false;
+  CSRMatrix Pa = extpi_interp(sp.A, sp.S, sp.cf, fused);
+  CSRMatrix Pb = extpi_interp(sp.A, sp.S, sp.cf, separate);
+  Pa.sort_rows();
+  Pb.sort_rows();
+  EXPECT_TRUE(csr_approx_equal(Pa, Pb, 1e-12));
+}
+
+class ExtPISweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtPISweep, WellFormedOnRandomSpd) {
+  Splitting sp = make_splitting(test::random_spd(300, 4, GetParam()),
+                                GetParam() + 9);
+  CSRMatrix P = extpi_interp(sp.A, sp.S, sp.cf);
+  expect_interp_shape(P, sp);
+  // Weights bounded (no blow-up from tiny b_ik).
+  for (double v : P.values) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LT(std::abs(v), 1e3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtPISweep, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(DirectInterp, ShapeAndRowSums) {
+  Splitting sp = make_splitting(lap2d_5pt(16, 16));
+  CSRMatrix P = direct_interp(sp.A, sp.S, sp.cf);
+  expect_interp_shape(P, sp);
+  expect_unit_rowsums_interior(P, sp.A, sp.cf);
+}
+
+/// Periodic 2-D Laplacian: every row sums to zero, so constant vectors are
+/// in the near-nullspace everywhere — the clean setting for row-sum checks
+/// (multipass substitution chains would otherwise pick up Dirichlet
+/// boundary deficits from neighbors' rows).
+CSRMatrix periodic_lap2d(Int nx, Int ny) {
+  std::vector<Triplet> t;
+  for (Int y = 0; y < ny; ++y)
+    for (Int x = 0; x < nx; ++x) {
+      const Int i = y * nx + x;
+      t.push_back({i, i, 4.0});
+      t.push_back({i, y * nx + (x + 1) % nx, -1.0});
+      t.push_back({i, y * nx + (x + nx - 1) % nx, -1.0});
+      t.push_back({i, ((y + 1) % ny) * nx + x, -1.0});
+      t.push_back({i, ((y + ny - 1) % ny) * nx + x, -1.0});
+    }
+  return CSRMatrix::from_triplets(nx * ny, nx * ny, std::move(t));
+}
+
+TEST(Multipass, CoversAllPointsUnderAggressiveCoarsening) {
+  CSRMatrix A = periodic_lap2d(24, 24);
+  CSRMatrix S = strength_matrix(A, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(S);
+  CFMarker cf = pmis_aggressive(S, ST);
+  MultipassOptions opt;
+  CSRMatrix P = multipass_interp(A, S, cf, opt);
+  P.validate();
+  EXPECT_EQ(P.ncols, count_coarse(cf));
+  // Aggressive coarsening leaves distance-2 F points; multipass must still
+  // reach (almost) everyone through neighbor substitution.
+  Int empty = 0;
+  for (Int i = 0; i < P.nrows; ++i)
+    if (cf[i] <= 0 && P.row_nnz(i) == 0) ++empty;
+  EXPECT_LT(empty, P.nrows / 50);
+  expect_unit_rowsums_interior(P, A, cf, 1e-9);
+}
+
+TEST(Multipass, RespectsMaxElements) {
+  CSRMatrix A = lap3d_7pt(8, 8, 8);
+  CSRMatrix S = strength_matrix(A, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(S);
+  CFMarker cf = pmis_aggressive(S, ST);
+  MultipassOptions opt;  // defaults: 0.1 / 4
+  CSRMatrix P = multipass_interp(A, S, cf, opt);
+  for (Int i = 0; i < P.nrows; ++i)
+    if (cf[i] <= 0) EXPECT_LE(P.row_nnz(i), 4);
+}
+
+
+// --------------------------------------------------- partitioned variant --
+
+/// CF-permuted fixture: coarse points first, matching what the optimized
+/// hierarchy feeds extpi_interp_partitioned.
+struct PermutedSplitting {
+  CSRMatrix A, S;
+  CFMarker cf;
+  Int nc;
+};
+
+PermutedSplitting make_permuted(CSRMatrix A0, std::uint64_t seed) {
+  CSRMatrix S0 = strength_matrix(A0, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(S0);
+  PmisOptions po;
+  po.seed = seed;
+  CFMarker cf0 = pmis_coarsen(S0, ST, po);
+  CFPermutation p = cf_permutation(cf0);
+  PermutedSplitting ps;
+  ps.nc = p.ncoarse;
+  ps.A = permute_symmetric(A0, p);
+  ps.A.sort_rows();
+  ps.S = permute_symmetric(S0, p);
+  ps.S.sort_rows();
+  ps.cf.assign(A0.nrows, -1);
+  for (Int i = 0; i < ps.nc; ++i) ps.cf[i] = 1;
+  return ps;
+}
+
+class PartitionedExtPI : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionedExtPI, MatchesGenericBuilderUntruncated) {
+  CSRMatrix A0 = GetParam() % 2 == 0
+                     ? lap2d_5pt(18 + Int(GetParam()), 17)
+                     : test::random_spd(250, 4, GetParam());
+  PermutedSplitting ps = make_permuted(std::move(A0), GetParam() + 3);
+  ExtPIOptions opt;
+  opt.truncation.trunc_fact = 0.0;
+  opt.truncation.max_elmts = 0;
+  CSRMatrix Pg = extpi_interp(ps.A, ps.S, ps.cf, opt);
+  CSRMatrix Pp = extpi_interp_partitioned(ps.A, ps.S, ps.cf, opt);
+  Pg.sort_rows();
+  Pp.sort_rows();
+  EXPECT_TRUE(csr_approx_equal(Pg, Pp, 1e-11));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionedExtPI,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(PartitionedExtPI2, FewerClassificationBranches) {
+  PermutedSplitting ps = make_permuted(lap3d_7pt(10, 10, 10), 5);
+  WorkCounters generic, part;
+  extpi_interp(ps.A, ps.S, ps.cf, {}, &generic);
+  extpi_interp_partitioned(ps.A, ps.S, ps.cf, {}, &part);
+  // The partition boundaries replace per-entry classification tests in the
+  // b_ik loops (§3.1.2).
+  EXPECT_LT(part.branches, generic.branches);
+}
+
+TEST(PartitionedExtPI2, RejectsUnpermutedMarker) {
+  CSRMatrix A = lap2d_5pt(10, 10);
+  CSRMatrix S = strength_matrix(A, {0.25, 0.8});
+  CFMarker cf(A.nrows, -1);
+  cf[50] = 1;  // coarse point after fine points: not coarse-first
+  cf[0] = -1;
+  EXPECT_THROW(extpi_interp_partitioned(A, S, cf), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- truncate ----
+
+TEST(Truncate, NoOpWhenDisabled) {
+  std::vector<Int> cols = {0, 1, 2};
+  std::vector<double> vals = {0.5, 0.001, 0.3};
+  TruncationOptions opt;
+  opt.trunc_fact = 0.0;
+  opt.max_elmts = 0;
+  EXPECT_EQ(truncate_row(cols.data(), vals.data(), 3, opt), 3);
+}
+
+TEST(Truncate, RelativeThresholdDropsSmallEntries) {
+  std::vector<Int> cols = {0, 1, 2, 3};
+  std::vector<double> vals = {1.0, 0.05, -0.5, 0.02};
+  TruncationOptions opt;
+  opt.trunc_fact = 0.1;
+  opt.max_elmts = 0;
+  const Int len = truncate_row(cols.data(), vals.data(), 4, opt);
+  EXPECT_EQ(len, 2);
+  // Row sum preserved: 1.0 + 0.05 - 0.5 + 0.02 = 0.57.
+  EXPECT_NEAR(vals[0] + vals[1], 0.57, 1e-12);
+}
+
+TEST(Truncate, MaxElmtsKeepsLargestMagnitudes) {
+  std::vector<Int> cols = {0, 1, 2, 3, 4, 5};
+  std::vector<double> vals = {0.1, 0.6, -0.2, 0.5, -0.4, 0.3};
+  TruncationOptions opt;
+  opt.trunc_fact = 0.0;
+  opt.max_elmts = 3;
+  const Int len = truncate_row(cols.data(), vals.data(), 6, opt);
+  EXPECT_EQ(len, 3);
+  // Survivors are 0.6, 0.5, -0.4 (columns 1, 3, 4), rescaled to sum 0.9.
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(cols[1], 3);
+  EXPECT_EQ(cols[2], 4);
+  EXPECT_NEAR(vals[0] + vals[1] + vals[2], 0.9, 1e-12);
+}
+
+TEST(Truncate, EmptyAndSingleton) {
+  TruncationOptions opt;
+  EXPECT_EQ(truncate_row(static_cast<Int*>(nullptr),
+                         static_cast<double*>(nullptr), 0, opt),
+            0);
+  std::vector<Int> cols = {7};
+  std::vector<double> vals = {0.3};
+  EXPECT_EQ(truncate_row(cols.data(), vals.data(), 1, opt), 1);
+  EXPECT_DOUBLE_EQ(vals[0], 0.3);
+}
+
+TEST(Truncate, WholeMatrixMatchesRowwise) {
+  CSRMatrix P = test::random_sparse(50, 20, 8, 3);
+  TruncationOptions opt;  // 0.1 / 4
+  CSRMatrix Q = truncate_interpolation(P, opt);
+  Q.validate();
+  for (Int i = 0; i < P.nrows; ++i) {
+    std::vector<Int> c(P.colidx.begin() + P.rowptr[i],
+                       P.colidx.begin() + P.rowptr[i + 1]);
+    std::vector<double> v(P.values.begin() + P.rowptr[i],
+                          P.values.begin() + P.rowptr[i + 1]);
+    const Int len = truncate_row(c.data(), v.data(), Int(c.size()), opt);
+    ASSERT_EQ(Q.row_nnz(i), len);
+    for (Int k = 0; k < len; ++k) {
+      EXPECT_EQ(Q.colidx[Q.rowptr[i] + k], c[k]);
+      EXPECT_DOUBLE_EQ(Q.values[Q.rowptr[i] + k], v[k]);
+    }
+  }
+}
+
+TEST(Truncate, LongColumnOverload) {
+  std::vector<Long> cols = {1000000000000LL, 2000000000000LL};
+  std::vector<double> vals = {1.0, 0.001};
+  TruncationOptions opt;
+  opt.trunc_fact = 0.1;
+  opt.max_elmts = 0;
+  EXPECT_EQ(truncate_row(cols.data(), vals.data(), 2, opt), 1);
+  EXPECT_EQ(cols[0], 1000000000000LL);
+}
+
+}  // namespace
+}  // namespace hpamg

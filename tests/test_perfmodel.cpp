@@ -1,0 +1,112 @@
+// Machine/network model tests: monotonicity, calibration anchors from the
+// paper (Table 1 bandwidths, §5.4 small-message efficiency), and the AmgX
+// comparator ratios (§5.2).
+#include <gtest/gtest.h>
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/network.hpp"
+#include "perfmodel/project.hpp"
+
+namespace hpamg {
+namespace {
+
+TEST(Machine, Table1Anchors) {
+  EXPECT_DOUBLE_EQ(haswell_socket().stream_bw_bytes_per_s, 54e9);
+  EXPECT_DOUBLE_EQ(k40c().stream_bw_bytes_per_s, 249e9);
+  // The paper: "AmgX is expected to be more than 4x faster ... according to
+  // the STREAM benchmark performance".
+  EXPECT_GT(k40c().stream_bw_bytes_per_s / haswell_socket().stream_bw_bytes_per_s,
+            4.0);
+}
+
+TEST(Machine, BandwidthBoundKernelTime) {
+  MachineModel m = haswell_socket();
+  WorkCounters wc;
+  wc.bytes_read = 54ull * 1000 * 1000 * 1000;  // one second of STREAM
+  const double t = m.seconds(wc);
+  EXPECT_GT(t, 1.0);  // sparse efficiency < 1 makes it slower than STREAM
+  EXPECT_LT(t, 4.0);
+  // More branches -> more time; more bytes -> more time.
+  WorkCounters wc2 = wc;
+  wc2.branches = 1'000'000'000;
+  EXPECT_GT(m.seconds(wc2), t);
+  wc2 = wc;
+  wc2.bytes_written = wc.bytes_read;
+  EXPECT_GT(m.seconds(wc2), t);
+}
+
+TEST(Machine, FlopRooflineCanDominate) {
+  MachineModel m = haswell_socket();
+  WorkCounters wc;
+  wc.flops = std::uint64_t(m.peak_flops);  // one second of peak flops
+  wc.bytes_read = 8;
+  EXPECT_NEAR(m.seconds(wc), 1.0, 0.01);
+}
+
+TEST(Network, SmallMessagesLoseEfficiency) {
+  NetworkModel net = endeavor_network();
+  // §5.4 anchor: <100 KB messages achieve ~1/6 of peak.
+  const double t100k = net.message_seconds(100e3, true);
+  const double eff_bw = 100e3 / t100k;
+  EXPECT_LT(eff_bw, net.peak_bw_bytes_per_s / 4.0);
+  EXPECT_GT(eff_bw, net.peak_bw_bytes_per_s / 10.0);
+  // Large messages approach peak.
+  const double t100m = net.message_seconds(100e6, true);
+  EXPECT_GT(100e6 / t100m, 0.9 * net.peak_bw_bytes_per_s);
+}
+
+TEST(Network, PersistentSkipsSetupCost) {
+  NetworkModel net = endeavor_network();
+  EXPECT_LT(net.message_seconds(1000, true), net.message_seconds(1000, false));
+  // For tiny messages the setup cost is a large fraction — the basis of the
+  // paper's 1.7-1.8x persistent-communication halo speedup (§4.4).
+  const double ratio =
+      net.message_seconds(512, false) / net.message_seconds(512, true);
+  EXPECT_GT(ratio, 1.3);
+}
+
+TEST(Network, AggregateSeconds) {
+  NetworkModel net = endeavor_network();
+  simmpi::CommStats cs;
+  cs.messages_sent = 10;
+  cs.bytes_sent = 10 * 50000;
+  cs.request_setups = 10;
+  const double t_np = net.seconds(cs);
+  cs.request_setups = 0;
+  cs.persistent_starts = 10;
+  const double t_p = net.seconds(cs);
+  EXPECT_GT(t_np, t_p);
+  EXPECT_GT(t_p, 0.0);
+  simmpi::CommStats empty;
+  EXPECT_DOUBLE_EQ(net.seconds(empty), 0.0);
+}
+
+TEST(Network, AllreduceScalesLogarithmically) {
+  NetworkModel net = endeavor_network();
+  EXPECT_DOUBLE_EQ(net.allreduce_seconds(1), 0.0);
+  EXPECT_GT(net.allreduce_seconds(128), net.allreduce_seconds(4));
+  EXPECT_NEAR(net.allreduce_seconds(128) / net.allreduce_seconds(2), 7.0, 0.01);
+}
+
+TEST(Project, ComposesComputeAndNetwork) {
+  NetworkModel net = endeavor_network();
+  simmpi::CommStats cs;
+  cs.messages_sent = 5;
+  cs.bytes_sent = 5000;
+  cs.request_setups = 5;
+  const double t = projected_phase_seconds(0.01, cs, net);
+  EXPECT_GT(t, 0.01);
+  EXPECT_LT(t, 0.02);
+}
+
+TEST(Project, AmgxComparatorRatios) {
+  // §5.2: AmgX setup ~1.1x faster, solve 1.6x slower per iteration with
+  // 1.3x more iterations.
+  AmgxModel amgx;
+  auto [setup, solve] = amgx.project(1.0, 1.0);
+  EXPECT_NEAR(setup, 1.0 / 1.1, 1e-9);
+  EXPECT_NEAR(solve, 1.6 * 1.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace hpamg

@@ -1,0 +1,174 @@
+// Robustness properties: nonsymmetric operators (the atmosmod class of
+// Table 2 is convection-dominated), bitwise determinism of setup, generator
+// reproducibility, and cross-feature combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amg/solver.hpp"
+#include "gen/reservoir.hpp"
+#include "gen/stencil.hpp"
+#include "gen/suite.hpp"
+#include "krylov/krylov.hpp"
+#include "test_util.hpp"
+
+namespace hpamg {
+namespace {
+
+/// Upwind convection-diffusion: -eps*Lap(u) + c . grad(u), first-order
+/// upwind. Nonsymmetric; strength graph is direction-dependent.
+CSRMatrix convection_diffusion(Int nx, Int ny, double eps, double cx,
+                               double cy) {
+  std::vector<Triplet> t;
+  auto id = [nx](Int x, Int y) { return y * nx + x; };
+  for (Int y = 0; y < ny; ++y)
+    for (Int x = 0; x < nx; ++x) {
+      const Int i = id(x, y);
+      double diag = 4.0 * eps + std::abs(cx) + std::abs(cy);
+      auto edge = [&](Int xx, Int yy, double w) {
+        if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) return;  // Dirichlet
+        t.push_back({i, id(xx, yy), w});
+      };
+      edge(x - 1, y, -eps - std::max(cx, 0.0));
+      edge(x + 1, y, -eps + std::min(cx, 0.0));
+      edge(x, y - 1, -eps - std::max(cy, 0.0));
+      edge(x, y + 1, -eps + std::min(cy, 0.0));
+      t.push_back({i, i, diag});
+    }
+  return CSRMatrix::from_triplets(nx * ny, nx * ny, std::move(t));
+}
+
+class ConvectionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConvectionSweep, AmgFgmresSolvesNonsymmetric) {
+  const double peclet = GetParam();
+  CSRMatrix A = convection_diffusion(30, 30, 1.0, peclet, 0.5 * peclet);
+  AMGSolver amg(A, {});
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  KrylovOptions o;
+  o.rtol = 1e-8;
+  o.max_iterations = 300;
+  KrylovResult r = fgmres(A, b, x, o, [&](const Vector& rr, Vector& z) {
+    amg.precondition(rr, z);
+  });
+  EXPECT_TRUE(r.converged) << "peclet " << peclet;
+  EXPECT_LT(test::relative_residual(A, x, b), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Peclets, ConvectionSweep,
+                         ::testing::Values(0.0, 1.0, 4.0, 16.0));
+
+TEST(Determinism, SetupIsBitwiseReproducible) {
+  CSRMatrix A = reservoir_matrix(10, 10, 10);
+  AMGOptions o;
+  Hierarchy h1 = build_hierarchy(A, o);
+  Hierarchy h2 = build_hierarchy(A, o);
+  ASSERT_EQ(h1.num_levels(), h2.num_levels());
+  for (Int l = 0; l < h1.num_levels(); ++l) {
+    EXPECT_EQ(h1.levels[l].A.rowptr, h2.levels[l].A.rowptr);
+    EXPECT_EQ(h1.levels[l].A.colidx, h2.levels[l].A.colidx);
+    EXPECT_EQ(h1.levels[l].A.values, h2.levels[l].A.values);
+    EXPECT_EQ(h1.levels[l].perm.perm, h2.levels[l].perm.perm);
+  }
+}
+
+TEST(Determinism, SeedChangesSplittingButNotCorrectness) {
+  CSRMatrix A = lap2d_5pt(25, 25);
+  AMGOptions o1, o2;
+  o2.seed = o1.seed + 1;
+  AMGSolver s1(A, o1), s2(A, o2);
+  // Different random tie-breakers -> (almost surely) different coarse sets.
+  EXPECT_NE(s1.hierarchy().levels[0].nc, 0);
+  Vector b(A.nrows, 1.0), x1(A.nrows, 0.0), x2(A.nrows, 0.0);
+  SolveResult r1 = s1.solve(b, x1, 1e-8, 100);
+  SolveResult r2 = s2.solve(b, x2, 1e-8, 100);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  // The paper observes ~2% iteration drift between RNGs; allow a few.
+  EXPECT_NEAR(r1.iterations, r2.iterations, 3);
+}
+
+TEST(Determinism, GeneratorsAreReproducible) {
+  for (const char* name : {"thermal2", "StocF-1465", "G2_circuit"}) {
+    CSRMatrix a = generate_suite_matrix(name, 0.002);
+    CSRMatrix b = generate_suite_matrix(name, 0.002);
+    EXPECT_TRUE(csr_approx_equal(a, b, 0.0)) << name;
+  }
+  ReservoirOptions ro;
+  EXPECT_EQ(permeability_field(8, 8, 8, ro), permeability_field(8, 8, 8, ro));
+}
+
+TEST(FeatureCombos, WcycleWithMulticolorAndAggressive) {
+  CSRMatrix A = lap3d_7pt(10, 10, 10);
+  AMGOptions o;
+  o.cycle_gamma = 2;
+  o.smoother = SmootherKind::kMultiColorGS;
+  o.interp = InterpKind::kMultipass;
+  o.num_aggressive_levels = 1;
+  AMGSolver amg(A, o);
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  EXPECT_TRUE(amg.solve(b, x, 1e-7, 200).converged);
+}
+
+TEST(FeatureCombos, RefreshThenPrecondition) {
+  CSRMatrix A = lap2d_5pt(24, 24);
+  AMGSolver amg(A, {});
+  CSRMatrix A2 = A;
+  for (auto& v : A2.values) v *= 1.5;
+  amg.refresh_values(A2);
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  KrylovOptions o;
+  o.rtol = 1e-9;
+  KrylovResult r = pcg(A2, b, x, o, [&](const Vector& rr, Vector& z) {
+    amg.precondition(rr, z);
+  });
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, 20);
+}
+
+TEST(FeatureCombos, PartitionedInterpToggleGivesSameConvergence) {
+  CSRMatrix A = lap3d_7pt(10, 10, 10);
+  AMGOptions on, off;
+  on.partitioned_interp = true;
+  off.partitioned_interp = false;
+  AMGSolver s_on(A, on), s_off(A, off);
+  Vector b(A.nrows, 1.0), x1(A.nrows, 0.0), x2(A.nrows, 0.0);
+  SolveResult r_on = s_on.solve(b, x1, 1e-7, 100);
+  SolveResult r_off = s_off.solve(b, x2, 1e-7, 100);
+  ASSERT_TRUE(r_on.converged);
+  ASSERT_TRUE(r_off.converged);
+  // Same operator up to truncation tie-breaking: iteration counts agree to
+  // within a cycle or two.
+  EXPECT_NEAR(r_on.iterations, r_off.iterations, 2);
+}
+
+TEST(FeatureCombos, StrengthThresholdSweepAllConverge) {
+  CSRMatrix A = generate_suite_matrix("StocF-1465", 0.001);
+  for (double alpha : {0.1, 0.25, 0.5, 0.6, 0.9}) {
+    AMGOptions o;
+    o.strength.threshold = alpha;
+    AMGSolver amg(A, o);
+    Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+    SolveResult r = amg.solve(b, x, 1e-7, 300);
+    EXPECT_TRUE(r.converged) << "alpha " << alpha;
+  }
+}
+
+TEST(FeatureCombos, NumSweepsTradeIterationsForWork) {
+  CSRMatrix A = lap2d_5pt(30, 30);
+  Int iters1 = 0, iters2 = 0;
+  for (auto [sweeps, out] :
+       {std::pair<Int, Int*>{1, &iters1}, {2, &iters2}}) {
+    AMGOptions o;
+    o.num_sweeps = sweeps;
+    AMGSolver amg(A, o);
+    Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+    SolveResult r = amg.solve(b, x, 1e-8, 200);
+    ASSERT_TRUE(r.converged);
+    *out = r.iterations;
+  }
+  EXPECT_LE(iters2, iters1);
+}
+
+}  // namespace
+}  // namespace hpamg

@@ -1,0 +1,141 @@
+// Tests for the simmpi runtime: point-to-point ordering, collectives,
+// statistics, and the tag-block allocator.
+#include <gtest/gtest.h>
+
+#include "dist/simmpi.hpp"
+
+namespace hpamg {
+namespace {
+
+using simmpi::Comm;
+using simmpi::CommStats;
+
+TEST(Simmpi, SingleRankRuns) {
+  auto stats = simmpi::run(1, [](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+    EXPECT_EQ(c.allreduce_sum(Long(5)), 5);
+  });
+  EXPECT_EQ(stats.size(), 1u);
+}
+
+TEST(Simmpi, PointToPointPreservesOrder) {
+  simmpi::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int m = 0; m < 10; ++m) {
+        std::vector<Int> payload = {Int(m), Int(m * m)};
+        c.send_vec(1, 42, payload);
+      }
+    } else {
+      for (int m = 0; m < 10; ++m) {
+        std::vector<Int> in = c.recv_vec<Int>(0, 42);
+        ASSERT_EQ(in.size(), 2u);
+        EXPECT_EQ(in[0], m);  // FIFO per (source, tag)
+        EXPECT_EQ(in[1], m * m);
+      }
+    }
+  });
+}
+
+TEST(Simmpi, TagsIsolateStreams) {
+  simmpi::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<Int> a = {1}, b = {2};
+      c.send_vec(1, 100, a);
+      c.send_vec(1, 200, b);
+    } else {
+      // Receive in the opposite order of sending: tags keep them apart.
+      EXPECT_EQ(c.recv_vec<Int>(0, 200)[0], 2);
+      EXPECT_EQ(c.recv_vec<Int>(0, 100)[0], 1);
+    }
+  });
+}
+
+TEST(Simmpi, AllToAllPattern) {
+  const int P = 5;
+  simmpi::run(P, [P](Comm& c) {
+    for (int r = 0; r < P; ++r) {
+      if (r == c.rank()) continue;
+      std::vector<Long> v = {Long(c.rank() * 100 + r)};
+      c.send_vec(r, 7, v);
+    }
+    for (int r = 0; r < P; ++r) {
+      if (r == c.rank()) continue;
+      EXPECT_EQ(c.recv_vec<Long>(r, 7)[0], Long(r * 100 + c.rank()));
+    }
+  });
+}
+
+TEST(Simmpi, Collectives) {
+  const int P = 4;
+  simmpi::run(P, [P](Comm& c) {
+    EXPECT_EQ(c.allreduce_sum(Long(c.rank() + 1)), Long(P * (P + 1) / 2));
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(double(c.rank())), 6.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(double(c.rank()) * 2), 6.0);
+    EXPECT_EQ(c.allreduce_max(Long(10 - c.rank())), 10);
+    std::vector<Long> g = c.allgather(Long(c.rank() * c.rank()));
+    ASSERT_EQ(int(g.size()), P);
+    for (int r = 0; r < P; ++r) EXPECT_EQ(g[r], Long(r * r));
+    // Back-to-back collectives must not interfere.
+    for (int it = 0; it < 5; ++it)
+      EXPECT_EQ(c.allreduce_sum(Long(1)), Long(P));
+  });
+}
+
+TEST(Simmpi, StatsCountMessagesAndBytes) {
+  auto stats = simmpi::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> v(100, 1.0);
+      c.send_vec(1, 5, v);                     // non-persistent
+      c.send_vec(1, 6, v, /*persistent=*/true);  // persistent
+      std::vector<double> empty;
+      c.send_vec(1, 7, empty);  // zero-byte: not counted as traffic
+    } else {
+      c.recv(0, 5);
+      c.recv(0, 6);
+      c.recv(0, 7);
+    }
+  });
+  EXPECT_EQ(stats[0].messages_sent, 2u);
+  EXPECT_EQ(stats[0].bytes_sent, 1600u);
+  EXPECT_EQ(stats[0].request_setups, 1u);
+  EXPECT_EQ(stats[0].persistent_starts, 1u);
+  EXPECT_EQ(stats[1].messages_sent, 0u);
+}
+
+TEST(Simmpi, RankExceptionPropagates) {
+  EXPECT_THROW(simmpi::run(1, [](Comm&) {
+    throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(Simmpi, TagBlocksAreDisjointAndDeterministic) {
+  simmpi::run(3, [](Comm& c) {
+    const int a = c.next_tag_block();
+    const int b = c.next_tag_block();
+    EXPECT_NE(a, b);
+    EXPECT_GE(b - a, 16);
+  });
+}
+
+TEST(Simmpi, ManyRanksStress) {
+  // Ring pass with 16 rank-threads (larger than host cores: exercises the
+  // blocking mailboxes under timesharing).
+  const int P = 16;
+  simmpi::run(P, [P](Comm& c) {
+    const int next = (c.rank() + 1) % P;
+    const int prev = (c.rank() + P - 1) % P;
+    Long token = c.rank();
+    for (int hop = 0; hop < P; ++hop) {
+      std::vector<Long> v = {token};
+      c.send_vec(next, 9, v);
+      token = c.recv_vec<Long>(prev, 9)[0];
+    }
+    EXPECT_EQ(token, Long(c.rank()));  // went all the way around
+  });
+}
+
+}  // namespace
+}  // namespace hpamg

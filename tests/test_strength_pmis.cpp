@@ -1,0 +1,197 @@
+// Strength-of-connection and PMIS coarsening property tests.
+#include <gtest/gtest.h>
+
+#include "amg/pmis.hpp"
+#include "amg/strength.hpp"
+#include "gen/stencil.hpp"
+#include "matrix/transpose.hpp"
+#include "test_util.hpp"
+
+namespace hpamg {
+namespace {
+
+using test::random_spd;
+
+TEST(Strength, ParallelMatchesSerial) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    CSRMatrix A = random_spd(200, 5, seed);
+    StrengthOptions opt;
+    CSRMatrix Sp = strength_matrix(A, opt);
+    CSRMatrix Ss = strength_matrix_serial(A, opt);
+    EXPECT_TRUE(csr_approx_equal(Sp, Ss));
+  }
+}
+
+TEST(Strength, LaplacianAllNeighborsStrong) {
+  // Isotropic Laplacian: all off-diagonals equal -> all strong at 0.25.
+  CSRMatrix A = lap2d_5pt(10, 10);
+  CSRMatrix S = strength_matrix(A, {0.25, 1.0});
+  for (Int i = 0; i < A.nrows; ++i)
+    EXPECT_EQ(S.row_nnz(i), A.row_nnz(i) - 1);  // all but the diagonal
+}
+
+TEST(Strength, AnisotropyMakesWeakDirection) {
+  // Strong y-coupling (8x): with alpha = 0.25 x-neighbors (weight 1 vs max
+  // 8) are weak.
+  CSRMatrix A = lap2d_5pt(10, 10, 8.0);
+  CSRMatrix S = strength_matrix(A, {0.25, 1.0});
+  const Int mid = grid_index(5, 5, 0, 10, 10);
+  EXPECT_EQ(S.row_nnz(mid), 2);  // only the two y-neighbors
+  for (Int k = S.rowptr[mid]; k < S.rowptr[mid + 1]; ++k) {
+    const Int j = S.colidx[k];
+    EXPECT_TRUE(j == mid - 10 || j == mid + 10);
+  }
+}
+
+TEST(Strength, MaxRowSumDropsWeaklyVaryingRows) {
+  // A row whose sum is large relative to its diagonal gets no strong
+  // connections (HYPRE's max_row_sum heuristic).
+  CSRMatrix A = CSRMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, -0.05}, {1, 0, -0.05}, {1, 1, 1.0}});
+  CSRMatrix S_loose = strength_matrix(A, {0.1, 1.0});
+  EXPECT_EQ(S_loose.nnz(), 2);
+  CSRMatrix S_tight = strength_matrix(A, {0.1, 0.8});
+  EXPECT_EQ(S_tight.nnz(), 0);  // |row sum| = 0.95 > 0.8 * 1.0
+}
+
+TEST(Strength, PositiveOffDiagonalsNeverStrong) {
+  CSRMatrix A = CSRMatrix::from_triplets(
+      2, 2, {{0, 0, 2.0}, {0, 1, 0.5}, {1, 0, 0.5}, {1, 1, 2.0}});
+  CSRMatrix S = strength_matrix(A, {0.25, 1.0});
+  EXPECT_EQ(S.nnz(), 0);
+}
+
+TEST(Strength, NegativeDiagonalFlipsSign) {
+  CSRMatrix A = CSRMatrix::from_triplets(
+      2, 2, {{0, 0, -2.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, -2.0}});
+  CSRMatrix S = strength_matrix(A, {0.25, 1.0});
+  EXPECT_EQ(S.nnz(), 2);  // positive off-diagonals strong when diag < 0
+}
+
+// ----------------------------------------------------------------- pmis ----
+
+struct PmisProblem {
+  const char* name;
+  CSRMatrix A;
+};
+
+class PmisSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  CSRMatrix make_matrix() const {
+    switch (std::get<0>(GetParam())) {
+      case 0:
+        return lap2d_5pt(24, 24);
+      case 1:
+        return lap3d_7pt(9, 9, 9);
+      case 2:
+        return lap2d_5pt(30, 20, 6.0);
+      default:
+        return random_spd(400, 5, 7);
+    }
+  }
+};
+
+TEST_P(PmisSweep, IndependenceAndCoverage) {
+  CSRMatrix A = make_matrix();
+  CSRMatrix S = strength_matrix(A, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(S);
+  PmisOptions po;
+  po.seed = std::get<1>(GetParam());
+  CFMarker cf = pmis_coarsen(S, ST, po);
+
+  // Every point is decided.
+  for (signed char c : cf) EXPECT_NE(c, 0);
+
+  // Independence: no two C points are strongly connected (symmetrized).
+  for (Int i = 0; i < A.nrows; ++i) {
+    if (cf[i] <= 0) continue;
+    for (Int k = S.rowptr[i]; k < S.rowptr[i + 1]; ++k)
+      EXPECT_LE(cf[S.colidx[k]], 0) << "C-C strong pair " << i;
+    for (Int k = ST.rowptr[i]; k < ST.rowptr[i + 1]; ++k)
+      EXPECT_LE(cf[ST.colidx[k]], 0) << "C-C strong pair (T) " << i;
+  }
+
+  // Coverage: every F point with strong connections sees a C point at
+  // distance one in the symmetrized strength graph (PMIS guarantee).
+  for (Int i = 0; i < A.nrows; ++i) {
+    if (cf[i] > 0) continue;
+    bool has_strong = S.row_nnz(i) + ST.row_nnz(i) > 0;
+    if (!has_strong) continue;
+    bool covered = false;
+    for (Int k = S.rowptr[i]; k < S.rowptr[i + 1] && !covered; ++k)
+      covered = cf[S.colidx[k]] > 0;
+    for (Int k = ST.rowptr[i]; k < ST.rowptr[i + 1] && !covered; ++k)
+      covered = cf[ST.colidx[k]] > 0;
+    EXPECT_TRUE(covered) << "uncovered F point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Problems, PmisSweep,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(1ull, 42ull, 777ull)));
+
+TEST(Pmis, CoarsensReasonably) {
+  CSRMatrix A = lap2d_5pt(40, 40);
+  CSRMatrix S = strength_matrix(A, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(S);
+  CFMarker cf = pmis_coarsen(S, ST);
+  const Int nc = count_coarse(cf);
+  // 2-D Laplacian PMIS typically selects 20-40% of the points.
+  EXPECT_GT(nc, A.nrows / 8);
+  EXPECT_LT(nc, A.nrows / 2);
+}
+
+TEST(Pmis, SequentialRngReproducible) {
+  CSRMatrix A = lap2d_5pt(20, 20);
+  CSRMatrix S = strength_matrix(A, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(S);
+  PmisOptions po;
+  po.rng = RngKind::kSequential;
+  CFMarker a = pmis_coarsen(S, ST, po);
+  CFMarker b = pmis_coarsen(S, ST, po);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Pmis, RngKindsDifferButBothValid) {
+  CSRMatrix A = lap2d_5pt(30, 30);
+  CSRMatrix S = strength_matrix(A, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(S);
+  PmisOptions pa, pb;
+  pa.rng = RngKind::kParallelCounter;
+  pb.rng = RngKind::kSequential;
+  CFMarker a = pmis_coarsen(S, ST, pa);
+  CFMarker b = pmis_coarsen(S, ST, pb);
+  // Different tie-breakers -> (almost surely) different splittings, but
+  // comparable coarse fractions (the paper reports ~2% iteration drift).
+  EXPECT_NEAR(double(count_coarse(a)), double(count_coarse(b)),
+              0.25 * count_coarse(b));
+}
+
+TEST(Pmis, AggressiveSelectsSubsetAndCoarsensHarder) {
+  CSRMatrix A = lap3d_7pt(10, 10, 10);
+  CSRMatrix S = strength_matrix(A, {0.25, 0.8});
+  CSRMatrix ST = transpose_parallel(S);
+  CFMarker first;
+  CFMarker agg = pmis_aggressive(S, ST, {}, &first);
+  CFMarker std_cf = pmis_coarsen(S, ST);
+  const Int nc_agg = count_coarse(agg);
+  EXPECT_GT(nc_agg, 0);
+  EXPECT_LT(nc_agg, count_coarse(std_cf));
+  // Aggressive C points are a subset of the first pass's C points.
+  for (std::size_t i = 0; i < agg.size(); ++i)
+    if (agg[i] > 0) EXPECT_GT(first[i], 0);
+}
+
+TEST(Pmis, IsolatedPointsBecomeFine) {
+  // Diagonal matrix: no strong connections anywhere.
+  CSRMatrix A = CSRMatrix::identity(10);
+  CSRMatrix S = strength_matrix(A, {0.25, 1.0});
+  CSRMatrix ST = transpose_parallel(S);
+  CFMarker cf = pmis_coarsen(S, ST);
+  for (signed char c : cf) EXPECT_LT(c, 0);
+}
+
+}  // namespace
+}  // namespace hpamg

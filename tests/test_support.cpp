@@ -1,0 +1,264 @@
+// Unit tests for the parallel-support primitives: prefix sums, weighted
+// partitioning, parallel sorts, hashing, RNG, and the CLI parser.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "support/cli.hpp"
+#include "support/hash.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "support/sort.hpp"
+
+namespace hpamg {
+namespace {
+
+// ---------------------------------------------------------------- scan ----
+
+TEST(Scan, EmptyRowptr) {
+  std::vector<Int> v = {0};
+  EXPECT_EQ(exclusive_scan(v), 0);
+  EXPECT_EQ(v[0], 0);
+}
+
+TEST(Scan, SingleRow) {
+  std::vector<Int> v = {0, 5};
+  EXPECT_EQ(exclusive_scan(v), 5);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 5);
+}
+
+TEST(Scan, RowptrSemantics) {
+  // Counts at v[i+1], v[0] = 0 -> CSR rowptr.
+  std::vector<Int> v = {0, 3, 0, 2, 7};
+  exclusive_scan(v);
+  EXPECT_EQ(v, (std::vector<Int>{0, 3, 3, 5, 12}));
+}
+
+class ScanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanSweep, MatchesSerialReference) {
+  const int n = GetParam();
+  std::mt19937 rng(n);
+  std::vector<Int> v(n + 1, 0);
+  for (int i = 1; i <= n; ++i) v[i] = Int(rng() % 7);
+  std::vector<Int> ref(v);
+  for (int i = 1; i <= n; ++i) ref[i] += ref[i - 1];
+  const Long total = exclusive_scan(v);
+  EXPECT_EQ(v, ref);
+  EXPECT_EQ(total, ref[n]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSweep,
+                         ::testing::Values(1, 2, 3, 17, 100, 4097, 100000));
+
+// ----------------------------------------------------------- partition ----
+
+TEST(PartitionByWeight, CoversAllRowsInOrder) {
+  std::vector<Int> rowptr = {0, 10, 10, 11, 50, 51, 52, 100};
+  for (int parts : {1, 2, 3, 7, 16}) {
+    std::vector<Int> b = partition_by_weight(rowptr, parts);
+    ASSERT_EQ(Int(b.size()), parts + 1);
+    EXPECT_EQ(b.front(), 0);
+    EXPECT_EQ(b.back(), 7);
+    for (int p = 0; p < parts; ++p) EXPECT_LE(b[p], b[p + 1]);
+  }
+}
+
+TEST(PartitionByWeight, BalancesWeight) {
+  // 1000 rows of weight 1 split 4 ways: each part within 2x of even share.
+  std::vector<Int> rowptr(1001);
+  std::iota(rowptr.begin(), rowptr.end(), 0);
+  std::vector<Int> b = partition_by_weight(rowptr, 4);
+  for (int p = 0; p < 4; ++p) {
+    const Int w = rowptr[b[p + 1]] - rowptr[b[p]];
+    EXPECT_NEAR(w, 250, 5);
+  }
+}
+
+TEST(ChunkRange, PartitionsExactly) {
+  for (Int n : {0, 1, 7, 100}) {
+    for (int parts : {1, 3, 8}) {
+      Int covered = 0;
+      for (int p = 0; p < parts; ++p) {
+        auto [lo, hi] = chunk_range(n, parts, p);
+        EXPECT_LE(lo, hi);
+        covered += hi - lo;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ParallelReduce, SumAndMax) {
+  std::vector<double> v(1000);
+  for (int i = 0; i < 1000; ++i) v[i] = i * 0.5;
+  EXPECT_DOUBLE_EQ(parallel_reduce_sum(0, 1000, [&](Int i) { return v[i]; }),
+                   0.5 * 999 * 1000 / 2);
+  EXPECT_DOUBLE_EQ(parallel_reduce_max(0, 1000, [&](Int i) { return v[i]; }),
+                   499.5);
+}
+
+// ----------------------------------------------------------------- sort ----
+
+class SortUniqueSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortUniqueSweep, MatchesStdReference) {
+  const int n = GetParam();
+  std::mt19937_64 rng(n);
+  std::vector<Long> keys(n);
+  for (auto& k : keys) k = Long(rng() % (n / 2 + 1));
+  std::vector<Long> ref(keys);
+  std::sort(ref.begin(), ref.end());
+  ref.erase(std::unique(ref.begin(), ref.end()), ref.end());
+  EXPECT_EQ(parallel_sort_unique(std::move(keys)), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortUniqueSweep,
+                         ::testing::Values(0, 1, 2, 100, 5000, 100000));
+
+TEST(CountingSort, GroupsAndIsStable) {
+  const Int n = 1000, nkeys = 17;
+  std::mt19937 rng(42);
+  std::vector<Int> keys(n);
+  for (auto& k : keys) k = Int(rng() % nkeys);
+  std::vector<Int> order, bucket_ptr;
+  parallel_counting_sort(n, nkeys, keys.data(), order, bucket_ptr);
+  ASSERT_EQ(Int(bucket_ptr.size()), nkeys + 1);
+  EXPECT_EQ(bucket_ptr[0], 0);
+  EXPECT_EQ(bucket_ptr[nkeys], n);
+  // Each bucket holds exactly the items with that key, in original order.
+  for (Int k = 0; k < nkeys; ++k) {
+    for (Int p = bucket_ptr[k]; p < bucket_ptr[k + 1]; ++p) {
+      EXPECT_EQ(keys[order[p]], k);
+      if (p > bucket_ptr[k]) EXPECT_LT(order[p - 1], order[p]);  // stable
+    }
+  }
+}
+
+TEST(CountingSort, EmptyInput) {
+  std::vector<Int> order, bucket_ptr;
+  parallel_counting_sort(0, 5, nullptr, order, bucket_ptr);
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(bucket_ptr, (std::vector<Int>{0, 0, 0, 0, 0, 0}));
+}
+
+// ----------------------------------------------------------------- hash ----
+
+TEST(HashSet, InsertContainsGrow) {
+  HashSet<Int> s(2);
+  std::set<Int> ref;
+  std::mt19937 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const Int k = Int(rng() % 2000);
+    EXPECT_EQ(s.insert(k), ref.insert(k).second);
+  }
+  EXPECT_EQ(s.size(), ref.size());
+  for (Int k = 0; k < 2000; ++k) EXPECT_EQ(s.contains(k), ref.count(k) > 0);
+  std::vector<Int> out;
+  s.collect(out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, std::vector<Int>(ref.begin(), ref.end()));
+}
+
+TEST(HashSet, LongKeys) {
+  HashSet<Long> s;
+  EXPECT_TRUE(s.insert(Long(1) << 40));
+  EXPECT_FALSE(s.insert(Long(1) << 40));
+  EXPECT_TRUE(s.contains(Long(1) << 40));
+  EXPECT_FALSE(s.contains(42));
+}
+
+TEST(HashMap, PutGetGrow) {
+  HashMap<Long> m(2);
+  for (Long k = 0; k < 3000; ++k) m.put(k * 977, Int(k));
+  for (Long k = 0; k < 3000; ++k) EXPECT_EQ(m.get(k * 977), Int(k));
+  EXPECT_EQ(m.get(123456789), -1);
+  EXPECT_EQ(m.size(), 3000u);
+}
+
+TEST(HashMap, InsertOrGetKeepsFirst) {
+  HashMap<Int> m;
+  EXPECT_EQ(m.insert_or_get(5, 10), 10);
+  EXPECT_EQ(m.insert_or_get(5, 99), 10);
+  m.put(5, 7);
+  EXPECT_EQ(m.get(5), 7);
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(CounterRng, DeterministicPerSeedAndCounter) {
+  CounterRng a(1), b(1), c(2);
+  EXPECT_EQ(a.bits(42), b.bits(42));
+  EXPECT_NE(a.bits(42), c.bits(42));
+  EXPECT_NE(a.bits(42), a.bits(43));
+}
+
+TEST(CounterRng, UniformInRangeAndRoughlyFlat) {
+  CounterRng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(CounterRng, NormalMoments) {
+  CounterRng rng(9);
+  double mean = 0, var = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean += rng.normal(i);
+  mean /= n;
+  for (int i = 0; i < n; ++i) {
+    const double d = rng.normal(i) - mean;
+    var += d * d;
+  }
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(SequentialRng, Deterministic) {
+  SequentialRng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+// ------------------------------------------------------------------ cli ----
+
+TEST(Cli, ParsesFormsAndDefaults) {
+  // NB: a bare token right after a flag binds to the flag ("--verbose x"
+  // means verbose=x), so positionals go first.
+  const char* argv[] = {"prog", "input.mtx", "--nodes", "64", "--scheme=mp",
+                        "--ratio", "1.5", "--verbose"};
+  Cli cli(8, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("nodes", 0), 64);
+  EXPECT_EQ(cli.get("scheme", ""), "mp");
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 1.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.mtx");
+}
+
+// --------------------------------------------------------------- common ----
+
+TEST(Require, ThrowsOnViolation) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), std::invalid_argument);
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+}  // namespace
+}  // namespace hpamg

@@ -1,0 +1,72 @@
+// Shared helpers for the hpamg test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "support/common.hpp"
+
+namespace hpamg::test {
+
+/// Random sparse matrix with ~nnz_per_row entries per row, values in
+/// [-1, 1]. Deterministic per seed. Rows sorted.
+inline CSRMatrix random_sparse(Int rows, Int cols, Int nnz_per_row,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Int> col(0, cols - 1);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::vector<Triplet> trip;
+  for (Int i = 0; i < rows; ++i) {
+    const Int k = 1 + Int(rng() % std::max<Int>(1, 2 * nnz_per_row - 1));
+    for (Int e = 0; e < k; ++e) trip.push_back({i, col(rng), val(rng)});
+  }
+  return CSRMatrix::from_triplets(rows, cols, std::move(trip));
+}
+
+/// Random SPD-ish M-matrix: symmetric pattern, negative off-diagonals,
+/// diagonally dominant. The bread-and-butter operator class for AMG.
+inline CSRMatrix random_spd(Int n, Int nnz_per_row, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Int> col(0, n - 1);
+  std::uniform_real_distribution<double> val(0.1, 1.0);
+  std::vector<Triplet> trip;
+  std::vector<double> diag(n, 0.1);
+  for (Int i = 0; i < n; ++i) {
+    for (Int e = 0; e < nnz_per_row; ++e) {
+      Int j = col(rng);
+      if (j == i) continue;
+      const double w = val(rng);
+      trip.push_back({i, j, -w});
+      trip.push_back({j, i, -w});
+      diag[i] += w;
+      diag[j] += w;
+    }
+  }
+  for (Int i = 0; i < n; ++i) trip.push_back({i, i, diag[i]});
+  return CSRMatrix::from_triplets(n, n, std::move(trip));
+}
+
+/// Reference SpGEMM via dense multiply (small sizes only).
+inline CSRMatrix dense_ref_multiply(const CSRMatrix& A, const CSRMatrix& B) {
+  return DenseMatrix::from_csr(A).multiply(DenseMatrix::from_csr(B)).to_csr();
+}
+
+/// ||Ax - b|| / ||b||.
+inline double relative_residual(const CSRMatrix& A,
+                                const std::vector<double>& x,
+                                const std::vector<double>& b) {
+  double rr = 0.0, bb = 0.0;
+  for (Int i = 0; i < A.nrows; ++i) {
+    double acc = b[i];
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+      acc -= A.values[k] * x[A.colidx[k]];
+    rr += acc * acc;
+    bb += b[i] * b[i];
+  }
+  return bb > 0 ? std::sqrt(rr / bb) : std::sqrt(rr);
+}
+
+}  // namespace hpamg::test
