@@ -7,7 +7,7 @@
 // headline number here is the 1.73x flop redundancy of Fig 1(b) vs Fig
 // 1(a) on the finest-level product.
 //
-// Usage: bench_ablation_rap [--scale 0.005]
+// Usage: bench_ablation_rap [--scale 0.005] [--json out.json]
 #include <cmath>
 #include <cstdio>
 
@@ -26,6 +26,8 @@ using namespace hpamg::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.005);
+  JsonSink sink(cli, "ablation_rap");
+  sink.report.set_param("scale", scale);
 
   std::printf("=== Ablation: finest-level RAP variants (scale=%.4g) ===\n\n",
               scale);
@@ -75,8 +77,22 @@ int main(int argc, char** argv) {
                fmt(t_cf, "%.4f"), fmt(t_unf, "%.4f"), fmt(ratio, "%.2f"),
                fmt(100.0 * double(w_cf.flops) / double(w_row.flops), "%.0f")},
               12);
+    sink.report.add_run(e.name)
+        .label("matrix", e.name)
+        .metric("hypre_seconds", t_hypre)
+        .metric("rowwise_seconds", t_row)
+        .metric("cfblock_seconds", t_cf)
+        .metric("unfused_seconds", t_unf)
+        .metric("flop_ratio_hypre_vs_rowwise", ratio)
+        .metric("cfblock_flop_fraction",
+                double(w_cf.flops) / double(w_row.flops))
+        .metric("hypre_flops", double(w_hypre.flops))
+        .metric("rowwise_flops", double(w_row.flops));
   }
   std::printf("\nGeomean Fig1(b)/Fig1(a) flop ratio: %.2fx (paper: 1.73x on"
               " its suite)\n", std::exp(geo_ratio / count));
-  return 0;
+  sink.report.add_run("summary")
+      .metric("matrices", double(count))
+      .metric("geomean_flop_ratio", std::exp(geo_ratio / count));
+  return sink.finish();
 }

@@ -9,7 +9,7 @@
 // counts and times with each smoother under (a) one-setup-per-solve and
 // (b) setup-amortized accounting, plus the fused GS+SpMV kernel timing.
 //
-// Usage: bench_ablation_smoother [--scale 0.004]
+// Usage: bench_ablation_smoother [--scale 0.004] [--json out.json]
 #include <cmath>
 #include <cstdio>
 
@@ -24,6 +24,8 @@ using namespace hpamg::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.004);
+  JsonSink sink(cli, "ablation_smoother");
+  sink.report.set_param("scale", scale);
 
   std::printf("=== Ablation: hybrid GS vs lexicographic GS smoothing"
               " (scale=%.4g, 14 hybrid partitions) ===\n\n", scale);
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
     CSRMatrix A = generate_suite_matrix(e.name, scale);
     double tts[4], solve_only[4];
     Int iters[4];
+    SolveReport hyb_rep;
     int idx = 0;
     // Fourth config: hybrid GS with GPU-like fine partitioning (AmgX's GS
     // runs with thousands of threads, degrading toward Jacobi — the regime
@@ -57,6 +60,11 @@ int main(int argc, char** argv) {
       solve_only[idx] = t.seconds();
       tts[idx] = setup + solve_only[idx];
       iters[idx] = r.converged ? r.iterations : 300;
+      if (idx == 0) {
+        hyb_rep = amg.report(&r);
+        hyb_rep.setup_seconds = setup;
+        hyb_rep.solve_seconds = solve_only[idx];
+      }
       ++idx;
     }
     const double conv_ratio = double(iters[0]) / double(iters[1]);
@@ -69,6 +77,17 @@ int main(int argc, char** argv) {
                fmt_int(iters[2]), fmt(conv_ratio, "%.2f"),
                fmt(tts[0], "%.3f"), fmt(tts[1], "%.3f"),
                fmt(solve_only[1], "%.3f"), wins ? "yes" : "no"}, 12);
+    sink.report.add_run(e.name)
+        .label("matrix", e.name)
+        .metric("hybrid_iters", double(iters[0]))
+        .metric("lex_iters", double(iters[1]))
+        .metric("multicolor_iters", double(iters[2]))
+        .metric("convergence_ratio", conv_ratio)
+        .metric("hybrid_tts_seconds", tts[0])
+        .metric("lex_tts_seconds", tts[1])
+        .metric("lex_amortized_seconds", solve_only[1])
+        .metric("lex_wins_amortized", wins ? 1.0 : 0.0)
+        .report(hyb_rep);
   }
   std::printf("\nGeomean convergence ratio (hybrid iters / lex iters):"
               " %.2fx (paper: 1.26x)\n", std::exp(geo_conv / count));
@@ -100,5 +119,10 @@ int main(int argc, char** argv) {
   std::printf("Fused lex-GS+SpMV [39]: separate %.4fs, fused %.4fs"
               " (%.2fx), max iterate diff %.2e\n", t_sep, t_fused,
               t_sep / t_fused, diff);
-  return 0;
+  sink.report.add_run("fused_gs_spmv")
+      .metric("separate_seconds", t_sep)
+      .metric("fused_seconds", t_fused)
+      .metric("fused_speedup", t_sep / t_fused)
+      .metric("max_iterate_diff", diff);
+  return sink.finish();
 }

@@ -6,7 +6,7 @@
 //  - numeric-only with a known pattern: the paper's branching-overhead
 //    upper-bound study (measured ~2.1x there).
 //
-// Usage: bench_ablation_spgemm [--scale 0.005] [--reps 3]
+// Usage: bench_ablation_spgemm [--scale 0.005] [--reps 3] [--json out.json]
 #include <cmath>
 #include <cstdio>
 
@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.005);
   const int reps = int(cli.get_int("reps", 3));
+  JsonSink sink(cli, "ablation_spgemm");
+  sink.report.set_param("scale", scale);
+  sink.report.set_param("reps", long(reps));
 
   std::printf("=== Ablation: SpGEMM variants on R*A (scale=%.4g, reps=%d)"
               " ===\n\n", scale, reps);
@@ -68,9 +71,21 @@ int main(int argc, char** argv) {
                fmt(sym_speedup, "%.2f"),
                fmt(2.0 * double(wc.branches) / double(wc.flops), "%.2f")},
               13);
+    sink.report.add_run(e.name)
+        .label("matrix", e.name)
+        .metric("twopass_seconds", t_two)
+        .metric("onepass_seconds", t_one)
+        .metric("noprefetch_seconds", t_nopf)
+        .metric("numeric_only_seconds", t_num)
+        .metric("symbolic_reuse_speedup", sym_speedup)
+        .metric("branches_per_term",
+                2.0 * double(wc.branches) / double(wc.flops));
   }
   std::printf("\nGeomean symbolic-reuse (branch-free) speedup: %.2fx"
               " (paper estimates ~2.1x headroom from removing the sparse-"
               "accumulator branch)\n", std::exp(geo_sym / count));
-  return 0;
+  sink.report.add_run("summary")
+      .metric("matrices", double(count))
+      .metric("geomean_symbolic_reuse_speedup", std::exp(geo_sym / count));
+  return sink.finish();
 }

@@ -10,6 +10,7 @@
 // applied to HYPRE_opt (DESIGN.md §1).
 //
 // Usage: bench_fig5_singlenode [--scale 0.005] [--matrix name] [--rtol 1e-7]
+//                              [--json out.json]
 #include <cmath>
 #include <cstdio>
 
@@ -28,9 +29,11 @@ struct RunResult {
   double opcx = 0;
   PhaseTimes setup_pt, solve_pt;
   WorkCounters setup_wc, solve_wc;
+  SolveReport rep;
 };
 
-RunResult run(const CSRMatrix& A, Variant v, double alpha, double rtol) {
+RunResult run(const CSRMatrix& A, Variant v, double alpha, double rtol,
+              const MachineModel& model) {
   RunResult r;
   Timer t;
   AMGSolver amg(A, table3_options(v, alpha));
@@ -45,6 +48,11 @@ RunResult run(const CSRMatrix& A, Variant v, double alpha, double rtol) {
   r.solve_pt = sr.solve_times;
   r.setup_wc = amg.hierarchy().setup_work;
   r.solve_wc = sr.solve_work;
+  r.rep = amg.report(&sr);
+  // Phase sums measure instrumented regions; report wall-clock instead.
+  r.rep.setup_seconds = r.setup_s;
+  r.rep.solve_seconds = r.solve_s;
+  project_report_times(r.rep, model);
   return r;
 }
 
@@ -59,6 +67,10 @@ int main(int argc, char** argv) {
   const MachineModel hsw = haswell_socket();
   const MachineModel gpu = k40c();
   const AmgxModel amgx;
+  JsonSink sink(cli, "fig5_singlenode");
+  sink.report.set_param("scale", scale);
+  sink.report.set_param("rtol", rtol);
+  if (!only.empty()) sink.report.set_param("matrix", only);
 
   std::printf("=== Fig 5: single-node time to solution, normalized to"
               " HYPRE_base (scale=%.4g, rtol=%.1e) ===\n", scale, rtol);
@@ -74,8 +86,10 @@ int main(int argc, char** argv) {
   for (const SuiteEntry& e : table2_suite()) {
     if (!only.empty() && e.name != only) continue;
     CSRMatrix A = generate_suite_matrix(e.name, scale);
-    RunResult base = run(A, Variant::kBaseline, e.strength_threshold, rtol);
-    RunResult opt = run(A, Variant::kOptimized, e.strength_threshold, rtol);
+    RunResult base =
+        run(A, Variant::kBaseline, e.strength_threshold, rtol, hsw);
+    RunResult opt =
+        run(A, Variant::kOptimized, e.strength_threshold, rtol, hsw);
 
     const double base_total = base.setup_s + base.solve_s;
     auto [amgx_setup, amgx_solve] = amgx.project(opt.setup_s, opt.solve_s);
@@ -119,6 +133,18 @@ int main(int argc, char** argv) {
     };
     breakdown("base:", base);
     breakdown("opt:", opt);
+
+    sink.report.add_run(e.name + std::string("/base"))
+        .label("matrix", e.name)
+        .label("variant", "baseline")
+        .report(base.rep);
+    sink.report.add_run(e.name + std::string("/opt"))
+        .label("matrix", e.name)
+        .label("variant", "optimized")
+        .metric("speedup_measured", opt_speedup)
+        .metric("speedup_modeled", model_speedup)
+        .metric("amgx_vs_opt", amgx_vs_opt)
+        .report(opt.rep);
   }
   if (count > 0) {
     std::printf("\nGeomean HYPRE_opt speedup over HYPRE_base: measured"
@@ -128,6 +154,11 @@ int main(int argc, char** argv) {
     std::printf("Geomean modeled AmgX/HYPRE_opt time ratio:  %.2fx"
                 " (paper: HYPRE_opt 1.3x faster)\n",
                 std::exp(geo_amgx / count));
+    sink.report.add_run("summary")
+        .metric("matrices", double(count))
+        .metric("geomean_speedup_measured", std::exp(geo_opt / count))
+        .metric("geomean_speedup_modeled", std::exp(geo_model / count))
+        .metric("geomean_amgx_vs_opt", std::exp(geo_amgx / count));
   }
-  return 0;
+  return sink.finish();
 }

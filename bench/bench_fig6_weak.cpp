@@ -12,6 +12,7 @@
 //
 // Usage: bench_fig6_weak [--input lap3d|amg2013] [--n 10] [--max-ranks 8]
 //                        [--schemes ei4,2s-ei,mp] [--rtol 1e-7]
+//                        [--json out.json]
 #include <cstdio>
 #include <sstream>
 
@@ -28,6 +29,7 @@ struct WeakResult {
   double setup_s = 0, solve_s = 0;
   Int iters = 0;
   double opcx = 0;
+  SolveReport rep;  // rank 0's view of the run
 };
 
 WeakResult run_weak(const std::string& input, Int n, int ranks,
@@ -40,6 +42,7 @@ WeakResult run_weak(const std::string& input, Int n, int ranks,
   std::vector<double> setup_model(ranks), solve_model(ranks);
   std::vector<Int> iters(ranks);
   std::vector<double> opcx(ranks);
+  SolveReport rep0;
   const NetworkModel net = endeavor_network();
 
   simmpi::run(ranks, [&](simmpi::Comm& c) {
@@ -64,6 +67,10 @@ WeakResult run_weak(const std::string& input, Int n, int ranks,
         double(delta.allreduces) * net.allreduce_seconds(ranks);
     iters[c.rank()] = r.iterations;
     opcx[c.rank()] = h.operator_complexity();
+    if (c.rank() == 0) {
+      rep0 = h.report(&r);
+      rep0.solve_comm = delta;
+    }
   });
   for (int r = 0; r < ranks; ++r) {
     out.setup_s = std::max(out.setup_s, setup_model[r]);
@@ -71,6 +78,11 @@ WeakResult run_weak(const std::string& input, Int n, int ranks,
   }
   out.iters = iters[0];
   out.opcx = opcx[0];
+  out.rep = std::move(rep0);
+  // Modeled times are the cluster projection (max over ranks), not the
+  // single-socket work-counter projection.
+  out.rep.modeled_setup_seconds = out.setup_s;
+  out.rep.modeled_solve_seconds = out.solve_s;
   return out;
 }
 
@@ -88,6 +100,13 @@ int main(int argc, char** argv) {
     std::string s;
     while (std::getline(ss, s, ',')) schemes.push_back(s);
   }
+
+  JsonSink sink(cli, "fig6_weak");
+  sink.report.set_param("input", input_arg);
+  sink.report.set_param("n", long(n));
+  sink.report.set_param("max_ranks", long(max_ranks));
+  sink.report.set_param("rtol", rtol);
+  sink.report.set_param("schemes", cli.get("schemes", "ei4,2s-ei,mp"));
 
   std::vector<std::string> inputs;
   if (input_arg == "both") {
@@ -109,11 +128,22 @@ int main(int argc, char** argv) {
         for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
           if (input == "amg2013" && ranks < 2) continue;  // paper: >= 8 ranks
           WeakResult r = run_weak(input, n, ranks, scheme, v, rtol);
-          print_row({input, scheme,
-                     v == Variant::kOptimized ? "opt" : "base",
+          const char* vname = v == Variant::kOptimized ? "opt" : "base";
+          print_row({input, scheme, vname,
                      fmt_int(ranks), fmt_int(Long(n) * n * n * ranks),
                      fmt(r.setup_s, "%.4f"), fmt(r.solve_s, "%.4f"),
                      fmt_int(r.iters), fmt(r.opcx, "%.2f")}, 11);
+          sink.report
+              .add_run(input + "/" + scheme + "/" + vname + "/r" +
+                       std::to_string(ranks))
+              .label("input", input)
+              .label("scheme", scheme)
+              .label("variant", vname)
+              .metric("ranks", double(ranks))
+              .metric("rows", double(Long(n) * n * n * ranks))
+              .metric("modeled_setup_seconds", r.setup_s)
+              .metric("modeled_solve_seconds", r.solve_s)
+              .report(r.rep);
         }
       }
     }
@@ -123,5 +153,5 @@ int main(int argc, char** argv) {
               " 2s-ei converge in fewer iterations (faster solve); the"
               " optimized variant improves both phases; iteration counts"
               " grow slowly (lap3d) or stay flat (amg2013).\n");
-  return 0;
+  return sink.finish();
 }

@@ -9,6 +9,7 @@
 // dominates the solve at scale.
 //
 // Usage: bench_fig7_breakdown [--ranks 8] [--n 10] [--input lap3d|amg2013]
+//                             [--json out.json]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -29,6 +30,11 @@ int main(int argc, char** argv) {
   CSRMatrix A = input == "amg2013" ? amg2013_like(n, n, nz)
                                    : lap3d_27pt(n, n, nz);
   const NetworkModel net = endeavor_network();
+  JsonSink sink(cli, "fig7_breakdown");
+  sink.report.set_param("ranks", long(ranks));
+  sink.report.set_param("n", long(n));
+  sink.report.set_param("input", input);
+  sink.report.set_param("rtol", rtol);
 
   std::printf("=== Fig 7: HYPRE_opt total-time breakdown on %d ranks"
               " (%s, %lld rows) ===\n", ranks, input.c_str(),
@@ -45,6 +51,7 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> per_rank(ranks,
                                               std::vector<double>(6, 0.0));
     std::vector<Int> it(ranks, 0);
+    SolveReport rep0;
     simmpi::run(ranks, [&](simmpi::Comm& c) {
       DistMatrix dA = distribute_csr(c, A);
       DistAMGOptions o = table4_options(Variant::kOptimized, scheme);
@@ -73,6 +80,10 @@ int main(int argc, char** argv) {
       out[5] = net.seconds(delta) +
                double(delta.allreduces) * net.allreduce_seconds(ranks);
       it[c.rank()] = r.iterations;
+      if (c.rank() == 0) {
+        rep0 = h.report(&r);
+        rep0.solve_comm = delta;
+      }
     });
     for (int r = 0; r < ranks; ++r)
       for (int k = 0; k < 6; ++k) bars[k] = std::max(bars[k], per_rank[r][k]);
@@ -83,10 +94,22 @@ int main(int argc, char** argv) {
                fmt(bars[2], "%.4f"), fmt(bars[3], "%.4f"),
                fmt(bars[4], "%.4f"), fmt(bars[5], "%.4f"),
                fmt(total, "%.4f"), fmt_int(iters)}, 11);
+    rep0.modeled_setup_seconds = bars[0] + bars[1] + bars[2] + bars[3];
+    rep0.modeled_solve_seconds = bars[4] + bars[5];
+    sink.report.add_run(scheme)
+        .label("scheme", scheme)
+        .metric("strength_coarsen_s", bars[0])
+        .metric("interp_s", bars[1])
+        .metric("rap_s", bars[2])
+        .metric("setup_etc_s", bars[3])
+        .metric("solve_compute_s", bars[4])
+        .metric("solve_mpi_s", bars[5])
+        .metric("total_s", total)
+        .report(rep0);
   }
   std::printf("\nExpected shape (paper): 2s-ei and mp (aggressive"
               " coarsening) spend more in Interp but less in RAP and the"
               " solve than ei4; Solve_MPI is a large share of solve time at"
               " scale.\n");
-  return 0;
+  return sink.finish();
 }

@@ -9,6 +9,7 @@
 // paper; we print seconds).
 //
 // Usage: bench_fig8_strong [--n 16] [--max-ranks 8] [--rtol 1e-5]
+//                          [--json out.json]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -25,6 +26,11 @@ int main(int argc, char** argv) {
 
   CSRMatrix A = reservoir_matrix(n, n, n);
   const NetworkModel net = endeavor_network();
+  JsonSink sink(cli, "fig8_strong");
+  sink.report.set_param("n", long(n));
+  sink.report.set_param("max_ranks", long(max_ranks));
+  sink.report.set_param("rtol", rtol);
+  sink.report.set_param("rows", long(A.nrows));
   std::printf("=== Fig 8: strong scaling, reservoir input (%lld rows,"
               " rtol=%.0e) ===\n", (long long)A.nrows, rtol);
   std::printf("(modeled cluster seconds; y-axis is log-scale in the paper)\n\n");
@@ -46,6 +52,7 @@ int main(int argc, char** argv) {
     for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
       std::vector<double> setup_model(ranks), solve_model(ranks);
       std::vector<Int> it(ranks);
+      SolveReport rep0;
       simmpi::run(ranks, [&](simmpi::Comm& c) {
         DistMatrix dA = distribute_csr(c, A);
         DistAMGOptions o = table4_options(s.variant, s.scheme);
@@ -66,6 +73,10 @@ int main(int argc, char** argv) {
                                     delta, net) +
             double(delta.allreduces) * net.allreduce_seconds(ranks);
         it[c.rank()] = r.iterations;
+        if (c.rank() == 0) {
+          rep0 = h.report(&r);
+          rep0.solve_comm = delta;
+        }
       });
       double setup = 0, solve = 0;
       for (int r = 0; r < ranks; ++r) {
@@ -75,11 +86,23 @@ int main(int argc, char** argv) {
       print_row({s.name, fmt_int(ranks), fmt(setup, "%.4f"),
                  fmt(solve, "%.4f"), fmt(setup + solve, "%.4f"),
                  fmt_int(it[0])}, 11);
+      rep0.modeled_setup_seconds = setup;
+      rep0.modeled_solve_seconds = solve;
+      sink.report.add_run(std::string(s.name) + "/r" + std::to_string(ranks))
+          .label("series", s.name)
+          .label("scheme", s.scheme)
+          .label("variant",
+                 s.variant == Variant::kOptimized ? "optimized" : "baseline")
+          .metric("ranks", double(ranks))
+          .metric("modeled_setup_seconds", setup)
+          .metric("modeled_solve_seconds", solve)
+          .metric("modeled_total_seconds", setup + solve)
+          .report(rep0);
     }
   }
   std::printf("\nExpected shape (paper): iteration counts stay constant per"
               " scheme; the solve scales better than the setup; HYPRE_opt"
               " beats HYPRE_base throughout; setup scalability (Interp, RAP)"
               " is the bottleneck at high rank counts.\n");
-  return 0;
+  return sink.finish();
 }

@@ -5,7 +5,15 @@
 //  - matrix transpose: serial vs parallel counting sort;
 //  - residual + norm: separate vs fused (§3.3);
 //  - interpolation/restriction: full P vs identity-block form.
+//
+// Accepts the usual --benchmark_* flags plus --json <path> (or
+// --json=<path>), which writes the per-benchmark timings as a
+// BENCH_kernels.json report alongside the console output.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "amg/smoother.hpp"
 #include "amg/spmv.hpp"
@@ -14,6 +22,7 @@
 #include "matrix/permute.hpp"
 #include "matrix/transpose.hpp"
 #include "matrix/vector_ops.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -167,6 +176,77 @@ void BM_ResidualNormFused(benchmark::State& state) {
 }
 BENCHMARK(BM_ResidualNormFused);
 
+// Console reporter that also records each run for the JSON report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double real_seconds = 0;   // per iteration
+    double cpu_seconds = 0;    // per iteration
+    double iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      Captured c;
+      c.name = r.benchmark_name();
+      c.iterations = double(r.iterations);
+      if (r.iterations > 0) {
+        c.real_seconds = r.real_accumulated_time / double(r.iterations);
+        c.cpu_seconds = r.cpu_accumulated_time / double(r.iterations);
+      }
+      captured.push_back(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Captured> captured;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json before benchmark::Initialize sees it (it rejects unknown
+  // flags); the remaining argv goes to google-benchmark untouched.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = int(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_path.empty()) return 0;
+  hpamg::BenchReport report("kernels");
+  for (const CapturingReporter::Captured& c : reporter.captured) {
+    report.add_run(c.name)
+        .metric("real_seconds_per_iter", c.real_seconds)
+        .metric("cpu_seconds_per_iter", c.cpu_seconds)
+        .metric("iterations", c.iterations);
+  }
+  const std::string err =
+      hpamg::validate_bench_report_json(report.to_json());
+  if (!err.empty()) {
+    std::fprintf(stderr, "json report failed self-validation: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  if (!report.write_file(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

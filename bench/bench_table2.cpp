@@ -3,7 +3,7 @@
 // generated stand-in's (at the requested --scale; scale=1 reproduces the
 // paper's row counts).
 //
-// Usage: bench_table2 [--scale 0.01]
+// Usage: bench_table2 [--scale 0.01] [--json out.json]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -15,6 +15,8 @@ using namespace hpamg::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.01);
+  JsonSink sink(cli, "table2");
+  sink.report.set_param("scale", scale);
 
   std::printf("=== Table 2: sparse matrices used in single-node experiments"
               " (scale=%.4g) ===\n", scale);
@@ -26,6 +28,13 @@ int main(int argc, char** argv) {
                fmt_int(A.nrows), fmt(double(A.nnz()) / A.nrows, "%.1f"),
                fmt(e.strength_threshold, "%.2f")},
               14);
+    sink.report.add_run(e.name)
+        .metric("paper_rows", double(e.paper_rows))
+        .metric("paper_nnz_per_row", double(e.paper_nnz_per_row))
+        .metric("gen_rows", double(A.nrows))
+        .metric("gen_nnz", double(A.nnz()))
+        .metric("gen_nnz_per_row", double(A.nnz()) / A.nrows)
+        .metric("strength_threshold", e.strength_threshold);
   }
-  return 0;
+  return sink.finish();
 }

@@ -13,6 +13,7 @@
 #include "perfmodel/network.hpp"
 #include "perfmodel/project.hpp"
 #include "support/cli.hpp"
+#include "support/report.hpp"
 #include "support/timer.hpp"
 
 namespace hpamg::bench {
@@ -72,5 +73,36 @@ inline double solve_compute_seconds(const PhaseTimes& pt) {
   return pt.get("GS") + pt.get("SpMV") + pt.get("BLAS1") +
          pt.get("Solve_etc");
 }
+
+/// `--json <path>` plumbing shared by every bench binary: benches add
+/// params and runs to `report` unconditionally (cheap), and main() ends
+/// with `return sink.finish();` which writes BENCH_<name>.json when the
+/// flag was given. The emitted document follows the schema in
+/// support/report.hpp and is validated by bench/check_report.cpp.
+struct JsonSink {
+  JsonSink(const Cli& cli, const std::string& bench_name)
+      : path(cli.get("json", "")), report(bench_name) {}
+
+  bool enabled() const { return !path.empty(); }
+
+  int finish() const {
+    if (!enabled()) return 0;
+    const std::string err = validate_bench_report_json(report.to_json());
+    if (!err.empty()) {
+      std::fprintf(stderr, "json report failed self-validation: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    if (!report.write_file(path)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+    return 0;
+  }
+
+  std::string path;
+  BenchReport report;
+};
 
 }  // namespace hpamg::bench

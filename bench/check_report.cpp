@@ -1,0 +1,59 @@
+// Schema checker for the BENCH_*.json files the benches emit with --json.
+//
+// Usage: check_report [--require-solve] file.json [file.json ...]
+//
+// Validates each file against the envelope + SolveReport schema in
+// support/report.hpp (see validate_bench_report_json). With
+// --require-solve, at least one run per file must carry a full solver
+// report whose convergence block shows >= 1 iteration — the mode CI uses
+// for the solver benches. Exits non-zero on the first invalid file.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/report.hpp"
+
+int main(int argc, char** argv) {
+  bool require_solve = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-solve") == 0) {
+      require_solve = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: check_report [--require-solve] file.json ...\n");
+    return 2;
+  }
+
+  int bad = 0;
+  for (const char* path : files) {
+    std::string content;
+    {
+      std::FILE* f = std::fopen(path, "rb");
+      if (!f) {
+        std::fprintf(stderr, "%s: cannot open\n", path);
+        ++bad;
+        continue;
+      }
+      char buf[65536];
+      std::size_t got;
+      while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, got);
+      std::fclose(f);
+    }
+    const std::string err =
+        hpamg::validate_bench_report_json(content, require_solve);
+    if (err.empty()) {
+      std::printf("%s: ok\n", path);
+    } else {
+      std::fprintf(stderr, "%s: %s\n", path, err.c_str());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}

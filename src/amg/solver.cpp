@@ -103,6 +103,37 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
   return res;
 }
 
+SolveReport AMGSolver::report(const SolveResult* sr) const {
+  SolveReport rep;
+  rep.solver = "amg";
+  rep.variant =
+      h_.opts.variant == Variant::kOptimized ? "optimized" : "baseline";
+  rep.num_levels = h_.num_levels();
+  rep.operator_complexity = h_.operator_complexity();
+  rep.grid_complexity = h_.grid_complexity();
+  rep.levels.reserve(h_.stats.size());
+  for (std::size_t l = 0; l < h_.stats.size(); ++l) {
+    const LevelStats& s = h_.stats[l];
+    rep.levels.push_back({Int(l), Long(s.rows), s.nnz,
+                          s.rows > 0 ? double(s.nnz) / double(s.rows) : 0.0,
+                          Long(s.coarse), s.interp_nnz});
+  }
+  rep.setup_phases = h_.setup_times;
+  rep.setup_work = h_.setup_work;
+  rep.setup_seconds = h_.setup_times.total();
+  if (sr) {
+    rep.solve_phases = sr->solve_times;
+    rep.solve_work = sr->solve_work;
+    rep.solve_seconds = sr->solve_times.total();
+    rep.convergence.iterations = sr->iterations;
+    rep.convergence.converged = sr->converged;
+    rep.convergence.final_relres = sr->final_relres;
+    rep.convergence.convergence_factor = sr->convergence_factor();
+    rep.convergence.residual_history = sr->history;
+  }
+  return rep;
+}
+
 void AMGSolver::precondition(const Vector& b, Vector& x, PhaseTimes* pt,
                              WorkCounters* wc) {
   set_zero(x);

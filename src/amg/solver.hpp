@@ -11,6 +11,7 @@
 
 #include "amg/cycle.hpp"
 #include "amg/hierarchy.hpp"
+#include "support/report.hpp"
 
 namespace hpamg {
 
@@ -54,6 +55,11 @@ class AMGSolver {
   /// paper's "setup will be called only occasionally" scenario, §5.2).
   /// Throws if the pattern differs.
   void refresh_values(const CSRMatrix& A_new);
+
+  /// Machine-readable report of the setup phase and, when `sr` is given,
+  /// the solve: per-level stats, phase breakdowns, work counters, and
+  /// convergence history (see support/report.hpp for the JSON schema).
+  SolveReport report(const SolveResult* sr = nullptr) const;
 
   Hierarchy& hierarchy() { return h_; }
   const Hierarchy& hierarchy() const { return h_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dist/dist_krylov.hpp"
 #include "dist/dist_transpose.hpp"
 #include "matrix/vector_ops.hpp"
 #include "support/parallel.hpp"
@@ -18,6 +19,43 @@ double DistHierarchy::operator_complexity() const {
   double total = 0.0;
   for (const LevelStats& s : stats) total += double(s.nnz);
   return total / double(stats[0].nnz);
+}
+
+double DistHierarchy::grid_complexity() const {
+  if (stats.empty() || stats[0].rows == 0) return 0.0;
+  double total = 0.0;
+  for (const LevelStats& s : stats) total += double(s.rows);
+  return total / double(stats[0].rows);
+}
+
+SolveReport DistHierarchy::report(const DistSolveResult* sr) const {
+  SolveReport rep;
+  rep.solver = "fgmres+amg";
+  rep.variant =
+      opts.variant == Variant::kOptimized ? "optimized" : "baseline";
+  rep.num_levels = Int(levels.size());
+  rep.operator_complexity = operator_complexity();
+  rep.grid_complexity = grid_complexity();
+  rep.levels.reserve(stats.size());
+  for (std::size_t l = 0; l < stats.size(); ++l) {
+    const LevelStats& s = stats[l];
+    rep.levels.push_back({Int(l), Long(s.rows), s.nnz,
+                          s.rows > 0 ? double(s.nnz) / double(s.rows) : 0.0,
+                          Long(s.coarse), s.interp_nnz});
+  }
+  rep.setup_phases = setup_times;
+  rep.setup_work = setup_work;
+  rep.setup_seconds = setup_times.total();
+  rep.has_comm = true;
+  rep.setup_comm = setup_comm;
+  if (sr) {
+    rep.solve_phases = sr->solve_times;
+    rep.solve_seconds = sr->solve_times.total();
+    rep.convergence.iterations = sr->iterations;
+    rep.convergence.converged = sr->converged;
+    rep.convergence.final_relres = sr->final_relres;
+  }
+  return rep;
 }
 
 void dist_spmv(simmpi::Comm& comm, const DistMatrix& A, HaloExchange& halo,

@@ -21,9 +21,12 @@
 #include "dist/dist_spgemm.hpp"
 #include "dist/halo.hpp"
 #include "matrix/dense.hpp"
+#include "support/report.hpp"
 #include "support/timer.hpp"
 
 namespace hpamg {
+
+struct DistSolveResult;  // dist_krylov.hpp
 
 struct DistAMGOptions {
   Variant variant = Variant::kOptimized;
@@ -67,6 +70,15 @@ struct DistHierarchy {
   std::vector<LevelStats> stats;
 
   double operator_complexity() const;
+  /// Σ_l n_l / n_0 over the global level sizes.
+  double grid_complexity() const;
+
+  /// Machine-readable report of this rank's view of the setup (global
+  /// hierarchy stats + local phase/counter/comm breakdowns) and, when `sr`
+  /// is given, the solve (see support/report.hpp for the JSON schema).
+  /// The solve-phase comm delta is not tracked here — callers that want
+  /// it populate `solve_comm` on the returned report themselves.
+  SolveReport report(const DistSolveResult* sr = nullptr) const;
 };
 
 /// Collective: every rank calls with its piece of A.

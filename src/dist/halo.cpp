@@ -5,8 +5,9 @@
 namespace hpamg {
 
 namespace {
+// Fixed protocol tags; must stay below simmpi::Comm::kDynamicTagBase (the
+// per-instance exchange tags come from Comm::next_tag_block()).
 constexpr int kTagNeed = 7101;
-constexpr int kTagVec = 100000;  // + per-instance offset, see tag_base_
 constexpr int kTagRowReq = 7120;
 constexpr int kTagRowLen = 7130;
 constexpr int kTagRowCol = 7140;
@@ -22,7 +23,7 @@ HaloExchange::HaloExchange(simmpi::Comm& comm,
                            const std::vector<Long>& colmap,
                            const std::vector<Long>& starts, bool persistent)
     : comm_(comm), persistent_(persistent), ext_size_(Int(colmap.size())),
-      tag_base_(kTagVec + comm.next_tag_block()) {
+      tag_base_(comm.next_tag_block()) {
   const int nranks = comm.size();
   const int me = comm.rank();
   // colmap is sorted, so elements owned by one peer form one contiguous

@@ -30,7 +30,7 @@ class World {
                std::size_t bytes) {
     Mailbox& mb = mailboxes_[to];
     std::vector<char> payload(bytes);
-    std::memcpy(payload.data(), data, bytes);
+    if (bytes > 0) std::memcpy(payload.data(), data, bytes);  // UB on null src
     {
       std::lock_guard<std::mutex> lock(mb.mu);
       mb.queues[{from, tag}].push_back(std::move(payload));

@@ -77,7 +77,7 @@ class Comm {
     std::vector<char> raw = recv(from, tag);
     require(raw.size() % sizeof(T) == 0, "recv_vec: size mismatch");
     std::vector<T> v(raw.size() / sizeof(T));
-    std::memcpy(v.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
     return v;
   }
 
@@ -94,10 +94,28 @@ class Comm {
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }
 
-  /// Hands out disjoint tag blocks for pattern objects (HaloExchange).
-  /// Calls must occur in the same (collective) order on every rank so the
-  /// blocks line up across ranks.
-  int next_tag_block() { return 16 * next_tag_block_++; }
+  /// Dynamic tag blocks live at kDynamicTagBase and above; fixed protocol
+  /// tags (halo/gather/interp handshakes, 7xxx) must stay below it.
+  static constexpr int kTagBlockSize = 16;
+  static constexpr int kDynamicTagBase = 100000;
+  /// Blocks handed out per Comm before next_tag_block() throws. A deep
+  /// hierarchy allocates a handful of HaloExchange patterns per level, so
+  /// 64k blocks is orders of magnitude of headroom — the guard exists
+  /// because silently wrapping would alias live tags and corrupt
+  /// unrelated exchanges.
+  static constexpr int kMaxTagBlocks = 1 << 16;
+
+  /// Hands out disjoint 16-tag blocks for pattern objects (HaloExchange);
+  /// returns the first tag of the block. Calls must occur in the same
+  /// (collective) order on every rank so the blocks line up across ranks.
+  /// Throws once the dynamic tag space is exhausted rather than reusing
+  /// tags that may still be live.
+  int next_tag_block() {
+    require(next_tag_block_ < kMaxTagBlocks,
+            "simmpi: dynamic tag blocks exhausted (too many communication "
+            "patterns created on one Comm)");
+    return kDynamicTagBase + kTagBlockSize * next_tag_block_++;
+  }
 
  private:
   friend std::vector<CommStats> run(int, const std::function<void(Comm&)>&);

@@ -8,4 +8,9 @@ double projected_phase_seconds(double rank_cpu_seconds,
   return rank_cpu_seconds + net.seconds(rank_comm);
 }
 
+void project_report_times(SolveReport& rep, const MachineModel& m) {
+  rep.modeled_setup_seconds = m.seconds(rep.setup_work);
+  rep.modeled_solve_seconds = m.seconds(rep.solve_work);
+}
+
 }  // namespace hpamg

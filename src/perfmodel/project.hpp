@@ -4,6 +4,7 @@
 
 #include "perfmodel/machine.hpp"
 #include "perfmodel/network.hpp"
+#include "support/report.hpp"
 #include "support/timer.hpp"
 
 namespace hpamg {
@@ -14,6 +15,11 @@ namespace hpamg {
 double projected_phase_seconds(double rank_cpu_seconds,
                                const simmpi::CommStats& rank_comm,
                                const NetworkModel& net);
+
+/// Fills a solve report's modeled_{setup,solve}_seconds by running its
+/// machine-independent work counters through the machine roofline — the
+/// projection the perf-trajectory JSON carries for single-node runs.
+void project_report_times(SolveReport& rep, const MachineModel& m);
 
 /// AmgX comparator (DESIGN.md §1): the paper's measured behavioural ratios
 /// applied to our optimized implementation's counters, run through the

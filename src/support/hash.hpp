@@ -26,11 +26,19 @@ class HashSet {
  public:
   explicit HashSet(std::size_t expected = 16) { rehash_for(expected); }
 
-  /// Inserts key; returns true if newly inserted.
+  /// Inserts key; returns true if newly inserted. Probes before growing:
+  /// duplicate-heavy streams (the §4.2 renumbering workload re-inserts
+  /// every repeated off-rank column) must not trigger rehashes, and a
+  /// rehash invalidates the probed slot, so the table is re-probed after
+  /// growing.
   bool insert(K key) {
-    if (2 * (size_ + 1) > slots_.size()) rehash_for(2 * slots_.size());
+    require(key != kEmpty, "HashSet: key collides with the empty sentinel");
     std::size_t i = probe(key);
     if (slots_[i] == key) return false;
+    if (2 * (size_ + 1) > slots_.size()) {
+      rehash_for(slots_.size());
+      i = probe(key);
+    }
     slots_[i] = key;
     ++size_;
     return true;
@@ -38,6 +46,7 @@ class HashSet {
 
   bool contains(K key) const { return slots_[probe(key)] == key; }
   std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
 
   /// Copies all keys out (unordered).
   void collect(std::vector<K>& out) const {
@@ -60,9 +69,8 @@ class HashSet {
     while (cap < 2 * expected) cap *= 2;
     std::vector<K> old = std::move(slots_);
     slots_.assign(cap, kEmpty);
-    size_ = 0;
     for (K k : old)
-      if (k != kEmpty) insert(k);
+      if (k != kEmpty) slots_[probe(k)] = k;  // size_ unchanged
   }
 
   std::vector<K> slots_;
@@ -76,10 +84,16 @@ class HashMap {
   explicit HashMap(std::size_t expected = 16) { rehash_for(expected); }
 
   /// Inserts (key, value) if absent; returns the stored value either way.
+  /// Probe-first / grow-on-true-insert / re-probe-after-rehash, as in
+  /// HashSet::insert.
   Int insert_or_get(K key, Int value) {
-    if (2 * (size_ + 1) > keys_.size()) rehash_for(2 * keys_.size());
+    require(key != kEmpty, "HashMap: key collides with the empty sentinel");
     std::size_t i = probe(key);
     if (keys_[i] == key) return vals_[i];
+    if (2 * (size_ + 1) > keys_.size()) {
+      rehash_for(keys_.size());
+      i = probe(key);
+    }
     keys_[i] = key;
     vals_[i] = value;
     ++size_;
@@ -87,9 +101,13 @@ class HashMap {
   }
 
   void put(K key, Int value) {
-    if (2 * (size_ + 1) > keys_.size()) rehash_for(2 * keys_.size());
+    require(key != kEmpty, "HashMap: key collides with the empty sentinel");
     std::size_t i = probe(key);
     if (keys_[i] != key) {
+      if (2 * (size_ + 1) > keys_.size()) {
+        rehash_for(keys_.size());
+        i = probe(key);
+      }
       keys_[i] = key;
       ++size_;
     }
@@ -104,6 +122,7 @@ class HashMap {
 
   bool contains(K key) const { return keys_[probe(key)] == key; }
   std::size_t size() const { return size_; }
+  std::size_t capacity() const { return keys_.size(); }
 
  private:
   static constexpr K kEmpty = K(-1);
@@ -122,9 +141,12 @@ class HashMap {
     std::vector<Int> old_v = std::move(vals_);
     keys_.assign(cap, kEmpty);
     vals_.assign(cap, 0);
-    size_ = 0;
-    for (std::size_t i = 0; i < old_k.size(); ++i)
-      if (old_k[i] != kEmpty) put(old_k[i], old_v[i]);
+    for (std::size_t i = 0; i < old_k.size(); ++i) {
+      if (old_k[i] == kEmpty) continue;
+      const std::size_t j = probe(old_k[i]);  // size_ unchanged
+      keys_[j] = old_k[i];
+      vals_[j] = old_v[i];
+    }
   }
 
   std::vector<K> keys_;

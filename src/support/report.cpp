@@ -1,0 +1,767 @@
+#include "support/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hpamg {
+
+// ------------------------------------------------------------------------
+// JsonWriter
+// ------------------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(char(c));  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Shortest decimal form that round-trips through strtod.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v)
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  require(stack_.empty() ? out_.empty()
+                         : stack_.back() == Frame::kArray,
+          "JsonWriter: value needs a key inside an object");
+  if (!stack_.empty()) {
+    if (has_items_.back()) out_.push_back(',');
+    has_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_.push_back('{');
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  require(!stack_.empty() && stack_.back() == Frame::kObject &&
+              !key_pending_,
+          "JsonWriter: unbalanced end_object");
+  out_.push_back('}');
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_.push_back('[');
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  require(!stack_.empty() && stack_.back() == Frame::kArray,
+          "JsonWriter: unbalanced end_array");
+  out_.push_back(']');
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  require(!stack_.empty() && stack_.back() == Frame::kObject &&
+              !key_pending_,
+          "JsonWriter: key outside an object");
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  append_escaped(out_, k);
+  out_.push_back(':');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  append_escaped(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // NaN/Inf policy: JSON has no non-finite numbers
+  } else {
+    append_double(out_, v);
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_int(long long v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_uint(unsigned long long v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  require(stack_.empty() && !key_pending_ && !out_.empty(),
+          "JsonWriter: document incomplete");
+  return out_;
+}
+
+// ------------------------------------------------------------------------
+// Parser
+// ------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view k) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [key, val] : members)
+    if (key == k) return &val;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    require(pos_ == src_.size(), "json_parse: trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json_parse: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' ||
+            src_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= src_.size() || src_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (src_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.text = parse_string();
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= src_.size()) fail("truncated \\u escape");
+      const char c = src_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= unsigned(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= unsigned(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= unsigned(c - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(char(cp));
+    } else if (cp < 0x800) {
+      out.push_back(char(0xc0 | (cp >> 6)));
+      out.push_back(char(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(char(0xe0 | (cp >> 12)));
+      out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(char(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(char(0xf0 | (cp >> 18)));
+      out.push_back(char(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(char(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= src_.size()) fail("unterminated string");
+      const char c = src_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if ((unsigned char)c < 0x20) fail("raw control character in string");
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= src_.size()) fail("truncated escape");
+      const char e = src_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // high surrogate
+            if (pos_ + 1 < src_.size() && src_[pos_] == '\\' &&
+                src_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned lo = parse_hex4();
+              require(lo >= 0xdc00 && lo <= 0xdfff,
+                      "json_parse: unpaired surrogate");
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+            } else {
+              fail("unpaired surrogate");
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '-') ++pos_;
+    while (pos_ < src_.size() &&
+           (std::isdigit((unsigned char)src_[pos_]) || src_[pos_] == '.' ||
+            src_[pos_] == 'e' || src_[pos_] == 'E' || src_[pos_] == '+' ||
+            src_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token(src_.substr(start, pos_ - start));
+    // RFC 8259: no leading zeros ("01") and no bare sign/dot.
+    {
+      std::size_t p = token[0] == '-' ? 1 : 0;
+      if (p >= token.size() || !std::isdigit((unsigned char)token[p]))
+        fail("malformed number");
+      if (token[p] == '0' && p + 1 < token.size() &&
+          std::isdigit((unsigned char)token[p + 1]))
+        fail("malformed number");
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = d;
+    v.text = token;  // keep the lexeme for exact integer consumers
+    return v;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view src) {
+  return Parser(src).parse_document();
+}
+
+// ------------------------------------------------------------------------
+// SolveReport
+// ------------------------------------------------------------------------
+
+namespace {
+
+void write_phases(JsonWriter& w, const PhaseTimes& pt) {
+  w.begin_object();
+  for (const auto& [name, sec] : pt.all()) w.kv(name, sec);
+  w.end_object();
+}
+
+void write_counters(JsonWriter& w, const WorkCounters& c) {
+  w.begin_object();
+  w.kv("flops", c.flops);
+  w.kv("bytes_read", c.bytes_read);
+  w.kv("bytes_written", c.bytes_written);
+  w.kv("branches", c.branches);
+  w.kv("hash_probes", c.hash_probes);
+  w.end_object();
+}
+
+void write_comm(JsonWriter& w, const simmpi::CommStats& s) {
+  w.begin_object();
+  w.kv("messages_sent", s.messages_sent);
+  w.kv("bytes_sent", s.bytes_sent);
+  w.kv("allreduces", s.allreduces);
+  w.kv("request_setups", s.request_setups);
+  w.kv("persistent_starts", s.persistent_starts);
+  w.end_object();
+}
+
+}  // namespace
+
+void SolveReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("solver", solver);
+  w.kv("variant", variant);
+
+  w.key("hierarchy").begin_object();
+  w.kv("num_levels", long(num_levels));
+  w.kv("operator_complexity", operator_complexity);
+  w.kv("grid_complexity", grid_complexity);
+  w.key("levels").begin_array();
+  for (const LevelReportEntry& l : levels) {
+    w.begin_object();
+    w.kv("level", long(l.level));
+    w.kv("rows", (long long)l.rows);
+    w.kv("nnz", (long long)l.nnz);
+    w.kv("nnz_per_row", l.nnz_per_row);
+    w.kv("coarse", (long long)l.coarse);
+    w.kv("interp_nnz", (long long)l.interp_nnz);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("phases").begin_object();
+  w.key("setup");
+  write_phases(w, setup_phases);
+  w.key("solve");
+  write_phases(w, solve_phases);
+  w.end_object();
+
+  w.key("counters").begin_object();
+  w.key("setup");
+  write_counters(w, setup_work);
+  w.key("solve");
+  write_counters(w, solve_work);
+  w.end_object();
+
+  if (has_comm) {
+    w.key("comm").begin_object();
+    w.key("setup");
+    write_comm(w, setup_comm);
+    w.key("solve");
+    write_comm(w, solve_comm);
+    w.end_object();
+  }
+
+  w.key("convergence").begin_object();
+  w.kv("iterations", long(convergence.iterations));
+  w.kv("converged", convergence.converged);
+  w.kv("final_relres", convergence.final_relres);
+  w.kv("convergence_factor", convergence.convergence_factor);
+  w.key("residual_history").begin_array();
+  for (double r : convergence.residual_history) w.value(r);
+  w.end_array();
+  w.end_object();
+
+  w.key("times").begin_object();
+  w.kv("setup_seconds", setup_seconds);
+  w.kv("solve_seconds", solve_seconds);
+  w.kv("modeled_setup_seconds", modeled_setup_seconds);
+  w.kv("modeled_solve_seconds", modeled_solve_seconds);
+  w.end_object();
+
+  w.end_object();
+}
+
+// ------------------------------------------------------------------------
+// BenchReport
+// ------------------------------------------------------------------------
+
+void BenchReport::set_param(const std::string& k, const std::string& v) {
+  Param p;
+  p.key = k;
+  p.text = v;
+  params_.push_back(std::move(p));
+}
+
+void BenchReport::set_param(const std::string& k, double v) {
+  Param p;
+  p.key = k;
+  p.numeric = true;
+  p.number = v;
+  params_.push_back(std::move(p));
+}
+
+void BenchReport::set_param(const std::string& k, long v) {
+  Param p;
+  p.key = k;
+  p.numeric = true;
+  p.integral = true;
+  p.integer = v;
+  params_.push_back(std::move(p));
+}
+
+BenchReport::Run& BenchReport::add_run(const std::string& name) {
+  runs_.push_back(std::make_unique<Run>());
+  runs_.back()->name = name;
+  return *runs_.back();
+}
+
+std::string BenchReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", kSchemaVersion);
+  w.kv("bench", bench_);
+  w.key("params").begin_object();
+  for (const Param& p : params_) {
+    if (!p.numeric)
+      w.kv(p.key, p.text);
+    else if (p.integral)
+      w.kv(p.key, p.integer);
+    else
+      w.kv(p.key, p.number);
+  }
+  w.end_object();
+  w.key("runs").begin_array();
+  for (const auto& run : runs_) {
+    w.begin_object();
+    w.kv("name", run->name);
+    if (!run->labels.empty()) {
+      w.key("labels").begin_object();
+      for (const auto& [k, v] : run->labels) w.kv(k, v);
+      w.end_object();
+    }
+    if (!run->metrics.empty()) {
+      w.key("metrics").begin_object();
+      for (const auto& [k, v] : run->metrics) w.kv(k, v);
+      w.end_object();
+    }
+    if (run->solve) {
+      w.key("report");
+      run->solve->write_json(w);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  const std::string text = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+// ------------------------------------------------------------------------
+// Schema validation
+// ------------------------------------------------------------------------
+
+namespace {
+
+/// Appends nothing and returns false on success; else fills `err`.
+bool schema_fail(std::string& err, const std::string& what) {
+  if (err.empty()) err = what;
+  return false;
+}
+
+bool check_object_of_numbers(const JsonValue* v, const std::string& where,
+                             std::string& err) {
+  if (!v || !v->is_object())
+    return schema_fail(err, where + " must be an object");
+  for (const auto& [k, val] : v->members)
+    if (!val.is_number() && !val.is_null())
+      return schema_fail(err, where + "." + k + " must be a number");
+  return true;
+}
+
+bool check_counters(const JsonValue* v, const std::string& where,
+                    std::string& err) {
+  if (!v || !v->is_object())
+    return schema_fail(err, where + " must be an object");
+  for (const char* field :
+       {"flops", "bytes_read", "bytes_written", "branches", "hash_probes"}) {
+    const JsonValue* f = v->find(field);
+    if (!f || !f->is_number())
+      return schema_fail(err, where + "." + field + " missing");
+  }
+  return true;
+}
+
+bool check_solve_report(const JsonValue& rep, const std::string& where,
+                        std::string& err) {
+  if (!rep.is_object()) return schema_fail(err, where + " must be an object");
+  for (const char* field : {"solver", "variant"}) {
+    const JsonValue* f = rep.find(field);
+    if (!f || !f->is_string())
+      return schema_fail(err, where + "." + field + " missing");
+  }
+
+  const JsonValue* hier = rep.find("hierarchy");
+  if (!hier || !hier->is_object())
+    return schema_fail(err, where + ".hierarchy missing");
+  const JsonValue* nl = hier->find("num_levels");
+  if (!nl || !nl->is_number())
+    return schema_fail(err, where + ".hierarchy.num_levels missing");
+  for (const char* field : {"operator_complexity", "grid_complexity"}) {
+    const JsonValue* f = hier->find(field);
+    if (!f || !f->is_number())
+      return schema_fail(err, where + ".hierarchy." + field + " missing");
+  }
+  const JsonValue* levels = hier->find("levels");
+  if (!levels || !levels->is_array())
+    return schema_fail(err, where + ".hierarchy.levels missing");
+  for (std::size_t i = 0; i < levels->items.size(); ++i) {
+    const JsonValue& l = levels->items[i];
+    for (const char* field :
+         {"level", "rows", "nnz", "nnz_per_row", "coarse", "interp_nnz"}) {
+      const JsonValue* f = l.find(field);
+      if (!f || !f->is_number())
+        return schema_fail(err, where + ".hierarchy.levels[" +
+                                    std::to_string(i) + "]." + field +
+                                    " missing");
+    }
+  }
+
+  const JsonValue* phases = rep.find("phases");
+  if (!phases || !phases->is_object())
+    return schema_fail(err, where + ".phases missing");
+  if (!check_object_of_numbers(phases->find("setup"), where + ".phases.setup",
+                               err) ||
+      !check_object_of_numbers(phases->find("solve"), where + ".phases.solve",
+                               err))
+    return false;
+
+  const JsonValue* counters = rep.find("counters");
+  if (!counters || !counters->is_object())
+    return schema_fail(err, where + ".counters missing");
+  if (!check_counters(counters->find("setup"), where + ".counters.setup",
+                      err) ||
+      !check_counters(counters->find("solve"), where + ".counters.solve",
+                      err))
+    return false;
+
+  if (const JsonValue* comm = rep.find("comm")) {
+    for (const char* side : {"setup", "solve"}) {
+      const JsonValue* s = comm->find(side);
+      if (!s || !s->is_object())
+        return schema_fail(err, where + ".comm." + side + " missing");
+      for (const char* field : {"messages_sent", "bytes_sent", "allreduces",
+                                "request_setups", "persistent_starts"}) {
+        const JsonValue* f = s->find(field);
+        if (!f || !f->is_number())
+          return schema_fail(
+              err, where + ".comm." + side + "." + field + " missing");
+      }
+    }
+  }
+
+  const JsonValue* conv = rep.find("convergence");
+  if (!conv || !conv->is_object())
+    return schema_fail(err, where + ".convergence missing");
+  const JsonValue* iters = conv->find("iterations");
+  if (!iters || !iters->is_number())
+    return schema_fail(err, where + ".convergence.iterations missing");
+  const JsonValue* converged = conv->find("converged");
+  if (!converged || !converged->is_bool())
+    return schema_fail(err, where + ".convergence.converged missing");
+  const JsonValue* hist = conv->find("residual_history");
+  if (!hist || !hist->is_array())
+    return schema_fail(err, where + ".convergence.residual_history missing");
+
+  const JsonValue* times = rep.find("times");
+  if (!times || !times->is_object())
+    return schema_fail(err, where + ".times missing");
+  for (const char* field : {"setup_seconds", "solve_seconds",
+                            "modeled_setup_seconds",
+                            "modeled_solve_seconds"}) {
+    const JsonValue* f = times->find(field);
+    if (!f || !f->is_number())
+      return schema_fail(err, where + ".times." + field + " missing");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string validate_bench_report_json(std::string_view json_text,
+                                       bool require_solve) {
+  JsonValue root;
+  try {
+    root = json_parse(json_text);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  std::string err;
+  if (!root.is_object()) return "document must be an object";
+
+  const JsonValue* ver = root.find("schema_version");
+  if (!ver || !ver->is_number()) return "schema_version missing";
+  if (long(ver->number) != BenchReport::kSchemaVersion)
+    return "unsupported schema_version " + ver->text;
+
+  const JsonValue* bench = root.find("bench");
+  if (!bench || !bench->is_string() || bench->text.empty())
+    return "bench (non-empty string) missing";
+
+  const JsonValue* params = root.find("params");
+  if (!params || !params->is_object()) return "params object missing";
+
+  const JsonValue* runs = root.find("runs");
+  if (!runs || !runs->is_array()) return "runs array missing";
+  if (runs->items.empty()) return "runs array is empty";
+
+  bool any_solve = false;
+  for (std::size_t i = 0; i < runs->items.size(); ++i) {
+    const JsonValue& run = runs->items[i];
+    const std::string where = "runs[" + std::to_string(i) + "]";
+    if (!run.is_object()) return where + " must be an object";
+    const JsonValue* name = run.find("name");
+    if (!name || !name->is_string() || name->text.empty())
+      return where + ".name missing";
+    if (const JsonValue* metrics = run.find("metrics"))
+      if (!check_object_of_numbers(metrics, where + ".metrics", err))
+        return err;
+    if (const JsonValue* labels = run.find("labels")) {
+      if (!labels->is_object()) return where + ".labels must be an object";
+      for (const auto& [k, v] : labels->members)
+        if (!v.is_string()) return where + ".labels." + k + " must be a string";
+    }
+    if (const JsonValue* rep = run.find("report")) {
+      if (!check_solve_report(*rep, where + ".report", err)) return err;
+      const JsonValue* iters = rep->find("convergence")->find("iterations");
+      if (iters->number >= 1.0) any_solve = true;
+    }
+  }
+  if (require_solve && !any_solve)
+    return "no run carries a solve report with >= 1 iteration";
+  return "";
+}
+
+}  // namespace hpamg

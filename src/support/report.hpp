@@ -1,0 +1,241 @@
+// Machine-readable reporting: a dependency-free JSON writer/parser, the
+// SolveReport aggregate (per-level hierarchy stats, phase breakdowns, work
+// counters, communication stats, convergence history, perfmodel
+// projections), and the BENCH_*.json envelope every bench binary emits
+// behind its `--json <path>` flag.
+//
+// The emitted field names are the repo's perf-trajectory schema: CI
+// validates them (bench/check_report.cpp, the `report_schema` target) and
+// tests/test_report.cpp pins them as a golden schema, so renaming a field
+// is a deliberate, test-visible act. Schema reference: README.md
+// ("Machine-readable bench output").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dist/simmpi.hpp"
+#include "support/common.hpp"
+#include "support/counters.hpp"
+#include "support/timer.hpp"
+
+namespace hpamg {
+
+// ------------------------------------------------------------------------
+// JSON writer
+// ------------------------------------------------------------------------
+
+/// Streaming JSON writer with comma/nesting bookkeeping. Strings are
+/// escaped per RFC 8259 (UTF-8 passes through, control characters become
+/// \uXXXX); non-finite doubles are written as `null` (JSON has no NaN/Inf
+/// — consumers must treat a null metric as "not a number").
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Member key inside an object; must be followed by exactly one value
+  /// or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(int v) { return write_int(v); }
+  JsonWriter& value(long v) { return write_int(v); }
+  JsonWriter& value(long long v) { return write_int(v); }
+  JsonWriter& value(unsigned v) { return write_uint(v); }
+  JsonWriter& value(unsigned long v) { return write_uint(v); }
+  JsonWriter& value(unsigned long long v) { return write_uint(v); }
+  JsonWriter& null();
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Finished document; throws if containers are still open.
+  const std::string& str() const;
+
+ private:
+  JsonWriter& write_int(long long v);
+  JsonWriter& write_uint(unsigned long long v);
+  void before_value();
+  void raw(std::string_view s) { out_.append(s); }
+
+  enum class Frame : unsigned char { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+// ------------------------------------------------------------------------
+// JSON parser (for validation and round-trip tests)
+// ------------------------------------------------------------------------
+
+/// Parsed JSON document node. Objects keep member order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;  ///< array elements
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< object fields
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view k) const;
+  bool has(std::string_view k) const { return find(k) != nullptr; }
+};
+
+/// Parses one JSON document (throws std::invalid_argument on malformed
+/// input or trailing garbage).
+JsonValue json_parse(std::string_view src);
+
+// ------------------------------------------------------------------------
+// Solve report
+// ------------------------------------------------------------------------
+
+/// One level of the hierarchy table (AMGSolver and DistAMG both emit it).
+struct LevelReportEntry {
+  Int level = 0;
+  Long rows = 0;
+  Long nnz = 0;
+  double nnz_per_row = 0.0;
+  Long coarse = 0;       ///< coarse points selected on this level
+  Long interp_nnz = 0;   ///< nnz of this level's interpolation operator
+};
+
+struct ConvergenceReport {
+  Int iterations = 0;
+  bool converged = false;
+  double final_relres = 0.0;
+  double convergence_factor = 0.0;  ///< geomean contraction per iteration
+  std::vector<double> residual_history;
+};
+
+/// Everything a solver run exposes for regression tracking: hierarchy
+/// quality, phase breakdowns, machine-independent work counters, comm
+/// traffic (distributed runs), convergence, and measured plus
+/// perfmodel-projected times. Field names are schema-stable (see header
+/// comment).
+struct SolveReport {
+  std::string solver;   ///< "amg" | "fgmres+amg"
+  std::string variant;  ///< "baseline" | "optimized"
+
+  Int num_levels = 0;
+  double operator_complexity = 0.0;
+  double grid_complexity = 0.0;
+  std::vector<LevelReportEntry> levels;
+
+  PhaseTimes setup_phases;
+  PhaseTimes solve_phases;
+  WorkCounters setup_work;
+  WorkCounters solve_work;
+
+  bool has_comm = false;  ///< distributed runs only
+  simmpi::CommStats setup_comm;
+  simmpi::CommStats solve_comm;
+
+  ConvergenceReport convergence;
+
+  double setup_seconds = 0.0;  ///< measured on this host
+  double solve_seconds = 0.0;
+  double modeled_setup_seconds = 0.0;  ///< perfmodel projection
+  double modeled_solve_seconds = 0.0;
+
+  /// Emits the report object at the writer's current position.
+  void write_json(JsonWriter& w) const;
+};
+
+// ------------------------------------------------------------------------
+// Bench report envelope
+// ------------------------------------------------------------------------
+
+/// Accumulates one bench binary's machine-readable output and writes the
+/// BENCH_<name>.json envelope:
+///   { "schema_version": 1, "bench": "...", "params": {...},
+///     "runs": [ { "name": ..., "labels": {...}, "metrics": {...},
+///                 "report": { <SolveReport> } } ] }
+class BenchReport {
+ public:
+  static constexpr long kSchemaVersion = 1;
+
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void set_param(const std::string& k, const std::string& v);
+  void set_param(const std::string& k, const char* v) {
+    set_param(k, std::string(v));
+  }
+  void set_param(const std::string& k, double v);
+  void set_param(const std::string& k, long v);
+  void set_param(const std::string& k, int v) { set_param(k, long(v)); }
+
+  struct Run {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::optional<SolveReport> solve;
+
+    Run& label(const std::string& k, const std::string& v) {
+      labels.emplace_back(k, v);
+      return *this;
+    }
+    Run& metric(const std::string& k, double v) {
+      metrics.emplace_back(k, v);
+      return *this;
+    }
+    Run& report(SolveReport r) {
+      solve = std::move(r);
+      return *this;
+    }
+  };
+
+  /// Appends a run; the reference stays valid across later add_run calls.
+  Run& add_run(const std::string& name);
+
+  std::string to_json() const;
+  /// Writes to_json() to `path`; false (with errno intact) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Param {
+    std::string key;
+    bool numeric = false;
+    double number = 0.0;
+    bool integral = false;
+    long integer = 0;
+    std::string text;
+  };
+  std::string bench_;
+  std::vector<Param> params_;
+  std::vector<std::unique_ptr<Run>> runs_;
+};
+
+/// Validates a BENCH_*.json document against the envelope schema and, for
+/// every run carrying a "report", the SolveReport schema. With
+/// `require_solve`, at least one run must carry a report with >= 1
+/// iteration (the CI perf-trajectory contract for the solver benches).
+/// Returns "" when valid, else a description of the first violation.
+std::string validate_bench_report_json(std::string_view json_text,
+                                       bool require_solve = false);
+
+}  // namespace hpamg

@@ -120,6 +120,24 @@ TEST(Simmpi, TagBlocksAreDisjointAndDeterministic) {
   });
 }
 
+TEST(Simmpi, TagBlocksStayInDynamicRange) {
+  simmpi::run(1, [](Comm& c) {
+    EXPECT_EQ(c.next_tag_block(), Comm::kDynamicTagBase);
+    EXPECT_EQ(c.next_tag_block(), Comm::kDynamicTagBase + Comm::kTagBlockSize);
+    EXPECT_EQ(c.next_tag_block(),
+              Comm::kDynamicTagBase + 2 * Comm::kTagBlockSize);
+  });
+}
+
+TEST(Simmpi, TagBlockExhaustionThrows) {
+  // Draining the dynamic tag space must fail loudly, not wrap and alias
+  // tags of live exchange patterns.
+  EXPECT_THROW(simmpi::run(1, [](Comm& c) {
+    for (int i = 0; i <= Comm::kMaxTagBlocks; ++i) c.next_tag_block();
+  }),
+               std::invalid_argument);
+}
+
 TEST(Simmpi, ManyRanksStress) {
   // Ring pass with 16 rank-threads (larger than host cores: exercises the
   // blocking mailboxes under timesharing).

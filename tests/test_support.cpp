@@ -188,6 +188,69 @@ TEST(HashMap, InsertOrGetKeepsFirst) {
   EXPECT_EQ(m.get(5), 7);
 }
 
+TEST(HashSet, DuplicatesDoNotGrowTable) {
+  // Re-inserting the same keys (the §4.2 renumbering workload) must not
+  // trigger rehashes: capacity stays put once the keys are in.
+  HashSet<Int> s(2);
+  for (Int k = 0; k < 8; ++k) s.insert(k);
+  const std::size_t cap = s.capacity();
+  for (int round = 0; round < 100; ++round)
+    for (Int k = 0; k < 8; ++k) EXPECT_FALSE(s.insert(k));
+  EXPECT_EQ(s.capacity(), cap);
+  EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(HashMap, DuplicatesDoNotGrowTable) {
+  HashMap<Long> m(2);
+  for (Long k = 0; k < 8; ++k) m.put(k, Int(k));
+  const std::size_t cap = m.capacity();
+  for (int round = 0; round < 100; ++round) {
+    for (Long k = 0; k < 8; ++k) {
+      EXPECT_EQ(m.insert_or_get(k, 999), Int(k));
+      m.put(k, Int(k + 1));
+      EXPECT_EQ(m.get(k), Int(k + 1));
+      m.put(k, Int(k));
+    }
+  }
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.size(), 8u);
+}
+
+TEST(HashSet, SentinelKeyRejected) {
+  HashSet<Int> s;
+  EXPECT_THROW(s.insert(Int(-1)), std::invalid_argument);
+  HashSet<Long> sl;
+  EXPECT_THROW(sl.insert(Long(-1)), std::invalid_argument);
+}
+
+TEST(HashMap, SentinelKeyRejected) {
+  HashMap<Int> m;
+  EXPECT_THROW(m.put(Int(-1), 3), std::invalid_argument);
+  EXPECT_THROW(m.insert_or_get(Int(-1), 3), std::invalid_argument);
+}
+
+TEST(HashSet, InsertAtGrowthBoundaryLandsInNewTable) {
+  // Every insert that triggers a rehash must re-probe: the key has to be
+  // findable afterwards, and the count exact, for any growth point.
+  HashSet<Int> s(2);
+  for (Int k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(s.insert(k * 31 + 7));
+    ASSERT_TRUE(s.contains(k * 31 + 7));
+    ASSERT_EQ(s.size(), std::size_t(k + 1));
+  }
+  for (Int k = 0; k < 10000; ++k) EXPECT_TRUE(s.contains(k * 31 + 7));
+}
+
+TEST(HashMap, PutAtGrowthBoundaryKeepsValue) {
+  HashMap<Int> m(2);
+  for (Int k = 0; k < 10000; ++k) {
+    m.put(k, k * 2);
+    ASSERT_EQ(m.get(k), k * 2);
+  }
+  for (Int k = 0; k < 10000; ++k) EXPECT_EQ(m.get(k), k * 2);
+  EXPECT_EQ(m.size(), 10000u);
+}
+
 // ------------------------------------------------------------------ rng ----
 
 TEST(CounterRng, DeterministicPerSeedAndCounter) {
