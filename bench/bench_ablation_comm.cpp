@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   const int max_ranks = int(cli.get_int("max-ranks", 8));
   const NetworkModel net = endeavor_network();
   JsonSink sink(cli, "ablation_comm");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "ablation_comm");
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
 
@@ -115,5 +117,7 @@ int main(int argc, char** argv) {
               " filtering on its inputs; 1.7-1.8x halo-exchange speedup from"
               " persistent requests (small messages are setup-dominated)."
               "\n");
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

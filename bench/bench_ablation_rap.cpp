@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.005);
   JsonSink sink(cli, "ablation_rap");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "ablation_rap");
   sink.report.set_param("scale", scale);
 
   std::printf("=== Ablation: finest-level RAP variants (scale=%.4g) ===\n\n",
@@ -94,5 +96,7 @@ int main(int argc, char** argv) {
   sink.report.add_run("summary")
       .metric("matrices", double(count))
       .metric("geomean_flop_ratio", std::exp(geo_ratio / count));
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

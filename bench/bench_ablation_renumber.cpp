@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   const Int n = Int(cli.get_int("n", 12));
   const int max_ranks = int(cli.get_int("max-ranks", 8));
   JsonSink sink(cli, "ablation_renumber");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "ablation_renumber");
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
 
@@ -79,5 +81,7 @@ int main(int argc, char** argv) {
               " and serializes; the parallel scheme keeps renumbering a"
               " small fraction of RAP (2.6-3.5x RAP speedup at 128 nodes)."
               "\n");
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.004);
   JsonSink sink(cli, "ablation_smoother");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "ablation_smoother");
   sink.report.set_param("scale", scale);
 
   std::printf("=== Ablation: hybrid GS vs lexicographic GS smoothing"
@@ -124,5 +126,7 @@ int main(int argc, char** argv) {
       .metric("fused_seconds", t_fused)
       .metric("fused_speedup", t_sep / t_fused)
       .metric("max_iterate_diff", diff);
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

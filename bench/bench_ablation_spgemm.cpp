@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 0.005);
   const int reps = int(cli.get_int("reps", 3));
   JsonSink sink(cli, "ablation_spgemm");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "ablation_spgemm");
   sink.report.set_param("scale", scale);
   sink.report.set_param("reps", long(reps));
 
@@ -87,5 +89,7 @@ int main(int argc, char** argv) {
   sink.report.add_run("summary")
       .metric("matrices", double(count))
       .metric("geomean_symbolic_reuse_speedup", std::exp(geo_sym / count));
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

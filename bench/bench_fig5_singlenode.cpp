@@ -68,6 +68,8 @@ int main(int argc, char** argv) {
   const MachineModel gpu = k40c();
   const AmgxModel amgx;
   JsonSink sink(cli, "fig5_singlenode");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "fig5_singlenode");
   sink.report.set_param("scale", scale);
   sink.report.set_param("rtol", rtol);
   if (!only.empty()) sink.report.set_param("matrix", only);
@@ -160,5 +162,7 @@ int main(int argc, char** argv) {
         .metric("geomean_speedup_modeled", std::exp(geo_model / count))
         .metric("geomean_amgx_vs_opt", std::exp(geo_amgx / count));
   }
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

@@ -55,12 +55,7 @@ WeakResult run_weak(const std::string& input, Int n, int ranks,
     Vector b(dA.local_rows(), 1.0), x(dA.local_rows(), 0.0);
     const simmpi::CommStats before = c.stats();
     DistSolveResult r = dist_fgmres(c, dA, h, b, x, rtol, 200);
-    simmpi::CommStats delta = c.stats();
-    delta.messages_sent -= before.messages_sent;
-    delta.bytes_sent -= before.bytes_sent;
-    delta.request_setups -= before.request_setups;
-    delta.persistent_starts -= before.persistent_starts;
-    delta.allreduces -= before.allreduces;
+    simmpi::CommStats delta = c.stats().delta_since(before);
     solve_model[c.rank()] =
         projected_phase_seconds(solve_compute_seconds(r.solve_times), delta,
                                 net) +
@@ -102,6 +97,8 @@ int main(int argc, char** argv) {
   }
 
   JsonSink sink(cli, "fig6_weak");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "fig6_weak");
   sink.report.set_param("input", input_arg);
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
@@ -153,5 +150,7 @@ int main(int argc, char** argv) {
               " 2s-ei converge in fewer iterations (faster solve); the"
               " optimized variant improves both phases; iteration counts"
               " grow slowly (lap3d) or stay flat (amg2013).\n");
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
                                    : lap3d_27pt(n, n, nz);
   const NetworkModel net = endeavor_network();
   JsonSink sink(cli, "fig7_breakdown");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "fig7_breakdown");
   sink.report.set_param("ranks", long(ranks));
   sink.report.set_param("n", long(n));
   sink.report.set_param("input", input);
@@ -59,12 +61,7 @@ int main(int argc, char** argv) {
       Vector b(dA.local_rows(), 1.0), x(dA.local_rows(), 0.0);
       const simmpi::CommStats before = c.stats();
       DistSolveResult r = dist_fgmres(c, dA, h, b, x, rtol, 200);
-      simmpi::CommStats delta = c.stats();
-      delta.messages_sent -= before.messages_sent;
-      delta.bytes_sent -= before.bytes_sent;
-      delta.request_setups -= before.request_setups;
-      delta.persistent_starts -= before.persistent_starts;
-      delta.allreduces -= before.allreduces;
+      simmpi::CommStats delta = c.stats().delta_since(before);
 
       auto& out = per_rank[c.rank()];
       // Setup bars include each phase's modeled network share.
@@ -111,5 +108,7 @@ int main(int argc, char** argv) {
               " coarsening) spend more in Interp but less in RAP and the"
               " solve than ei4; Solve_MPI is a large share of solve time at"
               " scale.\n");
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   CSRMatrix A = reservoir_matrix(n, n, n);
   const NetworkModel net = endeavor_network();
   JsonSink sink(cli, "fig8_strong");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "fig8_strong");
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
   sink.report.set_param("rtol", rtol);
@@ -62,12 +64,7 @@ int main(int argc, char** argv) {
         Vector b(dA.local_rows(), 1.0), x(dA.local_rows(), 0.0);
         const simmpi::CommStats before = c.stats();
         DistSolveResult r = dist_fgmres(c, dA, h, b, x, rtol, 200);
-        simmpi::CommStats delta = c.stats();
-        delta.messages_sent -= before.messages_sent;
-        delta.bytes_sent -= before.bytes_sent;
-        delta.request_setups -= before.request_setups;
-        delta.persistent_starts -= before.persistent_starts;
-        delta.allreduces -= before.allreduces;
+        simmpi::CommStats delta = c.stats().delta_since(before);
         solve_model[c.rank()] =
             projected_phase_seconds(solve_compute_seconds(r.solve_times),
                                     delta, net) +
@@ -104,5 +101,7 @@ int main(int argc, char** argv) {
               " scheme; the solve scales better than the setup; HYPRE_opt"
               " beats HYPRE_base throughout; setup scalability (Interp, RAP)"
               " is the bottleneck at high rank counts.\n");
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

@@ -8,7 +8,9 @@
 //
 // Accepts the usual --benchmark_* flags plus --json <path> (or
 // --json=<path>), which writes the per-benchmark timings as a
-// BENCH_kernels.json report alongside the console output.
+// BENCH_kernels.json report alongside the console output, --trace <path>
+// for a Chrome trace of the instrumented kernels, and --verbose for debug
+// logging.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -22,7 +24,9 @@
 #include "matrix/permute.hpp"
 #include "matrix/transpose.hpp"
 #include "matrix/vector_ops.hpp"
+#include "support/log.hpp"
 #include "support/report.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -206,19 +210,27 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --json before benchmark::Initialize sees it (it rejects unknown
-  // flags); the remaining argv goes to google-benchmark untouched.
-  std::string json_path;
+  // Strip --json/--trace/--verbose before benchmark::Initialize sees them
+  // (it rejects unknown flags); the remaining argv goes to google-benchmark
+  // untouched.
+  std::string json_path, trace_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      hpamg::log::set_threshold(hpamg::log::Level::kDebug);
     } else {
       args.push_back(argv[i]);
     }
   }
+  if (!trace_path.empty()) hpamg::trace::enable();
   int bench_argc = int(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
@@ -227,6 +239,15 @@ int main(int argc, char** argv) {
   CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  if (!trace_path.empty()) {
+    hpamg::trace::disable();
+    if (!hpamg::trace::write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
 
   if (json_path.empty()) return 0;
   hpamg::BenchReport report("kernels");

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.01);
   JsonSink sink(cli, "table2");
+  init_logging(cli);
+  TraceSink trace_sink(cli, "table2");
   sink.report.set_param("scale", scale);
 
   std::printf("=== Table 2: sparse matrices used in single-node experiments"
@@ -36,5 +38,7 @@ int main(int argc, char** argv) {
         .metric("gen_nnz_per_row", double(A.nnz()) / A.nrows)
         .metric("strength_threshold", e.strength_threshold);
   }
-  return sink.finish();
+  const int trace_rc = trace_sink.finish();
+  const int json_rc = sink.finish();
+  return trace_rc != 0 ? trace_rc : json_rc;
 }

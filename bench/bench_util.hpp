@@ -13,8 +13,11 @@
 #include "perfmodel/network.hpp"
 #include "perfmodel/project.hpp"
 #include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/report.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg::bench {
 
@@ -89,12 +92,11 @@ struct JsonSink {
     if (!enabled()) return 0;
     const std::string err = validate_bench_report_json(report.to_json());
     if (!err.empty()) {
-      std::fprintf(stderr, "json report failed self-validation: %s\n",
-                   err.c_str());
+      HPAMG_LOG_ERROR("json report failed self-validation: %s", err.c_str());
       return 1;
     }
     if (!report.write_file(path)) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      HPAMG_LOG_ERROR("cannot write %s", path.c_str());
       return 1;
     }
     std::printf("\nwrote %s\n", path.c_str());
@@ -103,6 +105,59 @@ struct JsonSink {
 
   std::string path;
   BenchReport report;
+};
+
+/// `--verbose` raises the log threshold to debug (per-iteration residuals
+/// etc.); HPAMG_LOG_LEVEL still wins when it asks for more.
+inline void init_logging(const Cli& cli) {
+  if (cli.get("verbose", "") != "" &&
+      log::threshold() < log::Level::kDebug)
+    log::set_threshold(log::Level::kDebug);
+}
+
+/// `--trace <path>` plumbing shared by every bench binary: enables the
+/// tracer up front (recording self-describing metadata), and main() calls
+/// `sink.finish()` to merge all ring buffers into a Chrome trace-event
+/// JSON at the given path.
+struct TraceSink {
+  TraceSink(const Cli& cli, const std::string& bench_name)
+      : path(cli.get("trace", "")) {
+    if (path.empty()) return;
+    trace::enable();
+    trace::set_metadata("bench", bench_name);
+#if defined(__VERSION__)
+    trace::set_metadata("compiler", __VERSION__);
+#endif
+#if defined(NDEBUG)
+    trace::set_metadata("build", "release");
+#else
+    trace::set_metadata("build", "debug");
+#endif
+    trace::set_metadata("omp_threads", std::to_string(num_threads()));
+    const NetworkModel net;
+    trace::set_metadata("net.overhead_s", fmt(net.overhead_s, "%.3g"));
+    trace::set_metadata("net.peak_bw_bytes_per_s",
+                        fmt(net.peak_bw_bytes_per_s, "%.3g"));
+    trace::set_metadata("net.setup_cost_s", fmt(net.setup_cost_s, "%.3g"));
+  }
+
+  bool enabled() const { return !path.empty(); }
+
+  int finish() const {
+    if (!enabled()) return 0;
+    trace::disable();
+    if (!trace::write_chrome_json(path)) {
+      HPAMG_LOG_ERROR("cannot write trace %s", path.c_str());
+      return 1;
+    }
+    const trace::TraceStats ts = trace::stats();
+    std::printf("wrote %s (%llu events, %zu tracks%s)\n", path.c_str(),
+                (unsigned long long)ts.recorded, ts.tracks,
+                ts.dropped > 0 ? ", ring overflowed" : "");
+    return 0;
+  }
+
+  std::string path;
 };
 
 }  // namespace hpamg::bench

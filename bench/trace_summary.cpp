@@ -1,0 +1,260 @@
+// Trace analysis CLI: ingests a Chrome trace-event JSON produced by
+// `--trace` (see support/trace.hpp) and prints
+//   - per-kernel self/total time aggregated over all tracks,
+//   - per-rank compute vs blocked wall-clock (the Fig 7-style breakdown),
+//   - a power-of-two histogram of message sizes from the flow events.
+//
+// `--check` additionally validates the file: parseable, golden top-level
+// fields present, per-track timestamps monotonic, span durations
+// non-negative, and every flow id appearing as a matched send/recv pair.
+// Exit status is nonzero on any failed check, so CI can gate on it.
+//
+// Usage: trace_summary [--check] <trace.json>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/report.hpp"
+
+namespace {
+
+using hpamg::JsonValue;
+
+struct SpanRec {
+  std::string name;
+  std::string cat;
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+struct KernelAgg {
+  double total_us = 0.0;  ///< sum of span durations (children included)
+  double self_us = 0.0;   ///< durations minus time in nested spans
+  long count = 0;
+};
+
+struct RankAgg {
+  double compute_us = 0.0;  ///< self time of non-"blocked" spans
+  double blocked_us = 0.0;  ///< self time of "blocked" spans
+  double span_total_us = 0.0;  ///< self time of all spans (compute+blocked)
+};
+
+int failures = 0;
+
+void check(bool ok, const char* fmt, const std::string& detail) {
+  if (ok) return;
+  std::fprintf(stderr, fmt, detail.c_str());
+  std::fputc('\n', stderr);
+  ++failures;
+}
+
+/// Power-of-two bucket label for a message size ("256B-511B", ...).
+std::string bucket_label(long bytes) {
+  long lo = 1;
+  while (lo * 2 <= bytes) lo *= 2;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%ld-%ld", lo, lo * 2 - 1);
+  return buf;
+}
+
+std::string fmt_ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us * 1e-3);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_mode = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0)
+      check_mode = true;
+    else
+      path = argv[i];
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: trace_summary [--check] <trace.json>\n");
+    return 2;
+  }
+
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 2;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    text.append(buf, got);
+  std::fclose(f);
+
+  JsonValue doc;
+  try {
+    doc = hpamg::json_parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path, e.what());
+    return 1;
+  }
+
+  // Golden top-level schema.
+  const JsonValue* events = doc.find("traceEvents");
+  check(events != nullptr && events->is_array(),
+        "%s: traceEvents array missing", path);
+  check(doc.find("displayTimeUnit") != nullptr,
+        "%s: displayTimeUnit missing", path);
+  check(doc.find("otherData") != nullptr && doc.find("otherData")->is_object(),
+        "%s: otherData missing", path);
+  if (events == nullptr || !events->is_array()) return 1;
+
+  std::map<int, std::string> process_names;
+  std::vector<SpanRec> spans;
+  std::map<std::pair<int, int>, double> last_ts;  ///< per-track monotonicity
+  // flow id -> [sends, recvs]
+  std::map<long long, std::pair<int, int>> flows;
+  std::map<std::string, long> size_hist;
+  long messages = 0;
+  long long message_bytes = 0;
+
+  for (const JsonValue& e : events->items) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    const std::string& kind = ph->text;
+    const int pid = e.find("pid") ? int(e.find("pid")->number) : 0;
+    const int tid = e.find("tid") ? int(e.find("tid")->number) : 0;
+
+    if (kind == "M") {
+      if (e.find("name")->text == "process_name")
+        process_names[pid] = e.find("args")->find("name")->text;
+      continue;
+    }
+    const JsonValue* ts = e.find("ts");
+    check(ts != nullptr && ts->is_number(), "%s: event without ts", path);
+    if (ts == nullptr) continue;
+    auto& prev = last_ts[{pid, tid}];
+    check(ts->number + 1e-9 >= prev,
+          "%s: non-monotonic timestamps within a track", path);
+    prev = std::max(prev, ts->number);
+
+    if (kind == "X") {
+      SpanRec s;
+      s.name = e.find("name")->text;
+      s.cat = e.find("cat") ? e.find("cat")->text : "";
+      s.pid = pid;
+      s.tid = tid;
+      s.ts_us = ts->number;
+      const JsonValue* dur = e.find("dur");
+      check(dur != nullptr && dur->is_number(), "%s: span without dur", path);
+      s.dur_us = dur ? dur->number : 0.0;
+      check(s.dur_us >= 0.0, "%s: negative span duration", path);
+      spans.push_back(std::move(s));
+    } else if (kind == "s" || kind == "f") {
+      const JsonValue* id = e.find("id");
+      check(id != nullptr, "%s: flow event without id", path);
+      if (id == nullptr) continue;
+      auto& pair = flows[(long long)id->number];
+      if (kind == "s") {
+        ++pair.first;
+        if (const JsonValue* args = e.find("args"))
+          if (const JsonValue* bytes = args->find("bytes")) {
+            ++messages;
+            message_bytes += (long long)bytes->number;
+            ++size_hist[bucket_label(long(bytes->number))];
+          }
+      } else {
+        ++pair.second;
+      }
+    }
+  }
+
+  for (const auto& [id, pair] : flows)
+    check(pair.first == pair.second && pair.first == 1,
+          "%s: flow id without a matched send/recv pair", path);
+
+  // Self time: within each track, walk spans in start order keeping an
+  // enclosing-span stack; a nested span's duration is subtracted from its
+  // parent's self time (so "blocked" time inside mpi.recv is not also
+  // counted as compute in the enclosing kernel span).
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRec& a, const SpanRec& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;  // parents first
+                   });
+  std::map<std::string, KernelAgg> kernels;
+  std::map<int, RankAgg> ranks;
+  std::vector<const SpanRec*> stack;
+  for (const SpanRec& s : spans) {
+    while (!stack.empty() &&
+           (stack.back()->pid != s.pid || stack.back()->tid != s.tid ||
+            stack.back()->ts_us + stack.back()->dur_us <= s.ts_us))
+      stack.pop_back();
+    KernelAgg& k = kernels[s.name];
+    k.total_us += s.dur_us;
+    k.self_us += s.dur_us;
+    ++k.count;
+    RankAgg& r = ranks[s.pid];
+    r.span_total_us += s.dur_us;
+    (s.cat == "blocked" ? r.blocked_us : r.compute_us) += s.dur_us;
+    if (!stack.empty()) {
+      const SpanRec& parent = *stack.back();
+      kernels[parent.name].self_us -= s.dur_us;
+      r.span_total_us -= s.dur_us;
+      (parent.cat == "blocked" ? r.blocked_us : r.compute_us) -= s.dur_us;
+    }
+    stack.push_back(&s);
+  }
+
+  std::printf("== per-kernel time (all tracks) ==\n");
+  std::printf("%-28s %10s %12s %12s\n", "name", "count", "total_ms",
+              "self_ms");
+  std::vector<std::pair<std::string, KernelAgg>> by_self(kernels.begin(),
+                                                         kernels.end());
+  std::stable_sort(by_self.begin(), by_self.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.self_us > b.second.self_us;
+                   });
+  for (const auto& [name, k] : by_self)
+    std::printf("%-28s %10ld %12s %12s\n", name.c_str(), k.count,
+                fmt_ms(k.total_us).c_str(), fmt_ms(k.self_us).c_str());
+
+  std::printf("\n== per-rank compute vs blocked ==\n");
+  std::printf("%-12s %12s %12s %12s %9s\n", "track", "compute_ms",
+              "blocked_ms", "span_ms", "blocked%");
+  for (const auto& [pid, r] : ranks) {
+    const std::string label =
+        process_names.count(pid) ? process_names[pid]
+                                 : "pid " + std::to_string(pid);
+    const double frac =
+        r.span_total_us > 0 ? 100.0 * r.blocked_us / r.span_total_us : 0.0;
+    std::printf("%-12s %12s %12s %12s %8.1f%%\n", label.c_str(),
+                fmt_ms(r.compute_us).c_str(), fmt_ms(r.blocked_us).c_str(),
+                fmt_ms(r.span_total_us).c_str(), frac);
+    check(std::abs(r.compute_us + r.blocked_us - r.span_total_us) <=
+              0.05 * std::max(r.span_total_us, 1.0),
+          "%s: compute + blocked does not sum to span total", path);
+  }
+
+  std::printf("\n== message sizes (%ld messages, %lld bytes) ==\n", messages,
+              message_bytes);
+  for (const auto& [bucket, count] : size_hist)
+    std::printf("%16s B: %ld\n", bucket.c_str(), count);
+
+  if (check_mode) {
+    const long long pairs = (long long)flows.size();
+    std::printf("\n%s: %zu spans, %lld flow pairs, %d check failure(s)\n",
+                path, spans.size(), pairs, failures);
+    return failures == 0 ? 0 : 1;
+  }
+  return 0;
+}

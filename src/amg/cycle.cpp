@@ -3,6 +3,7 @@
 #include "amg/spmv.hpp"
 #include "matrix/transpose.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -15,6 +16,7 @@ namespace {
 /// sub-sweep.
 void smooth(const Hierarchy& h, Level& L, const Vector& b, Vector& x,
             bool pre, bool zero_init, WorkCounters* wc) {
+  TRACE_SPAN("smoother", "kernel", "rows", std::int64_t(L.n));
   const AMGOptions& o = h.opts;
   for (Int sweep = 0; sweep < o.num_sweeps; ++sweep) {
     const bool zi = zero_init && sweep == 0;
@@ -77,6 +79,7 @@ void coarse_solve(Hierarchy& h, Level& L, const Vector& b, Vector& x,
 
 void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
                   bool zero_entry = true) {
+  TRACE_SPAN("cycle.level", std::int64_t(l));
   Level& L = h.levels[l];
   const bool optimized = h.opts.variant == Variant::kOptimized;
   if (l == h.num_levels() - 1) {
@@ -167,6 +170,7 @@ void vcycle_workspace(Hierarchy& h, const Vector& b_work, Vector& x_work,
 
 void vcycle(Hierarchy& h, const Vector& b, Vector& x, PhaseTimes* pt,
             WorkCounters* wc) {
+  TRACE_SPAN("cycle.v", "phase");
   require(!h.levels.empty(), "vcycle: empty hierarchy");
   Level& L0 = h.levels[0];
   const bool permuted = h.opts.variant == Variant::kOptimized &&

@@ -7,6 +7,7 @@
 #include "spgemm/rap.hpp"
 #include "spgemm/spgemm.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -135,6 +136,7 @@ std::uint64_t Hierarchy::footprint_bytes() const {
 }
 
 Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
+  TRACE_SPAN("amg.setup", "phase");
   require(A_in.nrows == A_in.ncols, "build_hierarchy: matrix must be square");
   Hierarchy h;
   h.opts = opts;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -17,6 +18,7 @@ std::vector<Int> coarse_index_map(const CFMarker& cf, Int* ncoarse_out) {
 
 CSRMatrix direct_interp(const CSRMatrix& A, const CSRMatrix& S,
                         const CFMarker& cf, WorkCounters* wc) {
+  TRACE_SPAN("interp.direct", "kernel", "rows", std::int64_t(A.nrows));
   const Int n = A.nrows;
   Int nc = 0;
   std::vector<Int> cmap = coarse_index_map(cf, &nc);

@@ -4,6 +4,7 @@
 
 #include "amg/interp_classical.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -34,6 +35,7 @@ struct RowScratch {
 CSRMatrix extpi_interp(const CSRMatrix& A, const CSRMatrix& S,
                        const CFMarker& cf, const ExtPIOptions& opt,
                        WorkCounters* wc) {
+  TRACE_SPAN("interp.extpi", "kernel", "rows", std::int64_t(A.nrows));
   require(A.nrows == A.ncols, "extpi_interp: A must be square");
   const Int n = A.nrows;
   Int nc = 0;
@@ -287,6 +289,7 @@ CSRMatrix extpi_interp_partitioned(const CSRMatrix& A, const CSRMatrix& S,
                                    const CFMarker& cf,
                                    const ExtPIOptions& opt,
                                    WorkCounters* wc) {
+  TRACE_SPAN("interp.extpi_part", "kernel", "rows", std::int64_t(A.nrows));
   require(A.nrows == A.ncols, "extpi_partitioned: A must be square");
   const Int n = A.nrows;
   Int nc = 0;

@@ -4,12 +4,14 @@
 
 #include "amg/interp_classical.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
 CSRMatrix multipass_interp(const CSRMatrix& A, const CSRMatrix& S,
                            const CFMarker& cf, const MultipassOptions& opt,
                            WorkCounters* wc) {
+  TRACE_SPAN("interp.multipass", "kernel", "rows", std::int64_t(A.nrows));
   require(A.nrows == A.ncols, "multipass_interp: A must be square");
   const Int n = A.nrows;
   Int nc = 0;

@@ -3,6 +3,7 @@
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -31,6 +32,7 @@ std::vector<double> pmis_measures(const CSRMatrix& ST, const PmisOptions& opt) {
 
 CFMarker pmis_coarsen(const CSRMatrix& S, const CSRMatrix& ST,
                       const PmisOptions& opt, WorkCounters* wc) {
+  TRACE_SPAN("pmis", "kernel", "rows", std::int64_t(S.nrows));
   require(S.nrows == S.ncols && ST.nrows == S.nrows,
           "pmis_coarsen: bad shapes");
   const Int n = S.nrows;
@@ -104,6 +106,7 @@ CFMarker pmis_coarsen(const CSRMatrix& S, const CSRMatrix& ST,
 CFMarker pmis_aggressive(const CSRMatrix& S, const CSRMatrix& ST,
                          const PmisOptions& opt, CFMarker* first_pass_out,
                          WorkCounters* wc) {
+  TRACE_SPAN("pmis.aggressive", "kernel", "rows", std::int64_t(S.nrows));
   CFMarker cf1 = pmis_coarsen(S, ST, opt, wc);
   if (first_pass_out) *first_pass_out = cf1;
   const Int n = S.nrows;

@@ -5,7 +5,9 @@
 #include "amg/spmv.hpp"
 #include "matrix/transpose.hpp"
 #include "spgemm/rap.hpp"
+#include "support/log.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -14,6 +16,7 @@ AMGSolver::AMGSolver(const CSRMatrix& A, const AMGOptions& opts)
 
 SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
                              Int max_iterations) {
+  TRACE_SPAN("amg.solve", "phase");
   SolveResult res;
   Level& L0 = h_.levels[0];
   require(Int(b.size()) == L0.n && Int(x.size()) == L0.n,
@@ -84,6 +87,7 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
     }
     res.history.push_back(relres);
     res.iterations = it;
+    HPAMG_LOG_DEBUG("amg it %d relres %.3e", int(it), relres);
     if (relres < rtol) {
       res.converged = true;
       break;

@@ -1,6 +1,7 @@
 #include "amg/spmv.hpp"
 
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -15,6 +16,7 @@ void count_spmv(WorkCounters* wc, const CSRMatrix& A) {
 }  // namespace
 
 void spmv(const CSRMatrix& A, const Vector& x, Vector& y, WorkCounters* wc) {
+  TRACE_SPAN("spmv", "kernel", "rows", std::int64_t(A.nrows));
   require(Int(x.size()) >= A.ncols && Int(y.size()) >= A.nrows,
           "spmv: vector too small");
   const Int* HPAMG_RESTRICT rowptr = A.rowptr.data();
@@ -34,6 +36,7 @@ void spmv(const CSRMatrix& A, const Vector& x, Vector& y, WorkCounters* wc) {
 
 void spmv_transpose(const CSRMatrix& A, const Vector& x, Vector& y,
                     WorkCounters* wc) {
+  TRACE_SPAN("spmv.transpose", "kernel", "rows", std::int64_t(A.nrows));
   require(Int(x.size()) >= A.nrows && Int(y.size()) >= A.ncols,
           "spmv_transpose: vector too small");
   std::fill(y.begin(), y.begin() + A.ncols, 0.0);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -37,6 +38,7 @@ inline void strong_columns(const CSRMatrix& A, Int i,
 
 CSRMatrix strength_matrix(const CSRMatrix& A, const StrengthOptions& opt,
                           WorkCounters* wc) {
+  TRACE_SPAN("strength", "kernel", "rows", std::int64_t(A.nrows));
   require(A.nrows == A.ncols, "strength_matrix: matrix must be square");
   CSRMatrix S(A.nrows, A.ncols);
   // Pass 1: per-row strong counts in parallel.

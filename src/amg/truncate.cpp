@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -67,6 +68,7 @@ Int truncate_row(Long* cols, double* vals, Int len,
 CSRMatrix truncate_interpolation(const CSRMatrix& P,
                                  const TruncationOptions& opt,
                                  WorkCounters* wc) {
+  TRACE_SPAN("interp.truncate", "kernel", "rows", std::int64_t(P.nrows));
   CSRMatrix Q(P.nrows, P.ncols);
   std::vector<Int> scratch_cols(P.colidx);
   std::vector<double> scratch_vals(P.values);

@@ -7,6 +7,7 @@
 #include "dist/dist_transpose.hpp"
 #include "matrix/vector_ops.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -60,6 +61,7 @@ SolveReport DistHierarchy::report(const DistSolveResult* sr) const {
 
 void dist_spmv(simmpi::Comm& comm, const DistMatrix& A, HaloExchange& halo,
                const Vector& x, Vector& x_ext, Vector& y) {
+  TRACE_SPAN("dist.spmv", "kernel", "rows", std::int64_t(A.local_rows()));
   halo.exchange(x, x_ext);
   const Int n = A.local_rows();
   y.resize(n);
@@ -75,6 +77,7 @@ void dist_spmv(simmpi::Comm& comm, const DistMatrix& A, HaloExchange& halo,
 
 void dist_spmv_transpose(simmpi::Comm& comm, const DistMatrix& A,
                          const Vector& x, Vector& y) {
+  TRACE_SPAN("dist.spmv_t", "kernel", "rows", std::int64_t(A.local_rows()));
   // y (over A's columns partition) = diag^T x locally; offd^T contributions
   // are partial sums for remote owners, shipped as (global index, value).
   const Int n = A.local_rows();
@@ -157,6 +160,7 @@ void gs_branchy(const DistMatrix& A, const std::vector<double>& inv_diag,
 
 void smooth_level(simmpi::Comm& comm, DistHierarchy& h, DistLevel& L,
                   const Vector& b, Vector& x, bool pre) {
+  TRACE_SPAN("dist.gs", "kernel", "rows", std::int64_t(L.A.local_rows()));
   const bool optimized = h.opts.variant == Variant::kOptimized;
   for (Int s = 0; s < h.opts.num_sweeps; ++s) {
     // C-then-F for pre-smoothing, F-then-C for post; a halo refresh before
@@ -182,6 +186,7 @@ void dist_residual(simmpi::Comm& comm, DistLevel& L, const Vector& b,
 
 void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
                        PhaseTimes* pt) {
+  TRACE_SPAN("cycle.level", std::int64_t(l));
   DistLevel& L = h.levels[l];
   if (l == Int(h.levels.size()) - 1) {
     CpuTimer t;
@@ -245,6 +250,7 @@ void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
 
 DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
                              const DistAMGOptions& opts) {
+  TRACE_SPAN("dist.setup", "phase");
   DistHierarchy h;
   h.opts = opts;
   const bool optimized = opts.variant == Variant::kOptimized;
@@ -256,20 +262,19 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
   so.onepass_local = optimized;
   so.persistent = optimized;
 
-  auto comm_delta = [&comm](const simmpi::CommStats& before) {
-    simmpi::CommStats d = comm.stats();
-    d.messages_sent -= before.messages_sent;
-    d.bytes_sent -= before.bytes_sent;
-    d.allreduces -= before.allreduces;
-    d.request_setups -= before.request_setups;
-    d.persistent_starts -= before.persistent_starts;
-    return d;
+  // Samples the cumulative setup work into the trace's "work" counter track
+  // (one sample per phase; each sample carries both series).
+  auto sample_work = [wc] {
+    if (trace::enabled())
+      trace::counter("work", "flops", std::int64_t(wc->flops), "bytes",
+                     std::int64_t(wc->bytes_total()));
   };
 
   DistMatrix A = A_in;
   for (Int l = 0; l < opts.max_levels; ++l) {
     if (A.global_rows <= opts.coarse_size || l == opts.max_levels - 1) break;
 
+    trace::Span tsp("setup.strength_coarsen", std::int64_t(l));
     CpuTimer phase;
     simmpi::CommStats snap = comm.stats();
     DistMatrix S = dist_strength(A, opts.strength, optimized, wc);
@@ -286,10 +291,13 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
       cf = dist_pmis(comm, S, ST, po, wc);
     CoarseNumbering cn = coarse_numbering(comm, cf);
     h.setup_times.add("Strength+Coarsen", phase.seconds());
-    h.phase_comm["Strength+Coarsen"] += comm_delta(snap);
+    h.phase_comm["Strength+Coarsen"] += comm.stats().delta_since(snap);
+    tsp.finish();
+    sample_work();
     if (cn.global_coarse == 0 || cn.global_coarse == A.global_rows) break;
 
     // ---- Interpolation ----
+    trace::Span tsp_interp("setup.interp", std::int64_t(l));
     phase.reset();
     snap = comm.stats();
     DistInterpOptions io;
@@ -344,9 +352,12 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
     }
     h.interp_exchange_bytes += iinfo.gathered_bytes;
     h.setup_times.add("Interp", phase.seconds());
-    h.phase_comm["Interp"] += comm_delta(snap);
+    h.phase_comm["Interp"] += comm.stats().delta_since(snap);
+    tsp_interp.finish();
+    sample_work();
 
     // ---- RAP ----
+    trace::Span tsp_rap("setup.rap", std::int64_t(l));
     phase.reset();
     snap = comm.stats();
     DistLevel L;
@@ -357,9 +368,12 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
                  optimized ? &L.R : nullptr);
     L.has_R = optimized;
     h.setup_times.add("RAP", phase.seconds());
-    h.phase_comm["RAP"] += comm_delta(snap);
+    h.phase_comm["RAP"] += comm.stats().delta_since(snap);
+    tsp_rap.finish();
+    sample_work();
 
     // ---- Level finalization ----
+    trace::Span tsp_fin("setup.finalize", std::int64_t(l));
     phase.reset();
     L.cf = cf;
     const Int n = L.A.local_rows();
@@ -393,6 +407,7 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
 
   // Coarsest level: replicate and LU-factor.
   {
+    TRACE_SPAN("setup.coarse_solver", "phase");
     CpuTimer phase;
     DistLevel L;
     L.A = std::move(A);
@@ -416,12 +431,14 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
     h.levels.push_back(std::move(L));
     h.setup_times.add("Setup_etc", phase.seconds());
   }
-  h.setup_comm = comm_delta(comm_before);
+  h.setup_comm = comm.stats().delta_since(comm_before);
+  sample_work();
   return h;
 }
 
 void dist_vcycle(simmpi::Comm& comm, DistHierarchy& h, const Vector& b,
                  Vector& x, PhaseTimes* pt) {
+  TRACE_SPAN("dist.vcycle", "phase");
   DistLevel& L0 = h.levels[0];
   copy(b, L0.b);
   copy(x, L0.x);

@@ -7,6 +7,7 @@
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/sort.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -53,6 +54,8 @@ void strong_columns_dist(const DistMatrix& A, Int i,
 
 DistMatrix dist_strength(const DistMatrix& A, const StrengthOptions& opt,
                          bool parallel_assembly, WorkCounters* wc) {
+  TRACE_SPAN("strength.dist", "kernel", "rows",
+             std::int64_t(A.local_rows()));
   DistMatrix S;
   S.global_rows = A.global_rows;
   S.global_cols = A.global_cols;
@@ -112,6 +115,7 @@ DistMatrix dist_strength(const DistMatrix& A, const StrengthOptions& opt,
 CFMarker dist_pmis(simmpi::Comm& comm, const DistMatrix& S,
                    const DistMatrix& ST, const PmisOptions& opt,
                    WorkCounters* wc) {
+  TRACE_SPAN("pmis.dist", "kernel", "rows", std::int64_t(S.local_rows()));
   const Int n = S.local_rows();
   const Long r0 = S.first_row();
 
@@ -199,6 +203,8 @@ CFMarker dist_pmis(simmpi::Comm& comm, const DistMatrix& S,
 CFMarker dist_pmis_aggressive(simmpi::Comm& comm, const DistMatrix& S,
                               const DistMatrix& ST, const PmisOptions& opt,
                               CFMarker* first_pass_out, WorkCounters* wc) {
+  TRACE_SPAN("pmis.aggressive", "kernel", "rows",
+             std::int64_t(S.local_rows()));
   CFMarker cf1 = dist_pmis(comm, S, ST, opt, wc);
   if (first_pass_out) *first_pass_out = cf1;
   const Int n = S.local_rows();

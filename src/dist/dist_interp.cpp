@@ -7,6 +7,7 @@
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
 #include "support/sort.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -109,6 +110,8 @@ DistMatrix dist_extpi_interp(simmpi::Comm& comm, const DistMatrix& A,
                              const CFMarker& cf, const CoarseNumbering& cn,
                              const DistInterpOptions& opt, WorkCounters* wc,
                              DistInterpInfo* info) {
+  TRACE_SPAN("interp.extpi_dist", "kernel", "rows",
+             std::int64_t(A.local_rows()));
   const Int n = A.local_rows();
   const Long r0 = A.first_row();
 
@@ -394,6 +397,8 @@ DistMatrix dist_multipass_interp(simmpi::Comm& comm, const DistMatrix& A,
                                  const CoarseNumbering& cn,
                                  const DistInterpOptions& opt,
                                  WorkCounters* wc, DistInterpInfo* info) {
+  TRACE_SPAN("interp.multipass_dist", "kernel", "rows",
+             std::int64_t(A.local_rows()));
   const Int n = A.local_rows();
   const Long r0 = A.first_row();
   HaloExchange halo(comm, A.colmap, A.row_starts, opt.persistent);

@@ -4,6 +4,8 @@
 
 #include "krylov/gmres_common.hpp"
 #include "matrix/vector_ops.hpp"
+#include "support/log.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -21,6 +23,7 @@ void residual(simmpi::Comm& comm, const DistMatrix& A, HaloExchange& halo,
 DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
                             DistHierarchy& h, const Vector& b, Vector& x,
                             double rtol, Int max_iterations, Int restart) {
+  TRACE_SPAN("krylov.fgmres", "phase");
   DistSolveResult res;
   const Int n = A.local_rows();
   PhaseTimes& pt = res.solve_times;
@@ -59,6 +62,7 @@ DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
 
     Int j = 0;
     for (; j < restart && total_it < max_iterations; ++j, ++total_it) {
+      TRACE_SPAN("fgmres.iter", std::int64_t(total_it));
       // Preconditioner: one distributed AMG V-cycle.
       std::fill(Z[j].begin(), Z[j].end(), 0.0);
       dist_vcycle(comm, h, V[j], Z[j], &pt);
@@ -82,6 +86,9 @@ DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
       relres = ls.apply_rotations(j) / normb;
       pt.add("BLAS1", t3.seconds());
       res.iterations = total_it + 1;
+      if (comm.rank() == 0)
+        HPAMG_LOG_DEBUG("fgmres it %d relres %.3e", int(total_it + 1),
+                        relres);
       if (relres < rtol || hn == 0.0) {
         ++j;
         ++total_it;
@@ -104,6 +111,7 @@ DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
 DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
                                DistHierarchy& h, const Vector& b, Vector& x,
                                double rtol, Int max_iterations) {
+  TRACE_SPAN("krylov.amg_richardson", "phase");
   DistSolveResult res;
   PhaseTimes& pt = res.solve_times;
   HaloExchange halo(comm, A.colmap, A.row_starts, true);
@@ -122,6 +130,8 @@ DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
     relres = dist_norm2(comm, r) / normb;
     pt.add("BLAS1", t2.seconds());
     res.iterations = it;
+    if (comm.rank() == 0)
+      HPAMG_LOG_DEBUG("amg it %d relres %.3e", int(it), relres);
     if (relres < rtol) {
       res.converged = true;
       break;

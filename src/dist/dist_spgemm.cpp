@@ -9,6 +9,7 @@
 #include "support/parallel.hpp"
 #include "support/sort.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -109,6 +110,7 @@ CSRMatrix assemble_combined_a(const DistMatrix& A, Int nb) {
 DistMatrix dist_spgemm(simmpi::Comm& comm, const DistMatrix& A,
                        const DistMatrix& B, const DistSpgemmOptions& opt,
                        WorkCounters* wc, DistSpgemmInfo* info) {
+  TRACE_SPAN("spgemm.dist", "kernel", "rows", std::int64_t(A.local_rows()));
   require(A.global_cols == B.global_rows, "dist_spgemm: shape mismatch");
   // The row gather: A's off-diagonal columns name exactly the B rows we
   // need but do not own (they are global row ids because A's column
@@ -185,6 +187,7 @@ DistMatrix dist_rap(simmpi::Comm& comm, const DistMatrix& A,
                     const DistMatrix& P, const DistSpgemmOptions& opt,
                     WorkCounters* wc, DistSpgemmInfo* info,
                     DistMatrix* R_out) {
+  TRACE_SPAN("spgemm.rap", "kernel", "rows", std::int64_t(A.local_rows()));
   DistMatrix R = dist_transpose(comm, P, opt.parallel_renumber, wc);
   DistMatrix RA = dist_spgemm(comm, R, A, opt, wc, info);
   DistMatrix C = dist_spgemm(comm, RA, P, opt, wc, info);

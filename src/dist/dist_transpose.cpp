@@ -5,6 +5,7 @@
 #include "matrix/transpose.hpp"
 #include "support/parallel.hpp"
 #include "support/sort.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -20,6 +21,8 @@ struct GTriplet {
 
 DistMatrix dist_transpose(simmpi::Comm& comm, const DistMatrix& A,
                           bool parallel, WorkCounters* wc) {
+  TRACE_SPAN("dist.transpose", "kernel", "rows",
+             std::int64_t(A.local_rows()));
   const int nranks = comm.size();
   const int me = comm.rank();
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/trace.hpp"
+
 namespace hpamg {
 
 namespace {
@@ -24,6 +26,7 @@ HaloExchange::HaloExchange(simmpi::Comm& comm,
                            const std::vector<Long>& starts, bool persistent)
     : comm_(comm), persistent_(persistent), ext_size_(Int(colmap.size())),
       tag_base_(comm.next_tag_block()) {
+  TRACE_SPAN("halo.setup", "comm", "ext_size", std::int64_t(colmap.size()));
   const int nranks = comm.size();
   const int me = comm.rank();
   // colmap is sorted, so elements owned by one peer form one contiguous
@@ -64,6 +67,7 @@ HaloExchange::HaloExchange(simmpi::Comm& comm,
 
 template <typename T>
 void HaloExchange::exchange_impl(const T* local, T* ext, int tag) {
+  TRACE_SPAN("halo.exchange", "comm", "ext_size", std::int64_t(ext_size_));
   std::vector<T> buf;
   for (const SendPeer& sp : send_peers_) {
     buf.resize(sp.local_idx.size());
@@ -98,6 +102,8 @@ void HaloExchange::exchange(const std::vector<Long>& local,
 GatheredRows gather_rows(simmpi::Comm& comm, const DistMatrix& B,
                          const std::vector<Long>& needed_rows,
                          const RowFilter& filter, bool persistent) {
+  TRACE_SPAN("halo.gather_rows", "comm", "rows",
+             std::int64_t(needed_rows.size()));
   const int nranks = comm.size();
   const int me = comm.rank();
   GatheredRows out;

@@ -6,6 +6,7 @@
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
 #include "support/sort.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -21,6 +22,8 @@ inline Int sorted_find(const std::vector<Long>& v, Long g) {
 
 RenumberResult renumber_columns_baseline(const RenumberInput& in,
                                          WorkCounters* wc) {
+  TRACE_SPAN("renumber.baseline", "kernel", "gcols",
+             std::int64_t(in.gcol->size()));
   const std::vector<Long>& gcol = *in.gcol;
   const std::vector<Long>& existing = *in.existing;
   RenumberResult out;
@@ -60,6 +63,8 @@ RenumberResult renumber_columns_baseline(const RenumberInput& in,
 
 RenumberResult renumber_columns_parallel(const RenumberInput& in,
                                          WorkCounters* wc) {
+  TRACE_SPAN("renumber.parallel", "kernel", "gcols",
+             std::int64_t(in.gcol->size()));
   const std::vector<Long>& gcol = *in.gcol;
   const std::vector<Long>& existing = *in.existing;
   RenumberResult out;

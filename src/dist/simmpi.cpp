@@ -2,18 +2,28 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
+
+#include "support/trace.hpp"
 
 namespace hpamg::simmpi {
 
 namespace {
+
+/// A payload plus the trace flow id that ties the send to its receive
+/// (0 when tracing was off at send time).
+struct Msg {
+  std::vector<char> bytes;
+  std::uint64_t flow = 0;
+};
 
 struct Mailbox {
   std::mutex mu;
   std::condition_variable cv;
   // (source, tag) -> FIFO of payloads. A map keeps unrelated exchanges from
   // blocking each other; within a (source, tag) stream order is preserved.
-  std::map<std::pair<int, int>, std::deque<std::vector<char>>> queues;
+  std::map<std::pair<int, int>, std::deque<Msg>> queues;
 };
 
 }  // namespace
@@ -27,18 +37,20 @@ class World {
   int nranks() const { return nranks_; }
 
   void deliver(int to, int from, int tag, const void* data,
-               std::size_t bytes) {
+               std::size_t bytes, std::uint64_t flow) {
     Mailbox& mb = mailboxes_[to];
-    std::vector<char> payload(bytes);
-    if (bytes > 0) std::memcpy(payload.data(), data, bytes);  // UB on null src
+    Msg msg;
+    msg.bytes.resize(bytes);
+    msg.flow = flow;
+    if (bytes > 0) std::memcpy(msg.bytes.data(), data, bytes);  // UB on null src
     {
       std::lock_guard<std::mutex> lock(mb.mu);
-      mb.queues[{from, tag}].push_back(std::move(payload));
+      mb.queues[{from, tag}].push_back(std::move(msg));
     }
     mb.cv.notify_all();
   }
 
-  std::vector<char> take(int me, int from, int tag) {
+  Msg take(int me, int from, int tag) {
     Mailbox& mb = mailboxes_[me];
     std::unique_lock<std::mutex> lock(mb.mu);
     auto key = std::make_pair(from, tag);
@@ -47,9 +59,9 @@ class World {
       return it != mb.queues.end() && !it->second.empty();
     });
     auto& q = mb.queues[key];
-    std::vector<char> payload = std::move(q.front());
+    Msg msg = std::move(q.front());
     q.pop_front();
-    return payload;
+    return msg;
   }
 
   /// Sense-reversing barrier.
@@ -121,10 +133,18 @@ int Comm::size() const { return world_->nranks(); }
 void Comm::send(int to, int tag, const void* data, std::size_t bytes,
                 bool persistent) {
   require(to >= 0 && to < size(), "simmpi::send: bad destination");
-  world_->deliver(to, rank_, tag, data, bytes);
+  trace::Span sp("mpi.send", "comm", "peer", to,
+                 "bytes", std::int64_t(bytes));
   // Zero-byte messages exist only as protocol acknowledgements in this
   // runtime; a real MPI code with a known communication pattern would not
-  // send them, so they are excluded from the modeled traffic.
+  // send them, so they are excluded from the modeled traffic (and from the
+  // trace's flow arrows).
+  std::uint64_t flow = 0;
+  if (trace::enabled() && bytes > 0) {
+    flow = trace::next_flow_id();
+    trace::flow_out("msg", flow, to, std::int64_t(bytes));
+  }
+  world_->deliver(to, rank_, tag, data, bytes, flow);
   if (bytes > 0) {
     ++stats_.messages_sent;
     stats_.bytes_sent += bytes;
@@ -132,42 +152,60 @@ void Comm::send(int to, int tag, const void* data, std::size_t bytes,
       ++stats_.persistent_starts;
     else
       ++stats_.request_setups;
+    if (std::size_t(to) < stats_.per_peer.size()) {
+      ++stats_.per_peer[std::size_t(to)].messages;
+      stats_.per_peer[std::size_t(to)].bytes += bytes;
+    }
   }
 }
 
 std::vector<char> Comm::recv(int from, int tag) {
   require(from >= 0 && from < size(), "simmpi::recv: bad source");
-  return world_->take(rank_, from, tag);
+  trace::Span sp("mpi.recv", "blocked", "peer", from);
+  Msg msg = world_->take(rank_, from, tag);
+  sp.arg("bytes", std::int64_t(msg.bytes.size()));
+  if (msg.flow != 0)
+    trace::flow_in("msg", msg.flow, from, std::int64_t(msg.bytes.size()));
+  return std::move(msg.bytes);
 }
 
-void Comm::barrier() { world_->barrier(); }
+void Comm::barrier() {
+  TRACE_SPAN("mpi.barrier", "blocked");
+  world_->barrier();
+}
 
 double Comm::allreduce_sum(double x) {
+  TRACE_SPAN("mpi.allreduce", "blocked");
   ++stats_.allreduces;
   return world_->allreduce(rank_, x, false);
 }
 
 Long Comm::allreduce_sum(Long x) {
+  TRACE_SPAN("mpi.allreduce", "blocked");
   ++stats_.allreduces;
   return world_->allreduce_long(rank_, x, false);
 }
 
 double Comm::allreduce_max(double x) {
+  TRACE_SPAN("mpi.allreduce", "blocked");
   ++stats_.allreduces;
   return world_->allreduce(rank_, x, true);
 }
 
 Long Comm::allreduce_max(Long x) {
+  TRACE_SPAN("mpi.allreduce", "blocked");
   ++stats_.allreduces;
   return world_->allreduce_long(rank_, x, true);
 }
 
 std::vector<Long> Comm::allgather(Long x) {
+  TRACE_SPAN("mpi.allgather", "blocked");
   ++stats_.allreduces;
   return world_->allgather_long(rank_, x);
 }
 
 std::vector<double> Comm::allgather(double x) {
+  TRACE_SPAN("mpi.allgather", "blocked");
   ++stats_.allreduces;
   return world_->allgather_double(rank_, x);
 }
@@ -177,8 +215,12 @@ std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn) {
   World world(nranks);
   std::vector<std::unique_ptr<Comm>> comms;
   comms.reserve(nranks);
-  for (int r = 0; r < nranks; ++r)
+  for (int r = 0; r < nranks; ++r) {
     comms.emplace_back(new Comm(&world, r));
+    // Sized up front so the per-message accounting on the send path never
+    // allocates (the tracer's zero-alloc-when-disabled guarantee).
+    comms.back()->stats().per_peer.resize(std::size_t(nranks));
+  }
 
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(nranks);
@@ -186,6 +228,10 @@ std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       try {
+        if (trace::enabled()) {
+          const std::string name = "rank " + std::to_string(r);
+          trace::set_thread_track(r + 1, name, name);
+        }
         fn(*comms[r]);
       } catch (...) {
         errors[r] = std::current_exception();

@@ -28,6 +28,13 @@
 
 namespace hpamg::simmpi {
 
+/// Traffic sent from one rank to one peer (indexed by destination rank in
+/// CommStats::per_peer).
+struct PeerTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
 /// Per-rank communication counters — inputs to the network model.
 struct CommStats {
   std::uint64_t messages_sent = 0;
@@ -35,6 +42,9 @@ struct CommStats {
   std::uint64_t allreduces = 0;
   std::uint64_t request_setups = 0;     ///< per-message setup work performed
   std::uint64_t persistent_starts = 0;  ///< Startall calls on prebuilt reqs
+  /// Outgoing traffic split by destination rank (sized to the world inside
+  /// simmpi::run; may be empty for hand-built CommStats).
+  std::vector<PeerTraffic> per_peer;
 
   CommStats& operator+=(const CommStats& o) {
     messages_sent += o.messages_sent;
@@ -42,7 +52,31 @@ struct CommStats {
     allreduces += o.allreduces;
     request_setups += o.request_setups;
     persistent_starts += o.persistent_starts;
+    if (per_peer.size() < o.per_peer.size()) per_peer.resize(o.per_peer.size());
+    for (std::size_t p = 0; p < o.per_peer.size(); ++p) {
+      per_peer[p].messages += o.per_peer[p].messages;
+      per_peer[p].bytes += o.per_peer[p].bytes;
+    }
     return *this;
+  }
+
+  /// Counters accumulated since `base` was captured (base must be an
+  /// earlier snapshot of the same rank's stats).
+  CommStats delta_since(const CommStats& base) const {
+    CommStats d;
+    d.messages_sent = messages_sent - base.messages_sent;
+    d.bytes_sent = bytes_sent - base.bytes_sent;
+    d.allreduces = allreduces - base.allreduces;
+    d.request_setups = request_setups - base.request_setups;
+    d.persistent_starts = persistent_starts - base.persistent_starts;
+    d.per_peer.resize(per_peer.size());
+    for (std::size_t p = 0; p < per_peer.size(); ++p) {
+      const PeerTraffic before =
+          p < base.per_peer.size() ? base.per_peer[p] : PeerTraffic{};
+      d.per_peer[p].messages = per_peer[p].messages - before.messages;
+      d.per_peer[p].bytes = per_peer[p].bytes - before.bytes;
+    }
+    return d;
   }
 };
 

@@ -2,11 +2,13 @@
 
 #include "amg/spmv.hpp"
 #include "krylov/krylov.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
 KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
                  const KrylovOptions& opt, const Preconditioner& precond) {
+  TRACE_SPAN("krylov.pcg", "phase");
   const Int n = A.nrows;
   require(Int(b.size()) == n && Int(x.size()) == n, "pcg: size mismatch");
   KrylovResult res;

@@ -1,6 +1,7 @@
 #include "amg/spmv.hpp"
 #include "krylov/gmres_common.hpp"
 #include "krylov/krylov.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -10,6 +11,7 @@ namespace hpamg {
 // (Table 4: "Flexible GMRES [34] with AMG preconditioner").
 KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
                     const KrylovOptions& opt, const Preconditioner& precond) {
+  TRACE_SPAN("krylov.fgmres", "phase");
   const Int n = A.nrows;
   require(Int(b.size()) == n && Int(x.size()) == n, "fgmres: size mismatch");
   KrylovResult res;

@@ -1,12 +1,14 @@
 #include "amg/spmv.hpp"
 #include "krylov/gmres_common.hpp"
 #include "krylov/krylov.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
 // Right-preconditioned restarted GMRES(m): solves A M^{-1} u = b, x = M^{-1}u.
 KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
                    const KrylovOptions& opt, const Preconditioner& precond) {
+  TRACE_SPAN("krylov.gmres", "phase");
   const Int n = A.nrows;
   require(Int(b.size()) == n && Int(x.size()) == n, "gmres: size mismatch");
   KrylovResult res;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -46,6 +47,7 @@ struct ChunkedOutput {
 
 CSRMatrix rap_unfused(const CSRMatrix& R, const CSRMatrix& A,
                       const CSRMatrix& P, bool onepass, WorkCounters* wc) {
+  TRACE_SPAN("spgemm.rap_unfused", "kernel", "rows", std::int64_t(A.nrows));
   if (onepass) {
     CSRMatrix B = spgemm_onepass(R, A, {}, wc);
     return spgemm_onepass(B, P, {}, wc);
@@ -56,6 +58,7 @@ CSRMatrix rap_unfused(const CSRMatrix& R, const CSRMatrix& A,
 
 CSRMatrix rap_fused_hypre(const CSRMatrix& R, const CSRMatrix& A,
                           const CSRMatrix& P, WorkCounters* wc) {
+  TRACE_SPAN("spgemm.rap_fused", "kernel", "rows", std::int64_t(A.nrows));
   require(R.ncols == A.nrows && A.ncols == P.nrows, "rap: shape mismatch");
   const Int nc_out = P.ncols;
   const int nt = num_threads();
@@ -181,6 +184,7 @@ inline void accumulate_scaled_row(const CSRMatrix& M, Int j, double alpha,
 CSRMatrix rap_fused_rowwise(const CSRMatrix& R, const CSRMatrix& A,
                             const CSRMatrix& P, const SpgemmOptions& opt,
                             WorkCounters* wc) {
+  TRACE_SPAN("spgemm.rap_rowwise", "kernel", "rows", std::int64_t(A.nrows));
   require(R.ncols == A.nrows && A.ncols == P.nrows, "rap: shape mismatch");
   const Int nc_out = P.ncols;
   const int nt = num_threads();
@@ -233,6 +237,7 @@ CSRMatrix rap_fused_rowwise(const CSRMatrix& R, const CSRMatrix& A,
 CSRMatrix rap_cf_block(const CSRMatrix& Aperm, const CSRMatrix& Pf,
                        const CSRMatrix& PfT, Int nc, const SpgemmOptions& opt,
                        WorkCounters* wc) {
+  TRACE_SPAN("spgemm.rap_cf", "kernel", "rows", std::int64_t(Aperm.nrows));
   require(Aperm.nrows == Aperm.ncols, "rap_cf_block: A must be square");
   const Int n = Aperm.nrows;
   const Int nf = n - nc;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -22,6 +23,7 @@ struct ThreadCounters {
 
 CSRMatrix spgemm_twopass(const CSRMatrix& A, const CSRMatrix& B,
                          WorkCounters* wc) {
+  TRACE_SPAN("spgemm.twopass", "kernel", "rows", std::int64_t(A.nrows));
   require(A.ncols == B.nrows, "spgemm: shape mismatch");
   CSRMatrix C(A.nrows, B.ncols);
   const int nt = num_threads();
@@ -97,6 +99,7 @@ CSRMatrix spgemm_twopass(const CSRMatrix& A, const CSRMatrix& B,
 
 CSRMatrix spgemm_onepass(const CSRMatrix& A, const CSRMatrix& B,
                          const SpgemmOptions& opt, WorkCounters* wc) {
+  TRACE_SPAN("spgemm.onepass", "kernel", "rows", std::int64_t(A.nrows));
   require(A.ncols == B.nrows, "spgemm: shape mismatch");
   CSRMatrix C(A.nrows, B.ncols);
   const int nt = num_threads();

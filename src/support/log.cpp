@@ -1,0 +1,74 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hpamg::log {
+
+namespace {
+
+std::atomic<int> g_threshold{-1};  // -1: not initialized yet
+
+int init_from_env() {
+  Level lvl = parse_level(std::getenv("HPAMG_LOG_LEVEL"), Level::kWarn);
+  int expected = -1;
+  g_threshold.compare_exchange_strong(expected, static_cast<int>(lvl));
+  return g_threshold.load(std::memory_order_relaxed);
+}
+
+char level_letter(Level level) {
+  switch (level) {
+    case Level::kError: return 'E';
+    case Level::kWarn: return 'W';
+    case Level::kInfo: return 'I';
+    case Level::kDebug: return 'D';
+    case Level::kTrace: return 'T';
+  }
+  return '?';
+}
+
+}  // namespace
+
+Level threshold() {
+  int t = g_threshold.load(std::memory_order_relaxed);
+  if (t < 0) t = init_from_env();
+  return static_cast<Level>(t);
+}
+
+void set_threshold(Level level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level parse_level(const char* text, Level fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  if (std::strcmp(text, "error") == 0) return Level::kError;
+  if (std::strcmp(text, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(text, "info") == 0) return Level::kInfo;
+  if (std::strcmp(text, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(text, "trace") == 0) return Level::kTrace;
+  if (text[0] >= '0' && text[0] <= '4' && text[1] == '\0')
+    return static_cast<Level>(text[0] - '0');
+  return fallback;
+}
+
+void logf(Level level, const char* fmt, ...) {
+  if (!level_enabled(level)) return;
+  char buf[1024];
+  const int prefix =
+      std::snprintf(buf, sizeof(buf), "[hpamg:%c] ", level_letter(level));
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf + prefix, sizeof(buf) - std::size_t(prefix) - 1,
+                         fmt, ap);
+  va_end(ap);
+  if (n < 0) return;
+  std::size_t len = std::size_t(prefix) +
+                    std::min(std::size_t(n), sizeof(buf) - prefix - 2);
+  buf[len++] = '\n';
+  std::fwrite(buf, 1, len, stderr);
+}
+
+}  // namespace hpamg::log

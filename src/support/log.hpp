@@ -1,0 +1,53 @@
+// Leveled logging to stderr, shared by the library, benches, and examples.
+//
+// The threshold comes from the HPAMG_LOG_LEVEL environment variable
+// ("error" | "warn" | "info" | "debug" | "trace", or 0-4) read once at
+// first use; benches raise it with --verbose (see bench_util.hpp). Default
+// is "warn" so library code stays silent unless something is wrong.
+//
+// Use the macros — they skip the formatting work entirely when the level
+// is filtered out:
+//   HPAMG_LOG_INFO("setup done in %.3fs, %d levels", sec, levels);
+#pragma once
+
+namespace hpamg::log {
+
+enum class Level : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Current threshold (messages at a level <= threshold are emitted).
+Level threshold();
+void set_threshold(Level level);
+/// Parses "error"/"warn"/"info"/"debug"/"trace" or "0".."4"; returns the
+/// fallback on anything else.
+Level parse_level(const char* text, Level fallback);
+
+inline bool level_enabled(Level level) {
+  return static_cast<int>(level) <= static_cast<int>(threshold());
+}
+
+/// printf-style emission: one "[hpamg:X] ..." line to stderr (single
+/// fwrite, so concurrent rank-threads do not interleave mid-line).
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(Level level, const char* fmt, ...);
+
+}  // namespace hpamg::log
+
+#define HPAMG_LOG(level_, ...)                                       \
+  do {                                                               \
+    if (::hpamg::log::level_enabled(::hpamg::log::Level::level_))    \
+      ::hpamg::log::logf(::hpamg::log::Level::level_, __VA_ARGS__);  \
+  } while (0)
+
+#define HPAMG_LOG_ERROR(...) HPAMG_LOG(kError, __VA_ARGS__)
+#define HPAMG_LOG_WARN(...) HPAMG_LOG(kWarn, __VA_ARGS__)
+#define HPAMG_LOG_INFO(...) HPAMG_LOG(kInfo, __VA_ARGS__)
+#define HPAMG_LOG_DEBUG(...) HPAMG_LOG(kDebug, __VA_ARGS__)
+#define HPAMG_LOG_TRACE(...) HPAMG_LOG(kTrace, __VA_ARGS__)

@@ -425,6 +425,18 @@ void write_comm(JsonWriter& w, const simmpi::CommStats& s) {
   w.kv("allreduces", s.allreduces);
   w.kv("request_setups", s.request_setups);
   w.kv("persistent_starts", s.persistent_starts);
+  // Traffic split by destination rank; zero-traffic peers are elided so the
+  // array stays short at scale.
+  w.key("per_peer").begin_array();
+  for (std::size_t p = 0; p < s.per_peer.size(); ++p) {
+    if (s.per_peer[p].messages == 0 && s.per_peer[p].bytes == 0) continue;
+    w.begin_object();
+    w.kv("peer", std::uint64_t(p));
+    w.kv("messages", s.per_peer[p].messages);
+    w.kv("bytes", s.per_peer[p].bytes);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -678,6 +690,18 @@ bool check_solve_report(const JsonValue& rep, const std::string& where,
         if (!f || !f->is_number())
           return schema_fail(
               err, where + ".comm." + side + "." + field + " missing");
+      }
+      const JsonValue* pp = s->find("per_peer");
+      if (!pp || !pp->is_array())
+        return schema_fail(err,
+                           where + ".comm." + side + ".per_peer missing");
+      for (const JsonValue& entry : pp->items) {
+        for (const char* field : {"peer", "messages", "bytes"}) {
+          const JsonValue* f = entry.find(field);
+          if (!f || !f->is_number())
+            return schema_fail(err, where + ".comm." + side +
+                                        ".per_peer[]." + field + " missing");
+        }
       }
     }
   }

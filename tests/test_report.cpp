@@ -134,7 +134,9 @@ SolveReport sample_report() {
   r.solve_work.flops = 2000;
   r.has_comm = true;
   r.setup_comm.messages_sent = 3;
+  r.setup_comm.per_peer = {{2, 96}, {1, 32}};
   r.solve_comm.bytes_sent = 64;
+  r.solve_comm.per_peer = {{0, 0}, {4, 64}};
   r.convergence.iterations = 9;
   r.convergence.converged = true;
   r.convergence.final_relres = 1e-8;
@@ -182,7 +184,10 @@ TEST(SolveReportSchema, GoldenFieldNames) {
   EXPECT_EQ(member_names(*v.find("comm")->find("setup")),
             (std::vector<std::string>{"messages_sent", "bytes_sent",
                                       "allreduces", "request_setups",
-                                      "persistent_starts"}));
+                                      "persistent_starts", "per_peer"}));
+  EXPECT_EQ(member_names(v.find("comm")->find("setup")
+                             ->find("per_peer")->items[0]),
+            (std::vector<std::string>{"peer", "messages", "bytes"}));
   EXPECT_EQ(member_names(*v.find("convergence")),
             (std::vector<std::string>{"iterations", "converged",
                                       "final_relres", "convergence_factor",
@@ -214,6 +219,11 @@ TEST(SolveReportSchema, ValuesSurvive) {
             3u);
   EXPECT_DOUBLE_EQ(
       v.find("comm")->find("solve")->find("bytes_sent")->number, 64.0);
+  // Zero-traffic peer 0 is elided; peer 1 keeps its index.
+  const JsonValue& solve_pp = *v.find("comm")->find("solve")->find("per_peer");
+  ASSERT_EQ(solve_pp.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(solve_pp.items[0].find("peer")->number, 1.0);
+  EXPECT_DOUBLE_EQ(solve_pp.items[0].find("bytes")->number, 64.0);
 }
 
 // ------------------------------------------------------------- envelope ----
