@@ -23,9 +23,12 @@ int main(int argc, char** argv) {
   const Int n = Int(cli.get_int("n", 10));
   const int max_ranks = int(cli.get_int("max-ranks", 8));
   const NetworkModel net = endeavor_network();
-  JsonSink sink(cli, "ablation_comm");
+  // No --repeat here: every reported number is a deterministic counter or
+  // a modeled time derived from counters.
+  const RunEnv env("ablation_comm");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "ablation_comm");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
 

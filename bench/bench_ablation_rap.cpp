@@ -7,7 +7,7 @@
 // headline number here is the 1.73x flop redundancy of Fig 1(b) vs Fig
 // 1(a) on the finest-level product.
 //
-// Usage: bench_ablation_rap [--scale 0.005] [--json out.json]
+// Usage: bench_ablation_rap [--scale 0.005] [--repeat N] [--json out.json]
 #include <cmath>
 #include <cstdio>
 
@@ -26,10 +26,13 @@ using namespace hpamg::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.005);
-  JsonSink sink(cli, "ablation_rap");
+  const Repeat repeat(cli);
+  const RunEnv env("ablation_rap");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "ablation_rap");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("scale", scale);
+  sink.report.set_param("repeat", repeat.count);
 
   std::printf("=== Ablation: finest-level RAP variants (scale=%.4g) ===\n\n",
               scale);
@@ -59,18 +62,37 @@ int main(int argc, char** argv) {
     CSRMatrix PfT = transpose_parallel(Pf);
 
     WorkCounters w_hypre, w_row, w_cf, w_unf;
-    Timer t;
-    rap_fused_hypre(R, Ap, P, &w_hypre);
-    const double t_hypre = t.seconds();
-    t.reset();
-    rap_fused_rowwise(R, Ap, P, {}, &w_row);
-    const double t_row = t.seconds();
-    t.reset();
-    rap_cf_block(Ap, Pf, PfT, nc, {}, &w_cf);
-    const double t_cf = t.seconds();
-    t.reset();
-    rap_unfused(R, Ap, P, true, &w_unf);
-    const double t_unf = t.seconds();
+    std::vector<double> s_hypre, s_row, s_cf, s_unf;
+    const int passes = repeat.count + (repeat.warmup() ? 1 : 0);
+    for (int i = 0; i < passes; ++i) {
+      const bool warm = repeat.warmup() && i == 0;
+      WorkCounters wh, wr, wc, wu;
+      Timer t;
+      rap_fused_hypre(R, Ap, P, &wh);
+      const double t1 = t.seconds();
+      t.reset();
+      rap_fused_rowwise(R, Ap, P, {}, &wr);
+      const double t2 = t.seconds();
+      t.reset();
+      rap_cf_block(Ap, Pf, PfT, nc, {}, &wc);
+      const double t3 = t.seconds();
+      t.reset();
+      rap_unfused(R, Ap, P, true, &wu);
+      const double t4 = t.seconds();
+      if (warm) continue;
+      s_hypre.push_back(t1);
+      s_row.push_back(t2);
+      s_cf.push_back(t3);
+      s_unf.push_back(t4);
+      w_hypre = wh;
+      w_row = wr;
+      w_cf = wc;
+      w_unf = wu;
+    }
+    const double t_hypre = sample_stats(s_hypre).median;
+    const double t_row = sample_stats(s_row).median;
+    const double t_cf = sample_stats(s_cf).median;
+    const double t_unf = sample_stats(s_unf).median;
 
     const double ratio = double(w_hypre.flops) / double(w_row.flops);
     geo_ratio += std::log(ratio);

@@ -7,7 +7,8 @@
 // nodes from this optimization; on one host core the structural metrics —
 // probes and the serialized fraction — carry the comparison.)
 //
-// Usage: bench_ablation_renumber [--n 12] [--max-ranks 8] [--json out.json]
+// Usage: bench_ablation_renumber [--n 12] [--max-ranks 8] [--repeat N]
+//                                [--json out.json]
 #include <cstdio>
 
 #include "amg/interp_extpi.hpp"
@@ -25,11 +26,14 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const Int n = Int(cli.get_int("n", 12));
   const int max_ranks = int(cli.get_int("max-ranks", 8));
-  JsonSink sink(cli, "ablation_renumber");
+  const Repeat repeat(cli);
+  const RunEnv env("ablation_renumber");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "ablation_renumber");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
+  sink.report.set_param("repeat", repeat.count);
 
   std::printf("=== Ablation: §4.2 column-index renumbering in distributed"
               " RAP (lap3d %d^3/rank) ===\n\n", n);
@@ -39,29 +43,41 @@ int main(int argc, char** argv) {
   for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
     CSRMatrix A = lap3d_7pt(n, n, n * Int(ranks));
     for (bool parallel : {false, true}) {
-      std::vector<DistSpgemmInfo> infos(ranks);
-      std::vector<WorkCounters> wcs(ranks);
-      simmpi::run(ranks, [&](simmpi::Comm& c) {
-        DistMatrix dA = distribute_csr(c, A);
-        StrengthOptions so;
-        DistMatrix dS = dist_strength(dA, so);
-        DistMatrix dST = dist_transpose(c, dS);
-        CFMarker cf = dist_pmis(c, dS, dST);
-        CoarseNumbering cn = coarse_numbering(c, cf);
-        DistMatrix dP = dist_extpi_interp(c, dA, dS, dST, cf, cn);
-        DistSpgemmOptions o;
-        o.parallel_renumber = parallel;
-        o.onepass_local = true;
-        dist_rap(c, dA, dP, o, &wcs[c.rank()], &infos[c.rank()]);
-      });
       double renum = 0, local = 0, mb = 0;
       std::uint64_t probes = 0;
-      for (int r = 0; r < ranks; ++r) {
-        renum = std::max(renum, infos[r].renumber_seconds);
-        local = std::max(local, infos[r].local_seconds);
-        mb += double(infos[r].gathered_bytes) / 1e6;
-        probes += wcs[r].hash_probes;
+      std::vector<double> renum_samples, local_samples;
+      const int passes = repeat.count + (repeat.warmup() ? 1 : 0);
+      for (int p = 0; p < passes; ++p) {
+        std::vector<DistSpgemmInfo> infos(ranks);
+        std::vector<WorkCounters> wcs(ranks);
+        simmpi::run(ranks, [&](simmpi::Comm& c) {
+          DistMatrix dA = distribute_csr(c, A);
+          StrengthOptions so;
+          DistMatrix dS = dist_strength(dA, so);
+          DistMatrix dST = dist_transpose(c, dS);
+          CFMarker cf = dist_pmis(c, dS, dST);
+          CoarseNumbering cn = coarse_numbering(c, cf);
+          DistMatrix dP = dist_extpi_interp(c, dA, dS, dST, cf, cn);
+          DistSpgemmOptions o;
+          o.parallel_renumber = parallel;
+          o.onepass_local = true;
+          dist_rap(c, dA, dP, o, &wcs[c.rank()], &infos[c.rank()]);
+        });
+        if (repeat.warmup() && p == 0) continue;
+        double pass_renum = 0, pass_local = 0;
+        mb = 0;
+        probes = 0;
+        for (int r = 0; r < ranks; ++r) {
+          pass_renum = std::max(pass_renum, infos[r].renumber_seconds);
+          pass_local = std::max(pass_local, infos[r].local_seconds);
+          mb += double(infos[r].gathered_bytes) / 1e6;
+          probes += wcs[r].hash_probes;
+        }
+        renum_samples.push_back(pass_renum);
+        local_samples.push_back(pass_local);
       }
+      renum = sample_stats(renum_samples).median;
+      local = sample_stats(local_samples).median;
       const char* vname = parallel ? "parallel" : "baseline";
       print_row({fmt_int(ranks), vname,
                  fmt(renum, "%.5f"), fmt(local, "%.5f"), fmt(mb, "%.3f"),

@@ -9,7 +9,8 @@
 // counts and times with each smoother under (a) one-setup-per-solve and
 // (b) setup-amortized accounting, plus the fused GS+SpMV kernel timing.
 //
-// Usage: bench_ablation_smoother [--scale 0.004] [--json out.json]
+// Usage: bench_ablation_smoother [--scale 0.004] [--repeat N]
+//                                [--json out.json]
 #include <cmath>
 #include <cstdio>
 
@@ -24,10 +25,13 @@ using namespace hpamg::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.004);
-  JsonSink sink(cli, "ablation_smoother");
+  const Repeat repeat(cli);
+  const RunEnv env("ablation_smoother");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "ablation_smoother");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("scale", scale);
+  sink.report.set_param("repeat", repeat.count);
 
   std::printf("=== Ablation: hybrid GS vs lexicographic GS smoothing"
               " (scale=%.4g, 14 hybrid partitions) ===\n\n", scale);
@@ -53,17 +57,28 @@ int main(int argc, char** argv) {
       // Emulate the paper's 14-thread socket: hybrid GS convergence depends
       // on the partition count, not on real parallelism.
       o.gs_partitions = idx == 3 ? 2048 : 14;
-      Timer t;
-      AMGSolver amg(A, o);
-      const double setup = t.seconds();
-      Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
-      t.reset();
-      SolveResult r = amg.solve(b, x, 1e-7, 300);
-      solve_only[idx] = t.seconds();
+      std::vector<double> setup_samples, solve_samples;
+      const int passes = repeat.count + (repeat.warmup() ? 1 : 0);
+      for (int p = 0; p < passes; ++p) {
+        Timer t;
+        AMGSolver amg(A, o);
+        const double setup = t.seconds();
+        Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+        t.reset();
+        SolveResult r = amg.solve(b, x, 1e-7, 300);
+        const double solve = t.seconds();
+        if (repeat.warmup() && p == 0) continue;
+        setup_samples.push_back(setup);
+        solve_samples.push_back(solve);
+        iters[idx] = r.converged ? r.iterations : 300;
+        if (idx == 0 && p + 1 == passes) {
+          hyb_rep = amg.report(&r);
+        }
+      }
+      const double setup = sample_stats(setup_samples).median;
+      solve_only[idx] = sample_stats(solve_samples).median;
       tts[idx] = setup + solve_only[idx];
-      iters[idx] = r.converged ? r.iterations : 300;
       if (idx == 0) {
-        hyb_rep = amg.report(&r);
         hyb_rep.setup_seconds = setup;
         hyb_rep.solve_seconds = solve_only[idx];
       }

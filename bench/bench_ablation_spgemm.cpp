@@ -7,6 +7,7 @@
 //    upper-bound study (measured ~2.1x there).
 //
 // Usage: bench_ablation_spgemm [--scale 0.005] [--reps 3] [--json out.json]
+//        (--repeat N is accepted as an alias for --reps)
 #include <cmath>
 #include <cstdio>
 
@@ -24,10 +25,12 @@ using namespace hpamg::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.005);
-  const int reps = int(cli.get_int("reps", 3));
-  JsonSink sink(cli, "ablation_spgemm");
+  // This bench always repeated its timed kernels; --repeat aliases --reps.
+  const int reps = int(cli.get_int("reps", cli.get_int("repeat", 3)));
+  const RunEnv env("ablation_spgemm");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "ablation_spgemm");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("scale", scale);
   sink.report.set_param("reps", long(reps));
 

@@ -10,7 +10,7 @@
 // applied to HYPRE_opt (DESIGN.md §1).
 //
 // Usage: bench_fig5_singlenode [--scale 0.005] [--matrix name] [--rtol 1e-7]
-//                              [--json out.json]
+//                              [--repeat N] [--json out.json]
 #include <cmath>
 #include <cstdio>
 
@@ -23,8 +23,9 @@ using namespace hpamg::bench;
 namespace {
 
 struct RunResult {
-  double setup_s = 0;
+  double setup_s = 0;  ///< median over --repeat samples
   double solve_s = 0;
+  std::vector<double> setup_samples, solve_samples;
   Int iterations = 0;
   double opcx = 0;
   PhaseTimes setup_pt, solve_pt;
@@ -33,22 +34,32 @@ struct RunResult {
 };
 
 RunResult run(const CSRMatrix& A, Variant v, double alpha, double rtol,
-              const MachineModel& model) {
+              const MachineModel& model, const Repeat& repeat) {
   RunResult r;
-  Timer t;
-  AMGSolver amg(A, table3_options(v, alpha));
-  r.setup_s = t.seconds();
-  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
-  t.reset();
-  SolveResult sr = amg.solve(b, x, rtol, 200);
-  r.solve_s = t.seconds();
-  r.iterations = sr.iterations;
-  r.opcx = amg.operator_complexity();
-  r.setup_pt = amg.setup_times();
-  r.solve_pt = sr.solve_times;
-  r.setup_wc = amg.hierarchy().setup_work;
-  r.solve_wc = sr.solve_work;
-  r.rep = amg.report(&sr);
+  if (repeat.warmup()) {
+    AMGSolver warm(A, table3_options(v, alpha));
+    Vector bw(A.nrows, 1.0), xw(A.nrows, 0.0);
+    warm.solve(bw, xw, rtol, 200);
+  }
+  for (int i = 0; i < repeat.count; ++i) {
+    Timer t;
+    AMGSolver amg(A, table3_options(v, alpha));
+    r.setup_samples.push_back(t.seconds());
+    Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+    t.reset();
+    SolveResult sr = amg.solve(b, x, rtol, 200);
+    r.solve_samples.push_back(t.seconds());
+    if (i + 1 < repeat.count) continue;
+    r.iterations = sr.iterations;
+    r.opcx = amg.operator_complexity();
+    r.setup_pt = amg.setup_times();
+    r.solve_pt = sr.solve_times;
+    r.setup_wc = amg.hierarchy().setup_work;
+    r.solve_wc = sr.solve_work;
+    r.rep = amg.report(&sr);
+  }
+  r.setup_s = sample_stats(r.setup_samples).median;
+  r.solve_s = sample_stats(r.solve_samples).median;
   // Phase sums measure instrumented regions; report wall-clock instead.
   r.rep.setup_seconds = r.setup_s;
   r.rep.solve_seconds = r.solve_s;
@@ -67,11 +78,14 @@ int main(int argc, char** argv) {
   const MachineModel hsw = haswell_socket();
   const MachineModel gpu = k40c();
   const AmgxModel amgx;
-  JsonSink sink(cli, "fig5_singlenode");
+  const Repeat repeat(cli);
+  const RunEnv env("fig5_singlenode");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "fig5_singlenode");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("scale", scale);
   sink.report.set_param("rtol", rtol);
+  sink.report.set_param("repeat", repeat.count);
   if (!only.empty()) sink.report.set_param("matrix", only);
 
   std::printf("=== Fig 5: single-node time to solution, normalized to"
@@ -89,9 +103,9 @@ int main(int argc, char** argv) {
     if (!only.empty() && e.name != only) continue;
     CSRMatrix A = generate_suite_matrix(e.name, scale);
     RunResult base =
-        run(A, Variant::kBaseline, e.strength_threshold, rtol, hsw);
+        run(A, Variant::kBaseline, e.strength_threshold, rtol, hsw, repeat);
     RunResult opt =
-        run(A, Variant::kOptimized, e.strength_threshold, rtol, hsw);
+        run(A, Variant::kOptimized, e.strength_threshold, rtol, hsw, repeat);
 
     const double base_total = base.setup_s + base.solve_s;
     auto [amgx_setup, amgx_solve] = amgx.project(opt.setup_s, opt.solve_s);
@@ -136,17 +150,21 @@ int main(int argc, char** argv) {
     breakdown("base:", base);
     breakdown("opt:", opt);
 
-    sink.report.add_run(e.name + std::string("/base"))
+    BenchReport::Run& rb = sink.report.add_run(e.name + std::string("/base"))
         .label("matrix", e.name)
-        .label("variant", "baseline")
-        .report(base.rep);
-    sink.report.add_run(e.name + std::string("/opt"))
+        .label("variant", "baseline");
+    add_time_metrics(rb, "setup", base.setup_samples);
+    add_time_metrics(rb, "solve", base.solve_samples);
+    rb.report(base.rep);
+    BenchReport::Run& ro = sink.report.add_run(e.name + std::string("/opt"))
         .label("matrix", e.name)
         .label("variant", "optimized")
         .metric("speedup_measured", opt_speedup)
         .metric("speedup_modeled", model_speedup)
-        .metric("amgx_vs_opt", amgx_vs_opt)
-        .report(opt.rep);
+        .metric("amgx_vs_opt", amgx_vs_opt);
+    add_time_metrics(ro, "setup", opt.setup_samples);
+    add_time_metrics(ro, "solve", opt.solve_samples);
+    ro.report(opt.rep);
   }
   if (count > 0) {
     std::printf("\nGeomean HYPRE_opt speedup over HYPRE_base: measured"

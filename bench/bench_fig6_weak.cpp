@@ -12,7 +12,7 @@
 //
 // Usage: bench_fig6_weak [--input lap3d|amg2013] [--n 10] [--max-ranks 8]
 //                        [--schemes ei4,2s-ei,mp] [--rtol 1e-7]
-//                        [--json out.json]
+//                        [--repeat N] [--json out.json]
 #include <cstdio>
 #include <sstream>
 
@@ -96,13 +96,16 @@ int main(int argc, char** argv) {
     while (std::getline(ss, s, ',')) schemes.push_back(s);
   }
 
-  JsonSink sink(cli, "fig6_weak");
+  const Repeat repeat(cli);
+  const RunEnv env("fig6_weak");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "fig6_weak");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("input", input_arg);
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
   sink.report.set_param("rtol", rtol);
+  sink.report.set_param("repeat", repeat.count);
   sink.report.set_param("schemes", cli.get("schemes", "ei4,2s-ei,mp"));
 
   std::vector<std::string> inputs;
@@ -124,23 +127,44 @@ int main(int argc, char** argv) {
       for (Variant v : {Variant::kBaseline, Variant::kOptimized}) {
         for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
           if (input == "amg2013" && ranks < 2) continue;  // paper: >= 8 ranks
-          WeakResult r = run_weak(input, n, ranks, scheme, v, rtol);
+          // The modeled times embed measured per-rank CPU time, so repeats
+          // reduce noise here too.
+          if (repeat.warmup()) run_weak(input, n, ranks, scheme, v, rtol);
+          std::vector<double> setup_samples, solve_samples;
+          WeakResult r;
+          for (int i = 0; i < repeat.count; ++i) {
+            r = run_weak(input, n, ranks, scheme, v, rtol);
+            setup_samples.push_back(r.setup_s);
+            solve_samples.push_back(r.solve_s);
+          }
+          r.setup_s = sample_stats(setup_samples).median;
+          r.solve_s = sample_stats(solve_samples).median;
+          r.rep.modeled_setup_seconds = r.setup_s;
+          r.rep.modeled_solve_seconds = r.solve_s;
           const char* vname = v == Variant::kOptimized ? "opt" : "base";
           print_row({input, scheme, vname,
                      fmt_int(ranks), fmt_int(Long(n) * n * n * ranks),
                      fmt(r.setup_s, "%.4f"), fmt(r.solve_s, "%.4f"),
                      fmt_int(r.iters), fmt(r.opcx, "%.2f")}, 11);
-          sink.report
-              .add_run(input + "/" + scheme + "/" + vname + "/r" +
-                       std::to_string(ranks))
-              .label("input", input)
-              .label("scheme", scheme)
-              .label("variant", vname)
-              .metric("ranks", double(ranks))
-              .metric("rows", double(Long(n) * n * n * ranks))
-              .metric("modeled_setup_seconds", r.setup_s)
-              .metric("modeled_solve_seconds", r.solve_s)
-              .report(r.rep);
+          BenchReport::Run& run_entry =
+              sink.report
+                  .add_run(input + "/" + scheme + "/" + vname + "/r" +
+                           std::to_string(ranks))
+                  .label("input", input)
+                  .label("scheme", scheme)
+                  .label("variant", vname)
+                  .metric("ranks", double(ranks))
+                  .metric("rows", double(Long(n) * n * n * ranks))
+                  .metric("modeled_setup_seconds", r.setup_s)
+                  .metric("modeled_solve_seconds", r.solve_s);
+          if (setup_samples.size() > 1) {
+            run_entry
+                .metric("modeled_setup_mad_seconds",
+                        sample_stats(setup_samples).mad)
+                .metric("modeled_solve_mad_seconds",
+                        sample_stats(solve_samples).mad);
+          }
+          run_entry.report(r.rep);
         }
       }
     }

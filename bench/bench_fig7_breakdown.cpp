@@ -9,7 +9,7 @@
 // dominates the solve at scale.
 //
 // Usage: bench_fig7_breakdown [--ranks 8] [--n 10] [--input lap3d|amg2013]
-//                             [--json out.json]
+//                             [--repeat N] [--json out.json]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -30,13 +30,16 @@ int main(int argc, char** argv) {
   CSRMatrix A = input == "amg2013" ? amg2013_like(n, n, nz)
                                    : lap3d_27pt(n, n, nz);
   const NetworkModel net = endeavor_network();
-  JsonSink sink(cli, "fig7_breakdown");
+  const Repeat repeat(cli);
+  const RunEnv env("fig7_breakdown");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "fig7_breakdown");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("ranks", long(ranks));
   sink.report.set_param("n", long(n));
   sink.report.set_param("input", input);
   sink.report.set_param("rtol", rtol);
+  sink.report.set_param("repeat", repeat.count);
 
   std::printf("=== Fig 7: HYPRE_opt total-time breakdown on %d ranks"
               " (%s, %lld rows) ===\n", ranks, input.c_str(),
@@ -50,10 +53,11 @@ int main(int argc, char** argv) {
                                     std::string("mp")}) {
     std::vector<double> bars(6, 0.0);
     Int iters = 0;
+    SolveReport rep0;
+    auto one_pass = [&]() {
     std::vector<std::vector<double>> per_rank(ranks,
                                               std::vector<double>(6, 0.0));
     std::vector<Int> it(ranks, 0);
-    SolveReport rep0;
     simmpi::run(ranks, [&](simmpi::Comm& c) {
       DistMatrix dA = distribute_csr(c, A);
       DistAMGOptions o = table4_options(Variant::kOptimized, scheme);
@@ -82,9 +86,19 @@ int main(int argc, char** argv) {
         rep0.solve_comm = delta;
       }
     });
+    std::vector<double> pass(6, 0.0);
     for (int r = 0; r < ranks; ++r)
-      for (int k = 0; k < 6; ++k) bars[k] = std::max(bars[k], per_rank[r][k]);
+      for (int k = 0; k < 6; ++k) pass[k] = std::max(pass[k], per_rank[r][k]);
     iters = it[0];
+    return pass;
+    };
+    if (repeat.warmup()) one_pass();
+    std::vector<std::vector<double>> bar_samples(6);
+    for (int i = 0; i < repeat.count; ++i) {
+      const std::vector<double> pass = one_pass();
+      for (int k = 0; k < 6; ++k) bar_samples[k].push_back(pass[k]);
+    }
+    for (int k = 0; k < 6; ++k) bars[k] = sample_stats(bar_samples[k]).median;
     const double total = bars[0] + bars[1] + bars[2] + bars[3] + bars[4] +
                          bars[5];
     print_row({scheme, fmt(bars[0], "%.4f"), fmt(bars[1], "%.4f"),

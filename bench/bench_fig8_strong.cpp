@@ -9,7 +9,7 @@
 // paper; we print seconds).
 //
 // Usage: bench_fig8_strong [--n 16] [--max-ranks 8] [--rtol 1e-5]
-//                          [--json out.json]
+//                          [--repeat N] [--json out.json]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -26,12 +26,15 @@ int main(int argc, char** argv) {
 
   CSRMatrix A = reservoir_matrix(n, n, n);
   const NetworkModel net = endeavor_network();
-  JsonSink sink(cli, "fig8_strong");
+  const Repeat repeat(cli);
+  const RunEnv env("fig8_strong");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "fig8_strong");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
   sink.report.set_param("rtol", rtol);
+  sink.report.set_param("repeat", repeat.count);
   sink.report.set_param("rows", long(A.nrows));
   std::printf("=== Fig 8: strong scaling, reservoir input (%lld rows,"
               " rtol=%.0e) ===\n", (long long)A.nrows, rtol);
@@ -52,9 +55,10 @@ int main(int argc, char** argv) {
 
   for (const Series& s : series) {
     for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
-      std::vector<double> setup_model(ranks), solve_model(ranks);
       std::vector<Int> it(ranks);
       SolveReport rep0;
+      auto one_pass = [&]() {
+      std::vector<double> setup_model(ranks), solve_model(ranks);
       simmpi::run(ranks, [&](simmpi::Comm& c) {
         DistMatrix dA = distribute_csr(c, A);
         DistAMGOptions o = table4_options(s.variant, s.scheme);
@@ -75,11 +79,22 @@ int main(int argc, char** argv) {
           rep0.solve_comm = delta;
         }
       });
-      double setup = 0, solve = 0;
+      double pass_setup = 0, pass_solve = 0;
       for (int r = 0; r < ranks; ++r) {
-        setup = std::max(setup, setup_model[r]);
-        solve = std::max(solve, solve_model[r]);
+        pass_setup = std::max(pass_setup, setup_model[r]);
+        pass_solve = std::max(pass_solve, solve_model[r]);
       }
+      return std::make_pair(pass_setup, pass_solve);
+      };
+      if (repeat.warmup()) one_pass();
+      std::vector<double> setup_samples, solve_samples;
+      for (int i = 0; i < repeat.count; ++i) {
+        const auto [ps, pv] = one_pass();
+        setup_samples.push_back(ps);
+        solve_samples.push_back(pv);
+      }
+      const double setup = sample_stats(setup_samples).median;
+      const double solve = sample_stats(solve_samples).median;
       print_row({s.name, fmt_int(ranks), fmt(setup, "%.4f"),
                  fmt(solve, "%.4f"), fmt(setup + solve, "%.4f"),
                  fmt_int(it[0])}, 11);

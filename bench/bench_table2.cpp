@@ -1,9 +1,14 @@
 // Table 2 reproduction: the 14-matrix single-node evaluation suite.
 // Prints, per matrix, the paper's published size/density next to the
 // generated stand-in's (at the requested --scale; scale=1 reproduces the
-// paper's row counts).
+// paper's row counts), then builds the AMG hierarchy for each matrix and
+// reports the Table 2 memory audit: per-level operator / interpolation /
+// smoother / workspace bytes and the setup/solve totals (also embedded in
+// the --json report's per-level entries and "memory" block; the totals are
+// asserted against hand-computed CSR footprints in tests/test_metrics.cpp).
 //
-// Usage: bench_table2 [--scale 0.01] [--json out.json]
+// Usage: bench_table2 [--scale 0.01] [--rtol 1e-7] [--no-solve]
+//                     [--json out.json]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -15,28 +20,46 @@ using namespace hpamg::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.01);
-  JsonSink sink(cli, "table2");
+  const double rtol = cli.get_double("rtol", 1e-7);
+  const bool solve = !cli.has("no-solve");
+  const RunEnv env("table2");
+  JsonSink sink(cli, env);
   init_logging(cli);
-  TraceSink trace_sink(cli, "table2");
+  TraceSink trace_sink(cli, env);
   sink.report.set_param("scale", scale);
+  sink.report.set_param("rtol", rtol);
 
   std::printf("=== Table 2: sparse matrices used in single-node experiments"
               " (scale=%.4g) ===\n", scale);
   print_row({"matrix", "paper_rows", "paper_nnz/r", "gen_rows", "gen_nnz/r",
-             "str_thr"}, 14);
+             "str_thr", "levels", "setup_MB", "solve_MB"}, 14);
   for (const SuiteEntry& e : table2_suite()) {
     CSRMatrix A = generate_suite_matrix(e.name, scale);
-    print_row({e.name, fmt_int(e.paper_rows), fmt_int(e.paper_nnz_per_row),
-               fmt_int(A.nrows), fmt(double(A.nnz()) / A.nrows, "%.1f"),
-               fmt(e.strength_threshold, "%.2f")},
-              14);
-    sink.report.add_run(e.name)
-        .metric("paper_rows", double(e.paper_rows))
+    BenchReport::Run& run = sink.report.add_run(e.name);
+    run.metric("paper_rows", double(e.paper_rows))
         .metric("paper_nnz_per_row", double(e.paper_nnz_per_row))
         .metric("gen_rows", double(A.nrows))
         .metric("gen_nnz", double(A.nnz()))
         .metric("gen_nnz_per_row", double(A.nnz()) / A.nrows)
         .metric("strength_threshold", e.strength_threshold);
+
+    std::string levels = "-", setup_mb = "-", solve_mb = "-";
+    if (solve) {
+      AMGSolver amg(A, table3_options(Variant::kOptimized,
+                                      e.strength_threshold));
+      Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+      SolveResult sr = amg.solve(b, x, rtol, 200);
+      SolveReport rep = amg.report(&sr);
+      levels = fmt_int(long(rep.levels.size()));
+      setup_mb = fmt(double(rep.memory.setup_bytes) / (1 << 20), "%.2f");
+      solve_mb = fmt(double(rep.memory.solve_bytes) / (1 << 20), "%.2f");
+      run.report(std::move(rep));
+    }
+    print_row({e.name, fmt_int(e.paper_rows), fmt_int(e.paper_nnz_per_row),
+               fmt_int(A.nrows), fmt(double(A.nnz()) / A.nrows, "%.1f"),
+               fmt(e.strength_threshold, "%.2f"), levels, setup_mb,
+               solve_mb},
+              14);
   }
   const int trace_rc = trace_sink.finish();
   const int json_rc = sink.finish();

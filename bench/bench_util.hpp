@@ -1,8 +1,10 @@
 // Shared helpers for the figure-reproduction benches: configured solver
-// runs, fixed-width table printing, and the Table 3 / Table 4 parameter
-// presets.
+// runs, fixed-width table printing, repeat/statistics plumbing, and the
+// Table 3 / Table 4 parameter presets.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "perfmodel/project.hpp"
 #include "support/cli.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/report.hpp"
 #include "support/timer.hpp"
@@ -77,20 +80,141 @@ inline double solve_compute_seconds(const PhaseTimes& pt) {
          pt.get("Solve_etc");
 }
 
+// ------------------------------------------------------------------------
+// Run environment (single source of truth)
+// ------------------------------------------------------------------------
+
+/// Environment facts every bench surfaces — thread count, build flavor,
+/// compiler, and the network-model calibration. TraceSink metadata and the
+/// JSON report's metrics envelope both read from the SAME RunEnv instance,
+/// so the two outputs cannot disagree.
+struct RunEnv {
+  std::string bench;
+  int threads = num_threads();
+  std::string build;
+  std::string compiler;
+  NetworkModel net;
+
+  explicit RunEnv(std::string bench_name) : bench(std::move(bench_name)) {
+#if defined(NDEBUG)
+    build = "release";
+#else
+    build = "debug";
+#endif
+#if defined(__VERSION__)
+    compiler = __VERSION__;
+#endif
+  }
+
+  /// Metrics envelope for the JSON report (registry snapshot and peak RSS
+  /// are sampled at call time; call once, at finish).
+  MetricsEnvelope envelope() const {
+    MetricsEnvelope m;
+    m.threads = threads;
+    m.build = build;
+    m.compiler = compiler;
+    m.peak_rss_bytes = metrics::peak_rss_bytes();
+    m.net_overhead_s = net.overhead_s;
+    m.net_peak_bw_bytes_per_s = net.peak_bw_bytes_per_s;
+    m.net_setup_cost_s = net.setup_cost_s;
+    m.net_rendezvous_extra_s = net.rendezvous_extra_s;
+    m.net_eager_limit_bytes = net.eager_limit_bytes;
+    m.registry = metrics::snapshot();
+    return m;
+  }
+};
+
+// ------------------------------------------------------------------------
+// Repeats and robust statistics
+// ------------------------------------------------------------------------
+
+/// min / median / MAD (median absolute deviation) of a sample. Median and
+/// MAD are the regression-harness statistics: a single descheduled repeat
+/// moves the mean but not the median, and MAD quantifies the noise floor.
+struct SampleStats {
+  double min = 0.0;
+  double median = 0.0;
+  double mad = 0.0;
+};
+
+inline double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double m = xs[mid];
+  if (xs.size() % 2 == 0) {
+    const double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+    m = 0.5 * (lo + m);
+  }
+  return m;
+}
+
+inline SampleStats sample_stats(const std::vector<double>& xs) {
+  SampleStats s;
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.median = median_of(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    dev[i] = std::abs(xs[i] - s.median);
+  s.mad = median_of(dev);
+  return s;
+}
+
+/// `--repeat N` plumbing (default 1 = old single-shot behavior). When
+/// N > 1, benches run one untimed warm-up first (page faults, allocator
+/// growth, OMP thread-pool spin-up land there, not in sample 0) and report
+/// the median of N timed repeats.
+struct Repeat {
+  int count = 1;
+
+  explicit Repeat(const Cli& cli)
+      : count(int(std::max(1L, cli.get_int("repeat", 1)))) {}
+
+  bool warmup() const { return count > 1; }
+};
+
+/// Attaches `<key>_seconds` (median) plus `<key>_min_seconds` /
+/// `<key>_mad_seconds` when the sample has more than one repeat.
+inline void add_time_metrics(BenchReport::Run& run, const std::string& key,
+                             const std::vector<double>& samples) {
+  const SampleStats s = sample_stats(samples);
+  run.metric(key + "_seconds", s.median);
+  if (samples.size() > 1) {
+    run.metric(key + "_min_seconds", s.min);
+    run.metric(key + "_mad_seconds", s.mad);
+  }
+}
+
+// ------------------------------------------------------------------------
+// Output sinks
+// ------------------------------------------------------------------------
+
 /// `--json <path>` plumbing shared by every bench binary: benches add
 /// params and runs to `report` unconditionally (cheap), and main() ends
 /// with `return sink.finish();` which writes BENCH_<name>.json when the
 /// flag was given. The emitted document follows the schema in
 /// support/report.hpp and is validated by bench/check_report.cpp.
+///
+/// When enabled, the metrics registry is switched on for the whole run and
+/// its snapshot (plus peak RSS and the RunEnv facts) is embedded as the
+/// report's "metrics" block — the input of bench/benchdiff.
 struct JsonSink {
-  JsonSink(const Cli& cli, const std::string& bench_name)
-      : path(cli.get("json", "")), report(bench_name) {}
+  JsonSink(const Cli& cli, const RunEnv& env)
+      : path(cli.get("json", "")), report(env.bench), env_(&env) {
+    if (enabled()) {
+      metrics::reset();
+      metrics::enable();
+    }
+  }
 
   bool enabled() const { return !path.empty(); }
 
-  int finish() const {
+  int finish() {
     if (!enabled()) return 0;
-    const std::string err = validate_bench_report_json(report.to_json());
+    report.set_metrics(env_->envelope());
+    const std::string err = validate_bench_report_json(
+        report.to_json(), /*require_solve=*/false, /*require_metrics=*/true);
     if (!err.empty()) {
       HPAMG_LOG_ERROR("json report failed self-validation: %s", err.c_str());
       return 1;
@@ -105,6 +229,9 @@ struct JsonSink {
 
   std::string path;
   BenchReport report;
+
+ private:
+  const RunEnv* env_;
 };
 
 /// `--verbose` raises the log threshold to debug (per-iteration residuals
@@ -116,29 +243,26 @@ inline void init_logging(const Cli& cli) {
 }
 
 /// `--trace <path>` plumbing shared by every bench binary: enables the
-/// tracer up front (recording self-describing metadata), and main() calls
-/// `sink.finish()` to merge all ring buffers into a Chrome trace-event
-/// JSON at the given path.
+/// tracer up front (recording self-describing metadata from the same
+/// RunEnv the JSON metrics block uses), and main() calls `sink.finish()`
+/// to merge all ring buffers into a Chrome trace-event JSON at the path.
 struct TraceSink {
-  TraceSink(const Cli& cli, const std::string& bench_name)
-      : path(cli.get("trace", "")) {
+  TraceSink(const Cli& cli, const RunEnv& env) : path(cli.get("trace", "")) {
     if (path.empty()) return;
     trace::enable();
-    trace::set_metadata("bench", bench_name);
-#if defined(__VERSION__)
-    trace::set_metadata("compiler", __VERSION__);
-#endif
-#if defined(NDEBUG)
-    trace::set_metadata("build", "release");
-#else
-    trace::set_metadata("build", "debug");
-#endif
-    trace::set_metadata("omp_threads", std::to_string(num_threads()));
-    const NetworkModel net;
-    trace::set_metadata("net.overhead_s", fmt(net.overhead_s, "%.3g"));
+    trace::set_metadata("bench", env.bench);
+    if (!env.compiler.empty()) trace::set_metadata("compiler", env.compiler);
+    trace::set_metadata("build", env.build);
+    trace::set_metadata("omp_threads", std::to_string(env.threads));
+    trace::set_metadata("net.overhead_s", fmt(env.net.overhead_s, "%.3g"));
     trace::set_metadata("net.peak_bw_bytes_per_s",
-                        fmt(net.peak_bw_bytes_per_s, "%.3g"));
-    trace::set_metadata("net.setup_cost_s", fmt(net.setup_cost_s, "%.3g"));
+                        fmt(env.net.peak_bw_bytes_per_s, "%.3g"));
+    trace::set_metadata("net.setup_cost_s",
+                        fmt(env.net.setup_cost_s, "%.3g"));
+    trace::set_metadata("net.rendezvous_extra_s",
+                        fmt(env.net.rendezvous_extra_s, "%.3g"));
+    trace::set_metadata("net.eager_limit_bytes",
+                        std::to_string(env.net.eager_limit_bytes));
   }
 
   bool enabled() const { return !path.empty(); }

@@ -1,0 +1,183 @@
+// benchdiff — compares two BENCH_*.json reports (or two directories of
+// them, matched by filename) and gates on regressions:
+//
+//   benchdiff [options] <old.json> <new.json>
+//   benchdiff [options] <old_dir> <new_dir>
+//
+// Options:
+//   --time-tol F    timing relative tolerance   (default 0.50)
+//   --work-tol F    work-counter relative tol   (default 0.25)
+//   --time-floor F  seconds below which timing deltas never gate (0.05)
+//   --all           print every delta, not just the notable ones
+//
+// Exit code: 0 = no regressions, 1 = regression or missing metric/run/file,
+// 2 = usage, I/O, or incomparable-configuration error. This is the CI
+// perf-gate: committed baselines under bench/baselines/ are the old side,
+// a fresh smoke run is the new side.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/report_diff.hpp"
+
+namespace fs = std::filesystem;
+using hpamg::Cli;
+using hpamg::DiffOptions;
+using hpamg::DiffResult;
+using hpamg::MetricClass;
+using hpamg::MetricDelta;
+
+namespace {
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+const char* verdict_name(MetricDelta::Verdict v) {
+  switch (v) {
+    case MetricDelta::Verdict::kOk: return "ok";
+    case MetricDelta::Verdict::kImproved: return "improved";
+    case MetricDelta::Verdict::kRegressed: return "REGRESSED";
+    case MetricDelta::Verdict::kMissing: return "MISSING";
+    case MetricDelta::Verdict::kAdded: return "added";
+  }
+  return "?";
+}
+
+const char* class_name(MetricClass c) {
+  switch (c) {
+    case MetricClass::kTiming: return "time";
+    case MetricClass::kWork: return "work";
+    case MetricClass::kInfo: return "info";
+  }
+  return "?";
+}
+
+void print_result(const std::string& label, const DiffResult& res,
+                  bool show_all) {
+  std::printf("== %s ==\n", label.c_str());
+  std::printf("%-28s %-34s %-5s %12s %12s %8s  %s\n", "run", "metric", "cls",
+              "old", "new", "delta%", "verdict");
+  int hidden = 0;
+  for (const MetricDelta& d : res.deltas) {
+    const bool notable = d.verdict != MetricDelta::Verdict::kOk &&
+                         d.verdict != MetricDelta::Verdict::kAdded;
+    if (!show_all && !notable) {
+      ++hidden;
+      continue;
+    }
+    double pct = 0.0;
+    if (d.old_value != 0.0)
+      pct = 100.0 * (d.new_value - d.old_value) / d.old_value;
+    std::printf("%-28s %-34s %-5s %12.6g %12.6g %+8.1f  %s\n", d.run.c_str(),
+                d.key.c_str(), class_name(d.cls), d.old_value, d.new_value,
+                pct, verdict_name(d.verdict));
+  }
+  if (hidden > 0)
+    std::printf("(%d within-tolerance/added deltas hidden; --all shows them)\n",
+                hidden);
+  std::printf(
+      "summary: %zu metrics, %d regressed, %d missing, %d improved, "
+      "%d added\n\n",
+      res.deltas.size(), res.regressions, res.missing, res.improvements,
+      res.added);
+}
+
+/// 0 = ok, 1 = regression/missing, 2 = error.
+int diff_files(const fs::path& old_path, const fs::path& new_path,
+               const DiffOptions& opts, bool show_all) {
+  std::string old_json, new_json;
+  if (!read_file(old_path, old_json)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n",
+                 old_path.string().c_str());
+    return 2;
+  }
+  if (!read_file(new_path, new_json)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n",
+                 new_path.string().c_str());
+    return 2;
+  }
+  const DiffResult res = hpamg::diff_bench_reports(old_json, new_json, opts);
+  if (!res.error.empty()) {
+    std::fprintf(stderr, "benchdiff: %s vs %s: %s\n",
+                 old_path.string().c_str(), new_path.string().c_str(),
+                 res.error.c_str());
+    return 2;
+  }
+  print_result(old_path.filename().string(), res, show_all);
+  return res.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  if (cli.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: benchdiff [--time-tol F] [--work-tol F] "
+                 "[--time-floor F] [--all] <old> <new>\n"
+                 "       (<old>/<new>: BENCH_*.json files, or directories "
+                 "matched by filename)\n");
+    return 2;
+  }
+  DiffOptions opts;
+  opts.time_rel_tol = cli.get_double("time-tol", opts.time_rel_tol);
+  opts.work_rel_tol = cli.get_double("work-tol", opts.work_rel_tol);
+  opts.time_floor_seconds =
+      cli.get_double("time-floor", opts.time_floor_seconds);
+  const bool show_all = cli.has("all");
+
+  const fs::path old_arg = cli.positional()[0];
+  const fs::path new_arg = cli.positional()[1];
+  std::error_code ec;
+  const bool old_dir = fs::is_directory(old_arg, ec);
+  const bool new_dir = fs::is_directory(new_arg, ec);
+  if (old_dir != new_dir) {
+    std::fprintf(stderr,
+                 "benchdiff: both arguments must be files or both "
+                 "directories\n");
+    return 2;
+  }
+
+  if (!old_dir) return diff_files(old_arg, new_arg, opts, show_all);
+
+  // Directory mode: every BENCH_*.json in the baseline directory must have
+  // a same-named counterpart in the new directory (a vanished report is a
+  // regression in coverage). Extra new-side reports are informational.
+  std::vector<fs::path> baselines;
+  for (const fs::directory_entry& e : fs::directory_iterator(old_arg)) {
+    const std::string name = e.path().filename().string();
+    if (e.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        e.path().extension() == ".json")
+      baselines.push_back(e.path());
+  }
+  std::sort(baselines.begin(), baselines.end());
+  if (baselines.empty()) {
+    std::fprintf(stderr, "benchdiff: no BENCH_*.json files in %s\n",
+                 old_arg.string().c_str());
+    return 2;
+  }
+  int worst = 0;
+  for (const fs::path& old_path : baselines) {
+    const fs::path new_path = new_arg / old_path.filename();
+    if (!fs::exists(new_path)) {
+      std::fprintf(stderr, "benchdiff: %s has no counterpart in %s\n",
+                   old_path.filename().string().c_str(),
+                   new_arg.string().c_str());
+      worst = std::max(worst, 1);
+      continue;
+    }
+    worst = std::max(worst, diff_files(old_path, new_path, opts, show_all));
+  }
+  return worst;
+}

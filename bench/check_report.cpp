@@ -1,12 +1,14 @@
 // Schema checker for the BENCH_*.json files the benches emit with --json.
 //
-// Usage: check_report [--require-solve] file.json [file.json ...]
+// Usage: check_report [--require-solve] [--require-metrics] file.json ...
 //
 // Validates each file against the envelope + SolveReport schema in
 // support/report.hpp (see validate_bench_report_json). With
 // --require-solve, at least one run per file must carry a full solver
-// report whose convergence block shows >= 1 iteration — the mode CI uses
-// for the solver benches. Exits non-zero on the first invalid file.
+// report whose convergence block shows >= 1 iteration; with
+// --require-metrics, each file must carry the envelope "metrics" block
+// (registry snapshot + environment) — the modes CI uses for the solver
+// benches. Exits non-zero on the first invalid file.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -16,17 +18,21 @@
 
 int main(int argc, char** argv) {
   bool require_solve = false;
+  bool require_metrics = false;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-solve") == 0) {
       require_solve = true;
+    } else if (std::strcmp(argv[i], "--require-metrics") == 0) {
+      require_metrics = true;
     } else {
       files.push_back(argv[i]);
     }
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: check_report [--require-solve] file.json ...\n");
+                 "usage: check_report [--require-solve] [--require-metrics] "
+                 "file.json ...\n");
     return 2;
   }
 
@@ -46,8 +52,8 @@ int main(int argc, char** argv) {
         content.append(buf, got);
       std::fclose(f);
     }
-    const std::string err =
-        hpamg::validate_bench_report_json(content, require_solve);
+    const std::string err = hpamg::validate_bench_report_json(
+        content, require_solve, require_metrics);
     if (err.empty()) {
       std::printf("%s: ok\n", path);
     } else {

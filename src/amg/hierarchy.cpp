@@ -6,6 +6,7 @@
 #include "matrix/transpose.hpp"
 #include "spgemm/rap.hpp"
 #include "spgemm/spgemm.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
@@ -133,6 +134,28 @@ std::uint64_t Hierarchy::footprint_bytes() const {
     if (l.gs_opt) bytes += l.gs_opt->footprint_bytes();
   }
   return bytes;
+}
+
+std::vector<LevelMemory> Hierarchy::memory_by_level() const {
+  std::vector<LevelMemory> mem(levels.size());
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const Level& L = levels[l];
+    LevelMemory& m = mem[l];
+    m.operator_bytes = L.A.footprint_bytes();
+    m.interp_bytes = L.P.footprint_bytes() + L.Pf.footprint_bytes() +
+                     L.PfT.footprint_bytes();
+    if (L.gs_base) m.smoother_bytes += L.gs_base->footprint_bytes();
+    if (L.gs_opt) m.smoother_bytes += L.gs_opt->footprint_bytes();
+    if (L.lexgs) m.smoother_bytes += L.lexgs->footprint_bytes();
+    if (L.mcgs) m.smoother_bytes += L.mcgs->footprint_bytes();
+    if (l + 1 == levels.size()) m.smoother_bytes += coarse_lu.footprint_bytes();
+    m.workspace_bytes =
+        (L.b.size() + L.x.size() + L.temp.size() + L.r.size() +
+         L.rc_pre.size()) * sizeof(double) +
+        L.cf.size() * sizeof(signed char) +
+        (L.perm.perm.size() + L.perm.inv.size()) * sizeof(Int);
+  }
+  return mem;
 }
 
 Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
@@ -265,6 +288,28 @@ Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
     size_workspace(L);
     h.stats.push_back({L.n, L.A.nnz(), 0, 0});
     h.levels.push_back(std::move(L));
+  }
+
+  // Per-level hierarchy gauges for the metrics registry (stencil growth =
+  // nnz/row of the level relative to the finest level — the Table 2
+  // "operator densification" effect). Gated: the name formatting below
+  // allocates, so a disabled run must not reach it.
+  if (metrics::enabled()) {
+    metrics::gauge("amg.num_levels").set_always(double(h.num_levels()));
+    metrics::gauge("amg.operator_complexity")
+        .set_always(h.operator_complexity());
+    metrics::gauge("amg.grid_complexity").set_always(h.grid_complexity());
+    const double row0 = h.stats.empty() || h.stats[0].rows == 0
+                            ? 0.0
+                            : double(h.stats[0].nnz) / double(h.stats[0].rows);
+    for (std::size_t l = 0; l < h.stats.size(); ++l) {
+      const LevelStats& s = h.stats[l];
+      const std::string p = "amg.level" + std::to_string(l) + ".";
+      metrics::gauge(p + "rows").set_always(double(s.rows));
+      const double npr = s.rows > 0 ? double(s.nnz) / double(s.rows) : 0.0;
+      metrics::gauge(p + "stencil_growth")
+          .set_always(row0 > 0.0 ? npr / row0 : 0.0);
+    }
   }
   return h;
 }

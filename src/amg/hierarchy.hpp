@@ -98,6 +98,17 @@ struct LevelStats {
   Long interp_nnz = 0;
 };
 
+/// Analytic memory footprint of one level, by category (the report's
+/// Table 2 columns): operator = A, interp = P (baseline) or Pf + kept
+/// P^T (optimized), smoother = GS plans (plus the coarse LU on the last
+/// level), workspace = the per-cycle solve vectors.
+struct LevelMemory {
+  std::uint64_t operator_bytes = 0;
+  std::uint64_t interp_bytes = 0;
+  std::uint64_t smoother_bytes = 0;
+  std::uint64_t workspace_bytes = 0;
+};
+
 struct Hierarchy {
   AMGOptions opts;
   std::vector<Level> levels;
@@ -113,6 +124,9 @@ struct Hierarchy {
   double grid_complexity() const;
   /// Total bytes held by operators/interp/smoother plans.
   std::uint64_t footprint_bytes() const;
+  /// Per-level footprint split by category (includes the coarse LU and the
+  /// solve workspace, which footprint_bytes() predates and excludes).
+  std::vector<LevelMemory> memory_by_level() const;
 };
 
 /// Runs the full setup phase on A.

@@ -47,6 +47,9 @@ class HybridGSBaseline {
              signed char want = 0, WorkCounters* wc = nullptr) const;
 
   const std::vector<Int>& thread_bounds() const { return bounds_; }
+  std::uint64_t footprint_bytes() const {
+    return bounds_.size() * sizeof(Int);
+  }
 
  private:
   std::vector<Int> bounds_;  ///< row ownership per thread (nnz-balanced)
@@ -72,7 +75,11 @@ class HybridGSOptimized {
              WorkCounters* wc = nullptr) const;
 
   const std::vector<Int>& thread_bounds() const { return bounds_; }
-  std::uint64_t footprint_bytes() const { return A_.footprint_bytes(); }
+  std::uint64_t footprint_bytes() const {
+    return A_.footprint_bytes() +
+           (ptr1_.size() + ptr2_.size() + bounds_.size()) * sizeof(Int) +
+           inv_diag_.size() * sizeof(double);
+  }
 
  private:
   CSRMatrix A_;              ///< off-diagonal entries, partitioned per row
@@ -104,6 +111,10 @@ class LexGS {
                             WorkCounters* wc = nullptr) const;
 
   Int num_levels() const { return Int(level_ptr_.size()) - 1; }
+  std::uint64_t footprint_bytes() const {
+    return (level_ptr_.size() + level_rows_.size()) * sizeof(Int) +
+           inv_diag_.size() * sizeof(double);
+  }
 
  private:
   std::vector<Int> level_ptr_;   ///< level boundaries into level_rows_
@@ -130,6 +141,10 @@ class MultiColorGS {
              bool forward = true, WorkCounters* wc = nullptr) const;
 
   Int num_colors() const { return Int(color_ptr_.size()) - 1; }
+  std::uint64_t footprint_bytes() const {
+    return (color_ptr_.size() + color_rows_.size()) * sizeof(Int) +
+           inv_diag_.size() * sizeof(double);
+  }
 
  private:
   std::vector<Int> color_ptr_;   ///< color boundaries into color_rows_

@@ -6,6 +6,7 @@
 #include "matrix/transpose.hpp"
 #include "spgemm/rap.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
@@ -116,12 +117,32 @@ SolveReport AMGSolver::report(const SolveResult* sr) const {
   rep.operator_complexity = h_.operator_complexity();
   rep.grid_complexity = h_.grid_complexity();
   rep.levels.reserve(h_.stats.size());
+  const std::vector<LevelMemory> mem = h_.memory_by_level();
   for (std::size_t l = 0; l < h_.stats.size(); ++l) {
     const LevelStats& s = h_.stats[l];
-    rep.levels.push_back({Int(l), Long(s.rows), s.nnz,
-                          s.rows > 0 ? double(s.nnz) / double(s.rows) : 0.0,
-                          Long(s.coarse), s.interp_nnz});
+    LevelReportEntry e;
+    e.level = Int(l);
+    e.rows = Long(s.rows);
+    e.nnz = s.nnz;
+    e.nnz_per_row = s.rows > 0 ? double(s.nnz) / double(s.rows) : 0.0;
+    e.coarse = Long(s.coarse);
+    e.interp_nnz = s.interp_nnz;
+    if (l < mem.size()) {
+      e.operator_bytes = mem[l].operator_bytes;
+      e.interp_bytes = mem[l].interp_bytes;
+      e.smoother_bytes = mem[l].smoother_bytes;
+      e.workspace_bytes = mem[l].workspace_bytes;
+    }
+    rep.levels.push_back(e);
   }
+  rep.has_memory = true;
+  for (const LevelMemory& m : mem) {
+    rep.memory.setup_bytes +=
+        m.operator_bytes + m.interp_bytes + m.smoother_bytes;
+    rep.memory.solve_bytes += m.workspace_bytes;
+  }
+  rep.memory.solve_bytes += rep.memory.setup_bytes;
+  rep.memory.peak_rss_bytes = metrics::peak_rss_bytes();
   rep.setup_phases = h_.setup_times;
   rep.setup_work = h_.setup_work;
   rep.setup_seconds = h_.setup_times.total();

@@ -6,6 +6,7 @@
 #include "dist/dist_krylov.hpp"
 #include "dist/dist_transpose.hpp"
 #include "matrix/vector_ops.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
@@ -40,10 +41,39 @@ SolveReport DistHierarchy::report(const DistSolveResult* sr) const {
   rep.levels.reserve(stats.size());
   for (std::size_t l = 0; l < stats.size(); ++l) {
     const LevelStats& s = stats[l];
-    rep.levels.push_back({Int(l), Long(s.rows), s.nnz,
-                          s.rows > 0 ? double(s.nnz) / double(s.rows) : 0.0,
-                          Long(s.coarse), s.interp_nnz});
+    LevelReportEntry e;
+    e.level = Int(l);
+    e.rows = Long(s.rows);
+    e.nnz = s.nnz;
+    e.nnz_per_row = s.rows > 0 ? double(s.nnz) / double(s.rows) : 0.0;
+    e.coarse = Long(s.coarse);
+    e.interp_nnz = s.interp_nnz;
+    // This rank's local footprints (global stats above, local bytes here —
+    // the per-rank memory is what Table 2's per-node numbers mean).
+    if (l < levels.size()) {
+      const DistLevel& L = levels[l];
+      e.operator_bytes = L.A.footprint_bytes();
+      e.interp_bytes = L.P.footprint_bytes() +
+                       (L.has_R ? L.R.footprint_bytes() : 0);
+      e.smoother_bytes =
+          L.inv_diag.size() * sizeof(double) +
+          (L.c_rows.size() + L.f_rows.size()) * sizeof(Int) +
+          L.cf.size() * sizeof(signed char);
+      if (l + 1 == levels.size()) e.smoother_bytes += coarse_lu.footprint_bytes();
+      e.workspace_bytes =
+          (L.b.size() + L.x.size() + L.r.size() + L.x_ext.size() +
+           L.temp.size()) * sizeof(double);
+    }
+    rep.levels.push_back(e);
   }
+  rep.has_memory = true;
+  for (const LevelReportEntry& e : rep.levels) {
+    rep.memory.setup_bytes +=
+        e.operator_bytes + e.interp_bytes + e.smoother_bytes;
+    rep.memory.solve_bytes += e.workspace_bytes;
+  }
+  rep.memory.solve_bytes += rep.memory.setup_bytes;
+  rep.memory.peak_rss_bytes = metrics::peak_rss_bytes();
   rep.setup_phases = setup_times;
   rep.setup_work = setup_work;
   rep.setup_seconds = setup_times.total();
@@ -433,6 +463,20 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
   }
   h.setup_comm = comm.stats().delta_since(comm_before);
   sample_work();
+  // Halo-width gauges (rank 0's view): external columns and peer count of
+  // each level's SpMV exchange — the per-level communication surface the
+  // paper's strong-scaling discussion (§5.4) turns on. Gated: the name
+  // formatting allocates.
+  if (metrics::enabled() && comm.rank() == 0) {
+    for (std::size_t l = 0; l < h.levels.size(); ++l) {
+      if (!h.levels[l].halo_A) continue;
+      const std::string p = "amg.level" + std::to_string(l) + ".";
+      metrics::gauge(p + "halo_cols")
+          .set_always(double(h.levels[l].halo_A->ext_size()));
+      metrics::gauge(p + "halo_peers")
+          .set_always(double(h.levels[l].halo_A->num_peers()));
+    }
+  }
   return h;
 }
 

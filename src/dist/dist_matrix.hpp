@@ -37,6 +37,14 @@ class DistMatrix {
 
   Long nnz_local() const { return diag.nnz() + offd.nnz(); }
 
+  /// Bytes held by this rank's piece (diag + offd CSR storage, the colmap,
+  /// and the replicated partition arrays).
+  std::uint64_t footprint_bytes() const {
+    return diag.footprint_bytes() + offd.footprint_bytes() +
+           colmap.size() * sizeof(Long) +
+           (row_starts.size() + col_starts.size()) * sizeof(Long);
+  }
+
   /// Structural invariants (shapes, colmap sorted/unique/off-rank).
   void validate() const;
 };

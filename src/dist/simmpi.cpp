@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace hpamg::simmpi {
@@ -153,8 +154,14 @@ void Comm::send(int to, int tag, const void* data, std::size_t bytes,
     else
       ++stats_.request_setups;
     if (std::size_t(to) < stats_.per_peer.size()) {
-      ++stats_.per_peer[std::size_t(to)].messages;
-      stats_.per_peer[std::size_t(to)].bytes += bytes;
+      PeerTraffic& pt = stats_.per_peer[std::size_t(to)];
+      ++pt.messages;
+      pt.bytes += bytes;
+      ++pt.size_hist[msg_size_bucket(bytes)];
+    }
+    if (metrics::enabled()) {
+      static metrics::Histogram& h = metrics::histogram("simmpi.msg_bytes");
+      h.observe_always(bytes);
     }
   }
 }

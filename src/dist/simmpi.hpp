@@ -15,6 +15,8 @@
 // persistent requests (§4.4), allreduce/allgather/barrier.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -28,11 +30,32 @@
 
 namespace hpamg::simmpi {
 
+/// Power-of-two message-size histogram resolution: bucket 0 holds 0-byte
+/// messages (never recorded — zero-byte sends are protocol acks), bucket
+/// k >= 1 holds [2^(k-1), 2^k) bytes; sizes at or beyond 64 MB land in the
+/// last bucket. Same convention as metrics::Histogram.
+inline constexpr int kMsgSizeBuckets = 28;
+
+constexpr int msg_size_bucket(std::uint64_t bytes) {
+  const int b = bytes == 0 ? 0 : std::bit_width(bytes);
+  return b < kMsgSizeBuckets ? b : kMsgSizeBuckets - 1;
+}
+
+/// Smallest message size that maps to bucket `b`.
+constexpr std::uint64_t msg_size_bucket_floor(int b) {
+  return b == 0 ? 0 : std::uint64_t(1) << (b - 1);
+}
+
 /// Traffic sent from one rank to one peer (indexed by destination rank in
 /// CommStats::per_peer).
 struct PeerTraffic {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  /// Message count per size bucket (msg_size_bucket). The network model
+  /// classifies each message eager vs. rendezvous from this instead of the
+  /// aggregate mean, so mixed small/large exchanges are costed correctly
+  /// (perfmodel/network.hpp); all-zero for hand-built CommStats.
+  std::array<std::uint64_t, kMsgSizeBuckets> size_hist{};
 };
 
 /// Per-rank communication counters — inputs to the network model.
@@ -56,6 +79,8 @@ struct CommStats {
     for (std::size_t p = 0; p < o.per_peer.size(); ++p) {
       per_peer[p].messages += o.per_peer[p].messages;
       per_peer[p].bytes += o.per_peer[p].bytes;
+      for (int b = 0; b < kMsgSizeBuckets; ++b)
+        per_peer[p].size_hist[b] += o.per_peer[p].size_hist[b];
     }
     return *this;
   }
@@ -75,6 +100,9 @@ struct CommStats {
           p < base.per_peer.size() ? base.per_peer[p] : PeerTraffic{};
       d.per_peer[p].messages = per_peer[p].messages - before.messages;
       d.per_peer[p].bytes = per_peer[p].bytes - before.bytes;
+      for (int b = 0; b < kMsgSizeBuckets; ++b)
+        d.per_peer[p].size_hist[b] =
+            per_peer[p].size_hist[b] - before.size_hist[b];
     }
     return d;
   }

@@ -51,6 +51,10 @@ class LUSolver {
 
   Int size() const { return n_; }
   bool singular() const { return singular_; }
+  std::uint64_t footprint_bytes() const {
+    return std::uint64_t(n_) * std::uint64_t(n_) * sizeof(double) +
+           piv_.size() * sizeof(Int);
+  }
 
  private:
   Int n_ = 0;

@@ -6,10 +6,34 @@ namespace hpamg {
 
 double NetworkModel::seconds(const simmpi::CommStats& cs) const {
   if (cs.messages_sent == 0) return 0.0;
-  const double mean = double(cs.bytes_sent) / double(cs.messages_sent);
-  const double np = double(cs.persistent_starts);
-  const double ns = double(cs.request_setups);
-  return np * message_seconds(mean, true) + ns * message_seconds(mean, false);
+  // Linear terms depend only on totals: per-message latency, request setup
+  // for the non-persistent share, and the bandwidth term.
+  double t = double(cs.messages_sent) * overhead_s +
+             double(cs.request_setups) * setup_cost_s +
+             double(cs.bytes_sent) / peak_bw_bytes_per_s;
+  // The rendezvous surcharge is per-message and nonlinear in size, so it
+  // needs the size distribution: count histogram-covered messages whose
+  // bucket lies at or beyond the eager limit.
+  std::uint64_t hist_msgs = 0;
+  std::uint64_t rendezvous = 0;
+  for (const simmpi::PeerTraffic& p : cs.per_peer) {
+    for (int b = 0; b < simmpi::kMsgSizeBuckets; ++b) {
+      const std::uint64_t n = p.size_hist[b];
+      if (n == 0) continue;
+      hist_msgs += n;
+      if (simmpi::msg_size_bucket_floor(b) >= eager_limit_bytes)
+        rendezvous += n;
+    }
+  }
+  // Messages the histograms do not cover (hand-built CommStats, or totals
+  // accumulated before per_peer was sized): classify them all by the mean
+  // size — the old approximation, now only a fallback.
+  if (hist_msgs < cs.messages_sent) {
+    const double mean = double(cs.bytes_sent) / double(cs.messages_sent);
+    if (mean >= double(eager_limit_bytes))
+      rendezvous += cs.messages_sent - hist_msgs;
+  }
+  return t + double(rendezvous) * rendezvous_extra_s;
 }
 
 double NetworkModel::allreduce_seconds(int nranks) const {

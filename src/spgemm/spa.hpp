@@ -12,12 +12,19 @@
 
 #include "support/common.hpp"
 #include "support/counters.hpp"
+#include "support/metrics.hpp"
 
 namespace hpamg {
 
 class SparseAccumulator {
  public:
-  explicit SparseAccumulator(Int ncols) : marker_(ncols, -1) {}
+  /// The marker array is the setup phase's dominant scratch allocation, so
+  /// it is charged to the workspace category of the metrics memory audit
+  /// (metrics::alloc_stats).
+  explicit SparseAccumulator(Int ncols)
+      : marker_(std::size_t(ncols), -1,
+                metrics::CountingAllocator<Int>(
+                    metrics::MemTag::kWorkspace)) {}
 
   /// Begins a new output row whose entries will be appended to colidx/values
   /// starting at position `row_start`.
@@ -48,7 +55,7 @@ class SparseAccumulator {
   Int next_position() const { return nnz_; }
 
  private:
-  std::vector<Int> marker_;
+  metrics::CountedVector<Int> marker_;
   Int row_start_ = 0;
   Int nnz_ = 0;
   Int base_ = 0;

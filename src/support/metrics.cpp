@@ -1,0 +1,174 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace hpamg::metrics {
+
+namespace {
+
+/// Registry storage: names are looked up under a mutex; instruments are
+/// heap-allocated so references handed out stay valid forever.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<std::unique_ptr<Gauge>> gauges;
+  std::vector<std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+template <typename Inst>
+Inst& find_or_create(std::vector<std::unique_ptr<Inst>>& pool,
+                     std::string_view name) {
+  for (auto& i : pool)
+    if (i->name() == name) return *i;
+  pool.push_back(std::make_unique<Inst>(std::string(name)));
+  return *pool.back();
+}
+
+}  // namespace
+
+void enable() { detail::g_enabled.store(true, std::memory_order_relaxed); }
+void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& c : r.counters) c->reset();
+  for (auto& g : r.gauges) g->reset();
+  for (auto& h : r.histograms) h->reset();
+  reset_alloc_stats();
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return find_or_create(r.counters, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return find_or_create(r.gauges, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return find_or_create(r.histograms, name);
+}
+
+Snapshot snapshot() {
+  Snapshot s;
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& c : r.counters) s.counters.emplace_back(c->name(), c->value());
+    for (const auto& g : r.gauges) s.gauges.emplace_back(g->name(), g->value());
+    for (const auto& h : r.histograms) {
+      HistogramSnapshot hs;
+      hs.name = h->name();
+      hs.count = h->count();
+      hs.sum = h->sum();
+      int last = -1;
+      for (int b = 0; b < Histogram::kBuckets; ++b)
+        if (h->bucket(b) > 0) last = b;
+      for (int b = 0; b <= last; ++b) hs.buckets.push_back(h->bucket(b));
+      s.histograms.push_back(std::move(hs));
+    }
+  }
+  for (int t = 0; t < kNumMemTags; ++t) {
+    const AllocStats a = alloc_stats(MemTag(t));
+    if (a.total_bytes == 0 && a.allocs == 0) continue;
+    const std::string base = std::string("mem.") + mem_tag_name(MemTag(t));
+    s.counters.emplace_back(base + ".live_bytes", a.live_bytes);
+    s.counters.emplace_back(base + ".peak_bytes", a.peak_bytes);
+    s.counters.emplace_back(base + ".total_bytes", a.total_bytes);
+    s.counters.emplace_back(base + ".allocs", a.allocs);
+  }
+  std::sort(s.counters.begin(), s.counters.end());
+  std::sort(s.gauges.begin(), s.gauges.end());
+  std::sort(s.histograms.begin(), s.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return s;
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return std::uint64_t(ru.ru_maxrss);  // bytes on macOS
+#else
+  return std::uint64_t(ru.ru_maxrss) * 1024;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long pages_total = 0, pages_resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return std::uint64_t(pages_resident) * 4096;
+#else
+  return 0;
+#endif
+}
+
+const char* mem_tag_name(MemTag tag) {
+  switch (tag) {
+    case MemTag::kGeneral: return "general";
+    case MemTag::kOperator: return "operator";
+    case MemTag::kInterp: return "interp";
+    case MemTag::kSmoother: return "smoother";
+    case MemTag::kWorkspace: return "workspace";
+  }
+  return "unknown";
+}
+
+namespace detail {
+TagCounters& tag_counters(int tag) {
+  static TagCounters counters[kNumMemTags];
+  return counters[tag >= 0 && tag < kNumMemTags ? tag : 0];
+}
+}  // namespace detail
+
+AllocStats alloc_stats(MemTag tag) {
+  const detail::TagCounters& tc = detail::tag_counters(int(tag));
+  AllocStats a;
+  a.live_bytes = tc.live.load(std::memory_order_relaxed);
+  a.peak_bytes = tc.peak.load(std::memory_order_relaxed);
+  a.total_bytes = tc.total.load(std::memory_order_relaxed);
+  a.allocs = tc.allocs.load(std::memory_order_relaxed);
+  return a;
+}
+
+void reset_alloc_stats() {
+  for (int t = 0; t < kNumMemTags; ++t) {
+    detail::TagCounters& tc = detail::tag_counters(t);
+    tc.live.store(0, std::memory_order_relaxed);
+    tc.peak.store(0, std::memory_order_relaxed);
+    tc.total.store(0, std::memory_order_relaxed);
+    tc.allocs.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hpamg::metrics

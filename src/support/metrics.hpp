@@ -1,0 +1,281 @@
+// Process-wide metrics registry and memory accounting.
+//
+// Three instrument kinds — Counter (monotonic uint64), Gauge (double,
+// last-write-wins), Histogram (power-of-two buckets over uint64 samples) —
+// live in a named registry (metrics::counter("x").add(1)). The same
+// overhead discipline as the tracer (trace.hpp) applies: instruments are
+// always compiled in but off by default, a disabled site costs one relaxed
+// atomic load and allocates nothing, and enabling is a run-level switch
+// (benches flip it for `--json` runs so the emitted report carries a
+// `metrics` block — see bench/bench_util.hpp and support/report.hpp).
+//
+// The memory-accounting half reproduces the paper's Table 2 memory
+// columns: peak_rss_bytes() reads the OS high-water mark, and
+// CountingAllocator<T> is an opt-in std::vector allocator that charges
+// every allocation to the lexically enclosing MemTagScope category
+// (operator / interp / smoother / workspace), so hierarchy construction
+// can be audited against the analytic CSR footprints reported per level
+// (amg/hierarchy.hpp, SolveReport's memory block).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpamg::metrics {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// One relaxed load; every disabled instrument site reduces to this.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void enable();
+void disable();
+/// Zeroes every registered instrument and the per-tag allocation stats
+/// (registrations and names survive; pointers stay valid).
+void reset();
+
+// ------------------------------------------------------------------------
+// Instruments
+// ------------------------------------------------------------------------
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void add(std::uint64_t n = 1) {
+    if (enabled()) add_always(n);
+  }
+  /// Unconditional increment, for sites that already checked enabled().
+  void add_always(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void set(double v) {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void set_always(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two histogram: bucket 0 holds the value 0, bucket k >= 1 holds
+/// [2^(k-1), 2^k); values at or beyond 2^(kBuckets-1) land in the last
+/// bucket. The same bucketing convention is used for the simmpi per-peer
+/// message-size histograms (dist/simmpi.hpp).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  static constexpr int bucket_of(std::uint64_t v) {
+    const int b = v == 0 ? 0 : std::bit_width(v);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Smallest value that maps to bucket `b`.
+  static constexpr std::uint64_t bucket_floor(int b) {
+    return b == 0 ? 0 : std::uint64_t(1) << (b - 1);
+  }
+
+  void observe(std::uint64_t v) {
+    if (enabled()) observe_always(v);
+  }
+  void observe_always(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Find-or-create by name (thread-safe; references stay valid for the
+/// process lifetime). Instrument creation takes a lock and allocates —
+/// hot paths should look up once (e.g. a function-local static reference)
+/// behind an enabled() check.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+// ------------------------------------------------------------------------
+// Snapshot (consumed by the report layer)
+// ------------------------------------------------------------------------
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  /// Bucket counts, trailing zero buckets trimmed.
+  std::vector<std::uint64_t> buckets;
+};
+
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Copies every registered instrument (sorted by name). Per-tag allocation
+/// stats with nonzero totals are appended as counters named
+/// "mem.<tag>.{live,peak,total}_bytes" / "mem.<tag>.allocs" so the JSON
+/// metrics block carries the allocator audit without a separate schema.
+Snapshot snapshot();
+
+// ------------------------------------------------------------------------
+// Memory accounting
+// ------------------------------------------------------------------------
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss;
+/// 0 where unsupported). Monotonic over the process lifetime.
+std::uint64_t peak_rss_bytes();
+
+/// Best-effort current resident set (/proc/self/statm; 0 where absent).
+std::uint64_t current_rss_bytes();
+
+/// Allocation categories for CountingAllocator, mirroring the per-level
+/// memory columns of the report (operator / interp / smoother / workspace).
+enum class MemTag : int {
+  kGeneral = 0,
+  kOperator,
+  kInterp,
+  kSmoother,
+  kWorkspace,
+};
+inline constexpr int kNumMemTags = 5;
+const char* mem_tag_name(MemTag tag);
+
+struct AllocStats {
+  std::uint64_t live_bytes = 0;   ///< currently allocated
+  std::uint64_t peak_bytes = 0;   ///< high-water mark of live_bytes
+  std::uint64_t total_bytes = 0;  ///< cumulative allocated
+  std::uint64_t allocs = 0;       ///< allocation count
+};
+AllocStats alloc_stats(MemTag tag);
+void reset_alloc_stats();
+
+namespace detail {
+struct TagCounters {
+  std::atomic<std::uint64_t> live{0};
+  std::atomic<std::uint64_t> peak{0};
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<std::uint64_t> allocs{0};
+};
+TagCounters& tag_counters(int tag);
+inline thread_local MemTag t_mem_tag = MemTag::kGeneral;
+
+inline void record_alloc(MemTag tag, std::size_t bytes) {
+  TagCounters& tc = tag_counters(int(tag));
+  tc.allocs.fetch_add(1, std::memory_order_relaxed);
+  tc.total.fetch_add(bytes, std::memory_order_relaxed);
+  const std::uint64_t live =
+      tc.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = tc.peak.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !tc.peak.compare_exchange_weak(peak, live,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+inline void record_free(MemTag tag, std::size_t bytes) {
+  tag_counters(int(tag)).live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+inline MemTag current_mem_tag() { return detail::t_mem_tag; }
+
+/// Sets the calling thread's allocation category for the scope's extent;
+/// default-constructed CountingAllocators pick it up.
+class MemTagScope {
+ public:
+  explicit MemTagScope(MemTag tag) : saved_(detail::t_mem_tag) {
+    detail::t_mem_tag = tag;
+  }
+  ~MemTagScope() { detail::t_mem_tag = saved_; }
+  MemTagScope(const MemTagScope&) = delete;
+  MemTagScope& operator=(const MemTagScope&) = delete;
+
+ private:
+  MemTag saved_;
+};
+
+/// Opt-in counting allocator: containers declared with it charge their
+/// allocations to a MemTag unconditionally (the cost is two relaxed
+/// atomic updates per container allocation, not per element — the
+/// "disabled" overhead criterion applies to registry instrument sites,
+/// which this is not). Accounting must be symmetric across enable/disable
+/// toggles, so it does not consult enabled().
+template <typename T>
+class CountingAllocator {
+ public:
+  using value_type = T;
+
+  CountingAllocator() noexcept : tag(current_mem_tag()) {}
+  explicit CountingAllocator(MemTag t) noexcept : tag(t) {}
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>& o) noexcept : tag(o.tag) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    T* p = static_cast<T*>(::operator new(bytes));
+    detail::record_alloc(tag, bytes);
+    return p;
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    detail::record_free(tag, n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const CountingAllocator<U>& o) const noexcept {
+    return tag == o.tag;
+  }
+
+  MemTag tag;
+};
+
+template <typename T>
+using CountedVector = std::vector<T, CountingAllocator<T>>;
+
+}  // namespace hpamg::metrics

@@ -434,6 +434,17 @@ void write_comm(JsonWriter& w, const simmpi::CommStats& s) {
     w.kv("peer", std::uint64_t(p));
     w.kv("messages", s.per_peer[p].messages);
     w.kv("bytes", s.per_peer[p].bytes);
+    // Message-size histogram (trailing zero buckets trimmed; bucket k >= 1
+    // covers [2^(k-1), 2^k) bytes). Omitted when never recorded, so
+    // hand-built CommStats keep the original three-field entry.
+    int last = -1;
+    for (int b = 0; b < simmpi::kMsgSizeBuckets; ++b)
+      if (s.per_peer[p].size_hist[b] > 0) last = b;
+    if (last >= 0) {
+      w.key("size_hist").begin_array();
+      for (int b = 0; b <= last; ++b) w.value(s.per_peer[p].size_hist[b]);
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();
@@ -460,6 +471,10 @@ void SolveReport::write_json(JsonWriter& w) const {
     w.kv("nnz_per_row", l.nnz_per_row);
     w.kv("coarse", (long long)l.coarse);
     w.kv("interp_nnz", (long long)l.interp_nnz);
+    w.kv("operator_bytes", l.operator_bytes);
+    w.kv("interp_bytes", l.interp_bytes);
+    w.kv("smoother_bytes", l.smoother_bytes);
+    w.kv("workspace_bytes", l.workspace_bytes);
     w.end_object();
   }
   w.end_array();
@@ -485,6 +500,14 @@ void SolveReport::write_json(JsonWriter& w) const {
     write_comm(w, setup_comm);
     w.key("solve");
     write_comm(w, solve_comm);
+    w.end_object();
+  }
+
+  if (has_memory) {
+    w.key("memory").begin_object();
+    w.kv("setup_bytes", memory.setup_bytes);
+    w.kv("solve_bytes", memory.solve_bytes);
+    w.kv("peak_rss_bytes", memory.peak_rss_bytes);
     w.end_object();
   }
 
@@ -557,6 +580,39 @@ std::string BenchReport::to_json() const {
       w.kv(p.key, p.number);
   }
   w.end_object();
+  if (metrics_) {
+    const MetricsEnvelope& m = *metrics_;
+    w.key("metrics").begin_object();
+    w.kv("threads", long(m.threads));
+    w.kv("build", m.build);
+    if (!m.compiler.empty()) w.kv("compiler", m.compiler);
+    w.kv("peak_rss_bytes", m.peak_rss_bytes);
+    w.key("net").begin_object();
+    w.kv("overhead_s", m.net_overhead_s);
+    w.kv("peak_bw_bytes_per_s", m.net_peak_bw_bytes_per_s);
+    w.kv("setup_cost_s", m.net_setup_cost_s);
+    w.kv("rendezvous_extra_s", m.net_rendezvous_extra_s);
+    w.kv("eager_limit_bytes", m.net_eager_limit_bytes);
+    w.end_object();
+    w.key("counters").begin_object();
+    for (const auto& [k, v] : m.registry.counters) w.kv(k, v);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [k, v] : m.registry.gauges) w.kv(k, v);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const metrics::HistogramSnapshot& h : m.registry.histograms) {
+      w.key(h.name).begin_object();
+      w.kv("count", h.count);
+      w.kv("sum", h.sum);
+      w.key("buckets").begin_array();
+      for (std::uint64_t b : h.buckets) w.value(b);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
   w.key("runs").begin_array();
   for (const auto& run : runs_) {
     w.begin_object();
@@ -652,7 +708,9 @@ bool check_solve_report(const JsonValue& rep, const std::string& where,
   for (std::size_t i = 0; i < levels->items.size(); ++i) {
     const JsonValue& l = levels->items[i];
     for (const char* field :
-         {"level", "rows", "nnz", "nnz_per_row", "coarse", "interp_nnz"}) {
+         {"level", "rows", "nnz", "nnz_per_row", "coarse", "interp_nnz",
+          "operator_bytes", "interp_bytes", "smoother_bytes",
+          "workspace_bytes"}) {
       const JsonValue* f = l.find(field);
       if (!f || !f->is_number())
         return schema_fail(err, where + ".hierarchy.levels[" +
@@ -702,7 +760,28 @@ bool check_solve_report(const JsonValue& rep, const std::string& where,
             return schema_fail(err, where + ".comm." + side +
                                         ".per_peer[]." + field + " missing");
         }
+        if (const JsonValue* hist = entry.find("size_hist")) {
+          if (!hist->is_array())
+            return schema_fail(err, where + ".comm." + side +
+                                        ".per_peer[].size_hist must be an "
+                                        "array");
+          for (const JsonValue& b : hist->items)
+            if (!b.is_number())
+              return schema_fail(err, where + ".comm." + side +
+                                          ".per_peer[].size_hist entries "
+                                          "must be numbers");
+        }
       }
+    }
+  }
+
+  if (const JsonValue* mem = rep.find("memory")) {
+    if (!mem->is_object())
+      return schema_fail(err, where + ".memory must be an object");
+    for (const char* field : {"setup_bytes", "solve_bytes", "peak_rss_bytes"}) {
+      const JsonValue* f = mem->find(field);
+      if (!f || !f->is_number())
+        return schema_fail(err, where + ".memory." + field + " missing");
     }
   }
 
@@ -732,10 +811,60 @@ bool check_solve_report(const JsonValue& rep, const std::string& where,
   return true;
 }
 
+bool check_metrics_block(const JsonValue& m, std::string& err) {
+  if (!m.is_object()) return schema_fail(err, "metrics must be an object");
+  const JsonValue* threads = m.find("threads");
+  if (!threads || !threads->is_number())
+    return schema_fail(err, "metrics.threads missing");
+  const JsonValue* build = m.find("build");
+  if (!build || !build->is_string())
+    return schema_fail(err, "metrics.build missing");
+  const JsonValue* rss = m.find("peak_rss_bytes");
+  if (!rss || !rss->is_number())
+    return schema_fail(err, "metrics.peak_rss_bytes missing");
+  const JsonValue* net = m.find("net");
+  if (!net || !net->is_object())
+    return schema_fail(err, "metrics.net missing");
+  for (const char* field : {"overhead_s", "peak_bw_bytes_per_s",
+                            "setup_cost_s", "rendezvous_extra_s",
+                            "eager_limit_bytes"}) {
+    const JsonValue* f = net->find(field);
+    if (!f || !f->is_number())
+      return schema_fail(err, std::string("metrics.net.") + field + " missing");
+  }
+  if (!check_object_of_numbers(m.find("counters"), "metrics.counters", err) ||
+      !check_object_of_numbers(m.find("gauges"), "metrics.gauges", err))
+    return false;
+  const JsonValue* hists = m.find("histograms");
+  if (!hists || !hists->is_object())
+    return schema_fail(err, "metrics.histograms missing");
+  for (const auto& [name, h] : hists->members) {
+    if (!h.is_object())
+      return schema_fail(err, "metrics.histograms." + name +
+                                  " must be an object");
+    for (const char* field : {"count", "sum"}) {
+      const JsonValue* f = h.find(field);
+      if (!f || !f->is_number())
+        return schema_fail(err, "metrics.histograms." + name + "." + field +
+                                    " missing");
+    }
+    const JsonValue* buckets = h.find("buckets");
+    if (!buckets || !buckets->is_array())
+      return schema_fail(err, "metrics.histograms." + name +
+                                  ".buckets missing");
+    for (const JsonValue& b : buckets->items)
+      if (!b.is_number())
+        return schema_fail(err, "metrics.histograms." + name +
+                                    ".buckets entries must be numbers");
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string validate_bench_report_json(std::string_view json_text,
-                                       bool require_solve) {
+                                       bool require_solve,
+                                       bool require_metrics) {
   JsonValue root;
   try {
     root = json_parse(json_text);
@@ -756,6 +885,10 @@ std::string validate_bench_report_json(std::string_view json_text,
 
   const JsonValue* params = root.find("params");
   if (!params || !params->is_object()) return "params object missing";
+
+  const JsonValue* metrics_block = root.find("metrics");
+  if (require_metrics && !metrics_block) return "metrics block missing";
+  if (metrics_block && !check_metrics_block(*metrics_block, err)) return err;
 
   const JsonValue* runs = root.find("runs");
   if (!runs || !runs->is_array()) return "runs array missing";

@@ -22,6 +22,7 @@
 #include "dist/simmpi.hpp"
 #include "support/common.hpp"
 #include "support/counters.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
 
 namespace hpamg {
@@ -122,6 +123,23 @@ struct LevelReportEntry {
   double nnz_per_row = 0.0;
   Long coarse = 0;       ///< coarse points selected on this level
   Long interp_nnz = 0;   ///< nnz of this level's interpolation operator
+  // Table 2 memory columns (analytic footprints; see amg/hierarchy.hpp).
+  std::uint64_t operator_bytes = 0;   ///< level operator A_l
+  std::uint64_t interp_bytes = 0;     ///< P (and kept R/P^T) storage
+  std::uint64_t smoother_bytes = 0;   ///< smoother plans; coarse LU on the
+                                      ///< last level
+  std::uint64_t workspace_bytes = 0;  ///< per-cycle solve vectors
+};
+
+/// Setup/solve memory totals for the report's "memory" block.
+struct MemoryReport {
+  /// Bytes held after setup: Σ levels (operator + interp + smoother).
+  std::uint64_t setup_bytes = 0;
+  /// Bytes touched by the solve phase: setup_bytes + solve workspace.
+  std::uint64_t solve_bytes = 0;
+  /// Process peak RSS at report time (metrics::peak_rss_bytes; includes
+  /// everything the process ever allocated, so >= the analytic totals).
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 struct ConvergenceReport {
@@ -155,6 +173,9 @@ struct SolveReport {
   simmpi::CommStats setup_comm;
   simmpi::CommStats solve_comm;
 
+  bool has_memory = false;  ///< solver benches set this (Table 2 columns)
+  MemoryReport memory;
+
   ConvergenceReport convergence;
 
   double setup_seconds = 0.0;  ///< measured on this host
@@ -169,6 +190,23 @@ struct SolveReport {
 // ------------------------------------------------------------------------
 // Bench report envelope
 // ------------------------------------------------------------------------
+
+/// Environment + registry snapshot emitted as the envelope's "metrics"
+/// block when a bench ran with metrics enabled. The environment fields
+/// (threads, build, net model) come from one place — bench_util's RunEnv —
+/// so they always agree with the tracer's metadata.
+struct MetricsEnvelope {
+  int threads = 0;
+  std::string build;     ///< "release" | "debug"
+  std::string compiler;  ///< may be empty
+  std::uint64_t peak_rss_bytes = 0;
+  double net_overhead_s = 0.0;
+  double net_peak_bw_bytes_per_s = 0.0;
+  double net_setup_cost_s = 0.0;
+  double net_rendezvous_extra_s = 0.0;
+  std::uint64_t net_eager_limit_bytes = 0;
+  metrics::Snapshot registry;
+};
 
 /// Accumulates one bench binary's machine-readable output and writes the
 /// BENCH_<name>.json envelope:
@@ -212,6 +250,10 @@ class BenchReport {
   /// Appends a run; the reference stays valid across later add_run calls.
   Run& add_run(const std::string& name);
 
+  /// Attaches the envelope-level "metrics" block (environment + registry
+  /// snapshot + peak RSS). Last call wins.
+  void set_metrics(MetricsEnvelope m) { metrics_ = std::move(m); }
+
   std::string to_json() const;
   /// Writes to_json() to `path`; false (with errno intact) on I/O failure.
   bool write_file(const std::string& path) const;
@@ -228,14 +270,18 @@ class BenchReport {
   std::string bench_;
   std::vector<Param> params_;
   std::vector<std::unique_ptr<Run>> runs_;
+  std::optional<MetricsEnvelope> metrics_;
 };
 
 /// Validates a BENCH_*.json document against the envelope schema and, for
 /// every run carrying a "report", the SolveReport schema. With
 /// `require_solve`, at least one run must carry a report with >= 1
 /// iteration (the CI perf-trajectory contract for the solver benches).
-/// Returns "" when valid, else a description of the first violation.
+/// With `require_metrics`, the envelope must carry a "metrics" block (it
+/// is validated whenever present). Returns "" when valid, else a
+/// description of the first violation.
 std::string validate_bench_report_json(std::string_view json_text,
-                                       bool require_solve = false);
+                                       bool require_solve = false,
+                                       bool require_metrics = false);
 
 }  // namespace hpamg

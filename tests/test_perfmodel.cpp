@@ -81,6 +81,30 @@ TEST(Network, AggregateSeconds) {
   EXPECT_DOUBLE_EQ(net.seconds(empty), 0.0);
 }
 
+TEST(Network, HistogramClassifiesRendezvousWhereMeanCannot) {
+  // 10 eager messages plus one 100 KB rendezvous message: the mean size
+  // (~10 KB) is below the eager limit, so mean-based classification sees
+  // no rendezvous at all. The per-peer size histogram restores the
+  // per-message truth — exactly one rendezvous surcharge.
+  NetworkModel net = endeavor_network();
+  simmpi::CommStats with_hist;
+  with_hist.messages_sent = 11;
+  with_hist.bytes_sent = 10 * 1000 + 100000;
+  with_hist.request_setups = 11;
+  with_hist.per_peer.resize(1);
+  simmpi::PeerTraffic& pt = with_hist.per_peer[0];
+  pt.messages = 11;
+  pt.bytes = with_hist.bytes_sent;
+  pt.size_hist[simmpi::msg_size_bucket(1000)] += 10;
+  pt.size_hist[simmpi::msg_size_bucket(100000)] += 1;
+
+  simmpi::CommStats no_hist = with_hist;
+  no_hist.per_peer.clear();  // falls back to mean-size classification
+
+  EXPECT_NEAR(net.seconds(with_hist) - net.seconds(no_hist),
+              net.rendezvous_extra_s, 1e-12);
+}
+
 TEST(Network, AllreduceScalesLogarithmically) {
   NetworkModel net = endeavor_network();
   EXPECT_DOUBLE_EQ(net.allreduce_seconds(1), 0.0);

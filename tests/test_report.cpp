@@ -171,7 +171,9 @@ TEST(SolveReportSchema, GoldenFieldNames) {
                                       "grid_complexity", "levels"}));
   EXPECT_EQ(member_names(v.find("hierarchy")->find("levels")->items[0]),
             (std::vector<std::string>{"level", "rows", "nnz", "nnz_per_row",
-                                      "coarse", "interp_nnz"}));
+                                      "coarse", "interp_nnz", "operator_bytes",
+                                      "interp_bytes", "smoother_bytes",
+                                      "workspace_bytes"}));
   EXPECT_EQ(member_names(*v.find("phases")),
             (std::vector<std::string>{"setup", "solve"}));
   EXPECT_EQ(member_names(*v.find("counters")),
