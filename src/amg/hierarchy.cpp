@@ -2,15 +2,62 @@
 
 #include <sstream>
 
+#include <cmath>
+
 #include "amg/interp_classical.hpp"
 #include "matrix/transpose.hpp"
 #include "spgemm/rap.hpp"
 #include "spgemm/spgemm.hpp"
+#include "support/fault.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
 namespace hpamg {
+
+/// Rows whose diagonal entry is missing, zero, or non-finite — a coarse
+/// operator with such rows breaks the smoothers (divide by diag) and the
+/// dense LU, so setup caps the hierarchy and regularizes instead.
+Int count_degenerate_diag(const CSRMatrix& A, double* max_abs_diag) {
+  Int bad = 0;
+  double dmax = 0.0;
+  for (Int i = 0; i < A.nrows; ++i) {
+    double d = 0.0;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k)
+      if (A.colidx[k] == i) d = A.values[k];
+    if (d == 0.0 || !std::isfinite(d))
+      ++bad;
+    else
+      dmax = std::max(dmax, std::abs(d));
+  }
+  if (max_abs_diag) *max_abs_diag = dmax;
+  return bad;
+}
+
+/// Returns A with every missing/zero/non-finite diagonal entry replaced by
+/// `shift` (structurally inserting it when absent). Off-diagonal
+/// non-finite entries are zeroed — the regularized operator must be usable
+/// by a dense LU. Only called on (small) coarse operators after a
+/// degeneracy was detected; correctness over speed.
+CSRMatrix regularize_diagonal(const CSRMatrix& A, double shift) {
+  std::vector<Triplet> trip;
+  trip.reserve(std::size_t(A.nnz()) + std::size_t(A.nrows));
+  std::vector<char> has_good_diag(std::size_t(A.nrows), 0);
+  for (Int i = 0; i < A.nrows; ++i)
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      double v = A.values[k];
+      if (!std::isfinite(v)) v = 0.0;
+      if (A.colidx[k] == i) {
+        if (v == 0.0) continue;  // re-inserted below as the shift
+        has_good_diag[std::size_t(i)] = 1;
+      }
+      trip.push_back({i, A.colidx[k], v});
+    }
+  for (Int i = 0; i < A.nrows; ++i)
+    if (!has_good_diag[std::size_t(i)]) trip.push_back({i, i, shift});
+  return CSRMatrix::from_triplets(A.nrows, A.ncols, std::move(trip));
+}
 
 namespace {
 
@@ -173,6 +220,7 @@ Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
   }
 
   for (Int l = 0; l < opts.max_levels; ++l) {
+    if (fault::enabled()) fault::maybe_fail_alloc("amg.setup.alloc");
     const Int n = A_work.nrows;
     const bool last = (l == opts.max_levels - 1) || n <= opts.coarse_size;
     if (last) break;
@@ -258,6 +306,21 @@ Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
     A_next.sort_rows();
     h.setup_times.add("RAP", phase.seconds());
 
+    // ---- Degenerate coarse operator -> cap the hierarchy here ----
+    // A Galerkin product with zero/non-finite diagonal rows cannot be
+    // smoothed or factored; descending further only compounds it. Stop
+    // coarsening and let the coarsest-level handling below regularize.
+    bool cap_levels = false;
+    if (Int bad = count_degenerate_diag(A_next, nullptr); bad > 0) {
+      cap_levels = true;
+      std::string ev = "degenerate coarse operator below level " +
+                       std::to_string(l) + ": " + std::to_string(bad) +
+                       " row(s) with missing/zero/non-finite diagonal; "
+                       "capping hierarchy";
+      HPAMG_LOG_WARN("amg setup: %s", ev.c_str());
+      h.events.push_back(std::move(ev));
+    }
+
     // ---- Smoother plans + workspace ----
     {
       ScopedPhase sp(h.setup_times, "Setup_etc");
@@ -268,6 +331,7 @@ Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
     }
     h.levels.push_back(std::move(L));
     A_work = std::move(A_next);
+    if (cap_levels) break;
   }
 
   // ---- Coarsest level ----
@@ -277,6 +341,20 @@ Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
     L.n = A_work.nrows;
     L.nc = 0;
     L.A = std::move(A_work);
+    double dmax = 0.0;
+    if (Int bad = count_degenerate_diag(L.A, &dmax); bad > 0) {
+      // Regularized coarse solve: shift the broken diagonals so the LU /
+      // smoother stay finite. The coarsest operator is a preconditioner
+      // component, so a tiny perturbation costs iterations, not
+      // correctness; the incident is recorded for the `status` block.
+      const double shift = dmax > 0.0 ? 1e-8 * dmax : 1.0;
+      L.A = regularize_diagonal(L.A, shift);
+      std::string ev = "regularized coarse solve: " + std::to_string(bad) +
+                       " degenerate diagonal(s) shifted on the coarsest "
+                       "level";
+      HPAMG_LOG_WARN("amg setup: %s", ev.c_str());
+      h.events.push_back(std::move(ev));
+    }
     if (L.n <= opts.coarse_size * 4 && L.n <= 2048) {
       h.coarse_lu = LUSolver(L.A);
     } else {

@@ -116,6 +116,9 @@ struct Hierarchy {
   PhaseTimes setup_times;   ///< Strength+Coarsen / Interp / RAP / Setup_etc
   WorkCounters setup_work;
   std::vector<LevelStats> stats;
+  /// Setup incidents (degenerate coarse operator -> level cap, regularized
+  /// coarse solve, ...) — merged into the report's `status` block.
+  std::vector<std::string> events;
 
   Int num_levels() const { return Int(levels.size()); }
   /// Σ_l nnz(A_l) / nnz(A_0) — the paper's operator complexity metric.
@@ -131,6 +134,18 @@ struct Hierarchy {
 
 /// Runs the full setup phase on A.
 Hierarchy build_hierarchy(const CSRMatrix& A, const AMGOptions& opts);
+
+/// Rows of A whose diagonal entry is missing, zero, or non-finite — such
+/// rows break the smoothers (divide by diag) and the dense coarse LU.
+/// Optionally reports the largest healthy |diagonal| for shift scaling.
+Int count_degenerate_diag(const CSRMatrix& A,
+                          double* max_abs_diag = nullptr);
+
+/// Returns A with every degenerate diagonal replaced by `shift`
+/// (structurally inserted when absent) and non-finite off-diagonals
+/// zeroed — the regularized-coarse-solve fallback shared by the
+/// single-node and distributed setups.
+CSRMatrix regularize_diagonal(const CSRMatrix& A, double shift);
 
 /// Human-readable hierarchy table (one line per level).
 std::string hierarchy_summary(const Hierarchy& h);

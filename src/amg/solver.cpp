@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include <string>
+
 #include "amg/spmv.hpp"
 #include "matrix/transpose.hpp"
 #include "spgemm/rap.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -12,8 +15,19 @@
 
 namespace hpamg {
 
+namespace {
+
+/// Validation happens here (not in the member-init list) so the ctor
+/// rejects bad input before any setup work runs.
+const CSRMatrix& validated(const CSRMatrix& A) {
+  A.validate_system_matrix("AMGSolver");
+  return A;
+}
+
+}  // namespace
+
 AMGSolver::AMGSolver(const CSRMatrix& A, const AMGOptions& opts)
-    : h_(build_hierarchy(A, opts)) {}
+    : h_(build_hierarchy(validated(A), opts)) {}
 
 SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
                              Int max_iterations) {
@@ -67,11 +81,22 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
   }
   if (relres < rtol) {
     res.converged = true;
+    res.status = Status::kOk;
     res.final_relres = relres;
     return res;
   }
 
+  // Last good iterate for scrub-and-restart recovery: refreshed on every
+  // improving iteration (a plain copy — cheap next to a V-cycle and not
+  // counted as solve work). `x_best_relres` mirrors the snapshot.
+  ConvergenceMonitor monitor;
+  Vector x_best(xw);
+  double x_best_relres = relres;
+  Int x_best_iteration = 0;
+
   for (Int it = 1; it <= max_iterations; ++it) {
+    if (fault::enabled())
+      fault::maybe_poison("amg.solve.poison", xw.data(), xw.size());
     vcycle_workspace(h_, bw, xw, &pt, wc);
     Timer t;
     if (optimized) {
@@ -91,10 +116,46 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
     HPAMG_LOG_DEBUG("amg it %d relres %.3e", int(it), relres);
     if (relres < rtol) {
       res.converged = true;
+      res.status = res.recoveries > 0 ? Status::kRecovered : Status::kOk;
       break;
     }
-    if (!std::isfinite(relres)) break;  // divergence guard
+    const Status verdict = monitor.observe(it, relres);
+    if (verdict == Status::kOk) {
+      if (relres < x_best_relres) {
+        copy(xw, x_best);
+        x_best_relres = relres;
+        x_best_iteration = it;
+      }
+      continue;
+    }
+    // Non-finite or diverging residual: scrub the iterate (restore the
+    // last good snapshot) and resume, up to the recovery budget. Transient
+    // corruption is absorbed; a persistent failure exhausts the budget and
+    // surfaces as the terminal status.
+    if (verdict == Status::kNonFinite && res.nonfinite_iteration < 0)
+      res.nonfinite_iteration = it;
+    if (res.recoveries < kMaxRecoveries) {
+      ++res.recoveries;
+      copy(x_best, xw);
+      relres = x_best_relres;
+      monitor.note_recovery();
+      std::string ev = "recovered at iteration " + std::to_string(it) + " (" +
+                       status_name(verdict) + "): restored iterate from " +
+                       "iteration " + std::to_string(x_best_iteration);
+      HPAMG_LOG_WARN("amg %s", ev.c_str());
+      trace::instant("amg.recovery", "fault");
+      res.events.push_back(std::move(ev));
+      continue;
+    }
+    res.status = verdict;
+    res.events.push_back(std::string("recovery budget exhausted; stopped (") +
+                         status_name(verdict) + ") at iteration " +
+                         std::to_string(it));
+    break;
   }
+  if (!res.converged && res.status == Status::kMaxIterations &&
+      monitor.stagnated())
+    res.status = Status::kStagnated;
   res.final_relres = relres;
 
   Timer t;
@@ -146,6 +207,7 @@ SolveReport AMGSolver::report(const SolveResult* sr) const {
   rep.setup_phases = h_.setup_times;
   rep.setup_work = h_.setup_work;
   rep.setup_seconds = h_.setup_times.total();
+  rep.status.events = h_.events;  // setup incidents first, then solve's
   if (sr) {
     rep.solve_phases = sr->solve_times;
     rep.solve_work = sr->solve_work;
@@ -155,6 +217,11 @@ SolveReport AMGSolver::report(const SolveResult* sr) const {
     rep.convergence.final_relres = sr->final_relres;
     rep.convergence.convergence_factor = sr->convergence_factor();
     rep.convergence.residual_history = sr->history;
+    rep.status.status = status_name(sr->status);
+    rep.status.nonfinite_iteration = sr->nonfinite_iteration;
+    rep.status.recoveries = sr->recoveries;
+    rep.status.events.insert(rep.status.events.end(), sr->events.begin(),
+                             sr->events.end());
   }
   return rep;
 }

@@ -11,6 +11,7 @@
 
 #include "amg/cycle.hpp"
 #include "amg/hierarchy.hpp"
+#include "support/error.hpp"
 #include "support/report.hpp"
 
 namespace hpamg {
@@ -19,6 +20,17 @@ struct SolveResult {
   Int iterations = 0;
   double final_relres = 0.0;
   bool converged = false;
+  /// Why the solve stopped (support/error.hpp taxonomy). `converged` stays
+  /// as the legacy boolean view: converged == status_ok(status).
+  Status status = Status::kMaxIterations;
+  /// First iteration with a NaN/Inf residual; -1 if none occurred.
+  Int nonfinite_iteration = -1;
+  /// Times the solver scrubbed the iterate and restarted from the last
+  /// good snapshot (non-finite or diverging residual).
+  Int recoveries = 0;
+  /// Human-readable incident log ("recovered at iteration 12 ...") — also
+  /// emitted in the report's `status` block and the trace stream.
+  std::vector<std::string> events;
   std::vector<double> history;  ///< relative residual after each iteration
   PhaseTimes solve_times;       ///< GS / SpMV / BLAS1 / Solve_etc
   WorkCounters solve_work;
@@ -34,12 +46,23 @@ struct SolveResult {
 
 class AMGSolver {
  public:
-  /// Runs the setup phase immediately.
+  /// Validates A (square, finite values, nonzero diagonals — throws
+  /// SolverError(kInvalidInput) otherwise) and runs the setup phase.
   AMGSolver(const CSRMatrix& A, const AMGOptions& opts);
 
   /// Standalone AMG: repeat V-cycles until ||b - Ax|| / ||b|| < rtol.
+  /// A non-finite or diverging residual triggers recovery — the iterate is
+  /// restored from the last improving snapshot and iteration resumes, up
+  /// to kMaxRecoveries times — so transient corruption (e.g. an injected
+  /// SDC bit-flip) costs iterations instead of the solve. The terminal
+  /// classification lands in SolveResult::status; persistent failure
+  /// reports kNonFinite / kDiverged with the incident iteration.
   SolveResult solve(const Vector& b, Vector& x, double rtol = 1e-7,
                     Int max_iterations = 500);
+
+  /// Recovery budget per solve: after this many scrub-and-restart attempts
+  /// the solve stops with the failure status instead of retrying.
+  static constexpr Int kMaxRecoveries = 3;
 
   /// One V-cycle as a preconditioner apply: x = B(b), zero initial guess.
   /// b and x are in the original matrix ordering.

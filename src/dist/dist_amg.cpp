@@ -6,6 +6,9 @@
 #include "dist/dist_krylov.hpp"
 #include "dist/dist_transpose.hpp"
 #include "matrix/vector_ops.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
@@ -79,12 +82,18 @@ SolveReport DistHierarchy::report(const DistSolveResult* sr) const {
   rep.setup_seconds = setup_times.total();
   rep.has_comm = true;
   rep.setup_comm = setup_comm;
+  rep.status.events = events;  // setup incidents first, then solve's
   if (sr) {
     rep.solve_phases = sr->solve_times;
     rep.solve_seconds = sr->solve_times.total();
     rep.convergence.iterations = sr->iterations;
     rep.convergence.converged = sr->converged;
     rep.convergence.final_relres = sr->final_relres;
+    rep.status.status = status_name(sr->status);
+    rep.status.nonfinite_iteration = sr->nonfinite_iteration;
+    rep.status.recoveries = sr->recoveries;
+    rep.status.events.insert(rep.status.events.end(), sr->events.begin(),
+                             sr->events.end());
   }
   return rep;
 }
@@ -281,6 +290,17 @@ void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
 DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
                              const DistAMGOptions& opts) {
   TRACE_SPAN("dist.setup", "phase");
+  // Per-rank input validation before any collective work: the local
+  // diagonal block must be a valid square operator slice, and the
+  // off-diagonal block must be finite. Throwing here (before the first
+  // collective) means every rank either proceeds or rejects — a rank that
+  // throws later poisons the simmpi world and unwinds its peers.
+  A_in.diag.validate_system_matrix("dist_amg_setup (local diagonal block)");
+  for (double v : A_in.offd.values)
+    if (!std::isfinite(v))
+      throw SolverError(Status::kInvalidInput,
+                        "dist_amg_setup: non-finite off-diagonal entry");
+  if (fault::enabled()) fault::maybe_fail_alloc("dist.setup.alloc");
   DistHierarchy h;
   h.opts = opts;
   const bool optimized = opts.variant == Variant::kOptimized;
@@ -443,6 +463,20 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
     L.A = std::move(A);
     h.coarse_starts = L.A.row_starts;
     CSRMatrix full = gather_csr(comm, L.A);
+    double dmax = 0.0;
+    if (Int bad = count_degenerate_diag(full, &dmax); bad > 0) {
+      // Regularized coarse solve (same fallback as the single-node setup):
+      // shift the broken diagonals so the replicated LU stays finite. The
+      // check runs on the gathered operator, so every rank records the
+      // same incident.
+      const double shift = dmax > 0.0 ? 1e-8 * dmax : 1.0;
+      full = regularize_diagonal(full, shift);
+      std::string ev = "regularized coarse solve: " + std::to_string(bad) +
+                       " degenerate diagonal(s) shifted on the coarsest "
+                       "level";
+      if (comm.rank() == 0) HPAMG_LOG_WARN("dist setup: %s", ev.c_str());
+      h.events.push_back(std::move(ev));
+    }
     if (full.nrows <= 4096) h.coarse_lu = LUSolver(full);
     const Int n = L.A.local_rows();
     L.inv_diag.assign(n, 1.0);

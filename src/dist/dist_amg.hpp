@@ -68,6 +68,10 @@ struct DistHierarchy {
   std::map<std::string, simmpi::CommStats> phase_comm;
   std::uint64_t interp_exchange_bytes = 0;  ///< §4.3 volume metric
   std::vector<LevelStats> stats;
+  /// Setup incidents (regularized coarse solve, ...) — merged into the
+  /// report's `status` block. Identical on every rank (the triggering
+  /// checks run on the gathered coarsest operator).
+  std::vector<std::string> events;
 
   double operator_complexity() const;
   /// Σ_l n_l / n_0 over the global level sizes.

@@ -4,6 +4,7 @@
 
 #include "dist/dist_amg.hpp"
 #include "krylov/krylov.hpp"
+#include "support/error.hpp"
 
 namespace hpamg {
 
@@ -11,16 +12,33 @@ struct DistSolveResult {
   Int iterations = 0;
   double final_relres = 0.0;
   bool converged = false;
+  /// Why the solve stopped (support/error.hpp). Identical on every rank:
+  /// all classification/recovery decisions are taken from globally reduced
+  /// residuals, so the ranks never disagree (no extra collectives needed).
+  Status status = Status::kMaxIterations;
+  Int nonfinite_iteration = -1;  ///< first NaN/Inf iteration; -1 if none
+  Int recoveries = 0;            ///< recoveries performed (see below)
+  std::vector<std::string> events;  ///< incident log, same on every rank
   PhaseTimes solve_times;  ///< GS / SpMV / BLAS1 / Solve_MPI / Solve_etc
 };
 
+/// Recovery budget per distributed solve, mirroring
+/// AMGSolver::kMaxRecoveries.
+inline constexpr Int kDistMaxRecoveries = 3;
+
 /// Collective FGMRES(m) on the distributed system, preconditioned by one
 /// V-cycle of `h` per iteration. x holds the local solution slice.
+/// A non-finite Arnoldi quantity discards the in-flight Krylov basis and
+/// restarts from the current (still finite) iterate; a non-finite restart
+/// residual restores the best snapshot — each counts against
+/// kDistMaxRecoveries, after which the solve stops with kNonFinite.
 DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
                             DistHierarchy& h, const Vector& b, Vector& x,
                             double rtol, Int max_iterations, Int restart = 50);
 
-/// Collective standalone AMG iteration (V-cycles to tolerance).
+/// Collective standalone AMG iteration (V-cycles to tolerance), with the
+/// same scrub-and-restart recovery as AMGSolver::solve (restore the last
+/// improving iterate on a non-finite or diverging residual).
 DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
                                DistHierarchy& h, const Vector& b, Vector& x,
                                double rtol, Int max_iterations);

@@ -1,16 +1,24 @@
 #include "dist/simmpi.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <sstream>
 #include <string>
 #include <thread>
 
+#include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace hpamg::simmpi {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// A payload plus the trace flow id that ties the send to its receive
 /// (0 when tracing was off at send time).
@@ -27,35 +35,103 @@ struct Mailbox {
   std::map<std::pair<int, int>, std::deque<Msg>> queues;
 };
 
+/// Collective signature, cross-checked at the entry barrier. A mismatch
+/// (one rank in allreduce_sum while another sits in barrier) is an MPI
+/// usage error that real runtimes turn into a hang or corrupted reduction;
+/// here every rank detects it and throws CollectiveMismatchError.
+struct Sig {
+  enum Op : std::uint8_t {
+    kNone = 0,
+    kBarrier,
+    kAllreduceSum,
+    kAllreduceMax,
+    kAllgather,
+  };
+  enum Dtype : std::uint8_t { kVoid = 0, kDouble, kLong };
+  std::uint8_t op = kNone;
+  std::uint8_t dtype = kVoid;
+  std::int32_t count = 0;
+
+  bool operator==(const Sig& o) const {
+    return op == o.op && dtype == o.dtype && count == o.count;
+  }
+
+  std::string describe() const {
+    static const char* ops[] = {"none", "barrier", "allreduce_sum",
+                                "allreduce_max", "allgather"};
+    static const char* types[] = {"", "<double>", "<long>"};
+    std::string s = ops[op <= kAllgather ? op : 0];
+    s += types[dtype <= kLong ? dtype : 0];
+    return s;
+  }
+};
+
+/// What a rank is currently blocked on — written by the rank's own thread,
+/// read racily (hence atomics) by whichever rank assembles a deadlock dump.
+struct BlockedState {
+  std::atomic<const char*> where{nullptr};  ///< null = running
+  std::atomic<int> peer{-1};
+  std::atomic<int> tag{-1};
+};
+
 }  // namespace
 
 class World {
  public:
-  explicit World(int nranks)
-      : nranks_(nranks), mailboxes_(nranks), reduce_slots_(nranks, 0.0),
+  World(int nranks, Clock::duration timeout)
+      : nranks_(nranks), timeout_(timeout), mailboxes_(nranks),
+        blocked_(nranks), sig_slots_(nranks), reduce_slots_(nranks, 0.0),
         gather_slots_(nranks, 0) {}
 
   int nranks() const { return nranks_; }
 
   void deliver(int to, int from, int tag, const void* data,
                std::size_t bytes, std::uint64_t flow) {
+    bool reorder = false;
+    if (fault::enabled()) {
+      if (fault::should_fire("simmpi.drop")) {
+        trace::instant("fault.drop", "fault");
+        return;  // modeled message loss: the receiver's bounded wait fires
+      }
+      std::uint64_t draw = 0;
+      if (fault::should_fire("simmpi.delay", &draw)) {
+        trace::instant("fault.delay", "fault");
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(100 + draw % 2000));
+      }
+      reorder = fault::should_fire("simmpi.reorder");
+      if (reorder) trace::instant("fault.reorder", "fault");
+    }
     Mailbox& mb = mailboxes_[to];
     Msg msg;
     msg.bytes.resize(bytes);
     msg.flow = flow;
     if (bytes > 0) std::memcpy(msg.bytes.data(), data, bytes);  // UB on null src
+    if (fault::enabled() && bytes > 0) {
+      std::uint64_t draw = 0;
+      if (fault::should_fire("simmpi.bitflip", &draw)) {
+        trace::instant("fault.bitflip", "fault");
+        const std::uint64_t bit = draw % (bytes * 8);
+        msg.bytes[bit / 8] ^= char(1u << (bit % 8));
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mb.mu);
-      mb.queues[{from, tag}].push_back(std::move(msg));
+      auto& q = mb.queues[{from, tag}];
+      if (reorder)
+        q.push_front(std::move(msg));  // jumps the (source, tag) FIFO
+      else
+        q.push_back(std::move(msg));
     }
     mb.cv.notify_all();
   }
 
   Msg take(int me, int from, int tag) {
+    BlockedScope bs(blocked_[me], "recv", from, tag);
     Mailbox& mb = mailboxes_[me];
     std::unique_lock<std::mutex> lock(mb.mu);
     auto key = std::make_pair(from, tag);
-    mb.cv.wait(lock, [&] {
+    bounded_wait(lock, mb.cv, me, "recv", [&] {
       auto it = mb.queues.find(key);
       return it != mb.queues.end() && !it->second.empty();
     });
@@ -65,8 +141,29 @@ class World {
     return msg;
   }
 
-  /// Sense-reversing barrier.
-  void barrier() {
+  /// Collective entry: publish this rank's signature, synchronize, verify
+  /// every rank entered the same collective. Callers write their payload
+  /// slots before calling and must close with barrier_sync() so no rank
+  /// can race ahead and overwrite its slots while a peer still reads them
+  /// (every public collective is exactly two barrier rounds).
+  void collective_enter(int rank, Sig sig) {
+    sig_slots_[rank] = sig;
+    barrier_sync(rank);
+    for (int r = 0; r < nranks_; ++r) {
+      if (sig_slots_[r] == sig) continue;
+      std::ostringstream os;
+      os << "simmpi: collective signature mismatch: rank " << rank << " in "
+         << sig.describe();
+      for (int q = 0; q < nranks_; ++q)
+        if (!(sig_slots_[q] == sig))
+          os << ", rank " << q << " in " << sig_slots_[q].describe();
+      throw CollectiveMismatchError(os.str());
+    }
+  }
+
+  /// Sense-reversing barrier with a bounded wait.
+  void barrier_sync(int rank) {
+    BlockedScope bs(blocked_[rank], "barrier", -1, -1);
     std::unique_lock<std::mutex> lock(bar_mu_);
     const bool sense = bar_sense_;
     if (++bar_count_ == nranks_) {
@@ -74,57 +171,172 @@ class World {
       bar_sense_ = !bar_sense_;
       bar_cv_.notify_all();
     } else {
-      bar_cv_.wait(lock, [&] { return bar_sense_ != sense; });
+      bounded_wait(lock, bar_cv_, rank, "barrier",
+                   [&] { return bar_sense_ != sense; });
     }
   }
 
-  /// Generic allreduce over double slots: each rank writes, barrier,
-  /// rank-local fold, barrier (so slots can be reused).
+  void barrier_collective(int rank) {
+    collective_enter(rank, {Sig::kBarrier, Sig::kVoid, 0});
+    barrier_sync(rank);
+  }
+
+  /// Generic allreduce over double slots: each rank writes, signature
+  /// check + barrier, rank-local fold, barrier (so slots can be reused).
   double allreduce(int rank, double x, bool take_max) {
     reduce_slots_[rank] = x;
-    barrier();
+    collective_enter(rank, {take_max ? Sig::kAllreduceMax : Sig::kAllreduceSum,
+                            Sig::kDouble, 1});
     double acc = take_max ? reduce_slots_[0] : 0.0;
     for (int r = 0; r < nranks_; ++r)
       acc = take_max ? std::max(acc, reduce_slots_[r]) : acc + reduce_slots_[r];
-    barrier();
+    barrier_sync(rank);
     return acc;
   }
 
   Long allreduce_long(int rank, Long x, bool take_max) {
     gather_slots_[rank] = x;
-    barrier();
+    collective_enter(rank, {take_max ? Sig::kAllreduceMax : Sig::kAllreduceSum,
+                            Sig::kLong, 1});
     Long acc = take_max ? gather_slots_[0] : 0;
     for (int r = 0; r < nranks_; ++r)
       acc = take_max ? std::max(acc, gather_slots_[r]) : acc + gather_slots_[r];
-    barrier();
+    barrier_sync(rank);
     return acc;
   }
 
   std::vector<Long> allgather_long(int rank, Long x) {
     gather_slots_[rank] = x;
-    barrier();
+    collective_enter(rank, {Sig::kAllgather, Sig::kLong, 1});
     std::vector<Long> out(gather_slots_);
-    barrier();
+    barrier_sync(rank);
     return out;
   }
 
   std::vector<double> allgather_double(int rank, double x) {
     reduce_slots_[rank] = x;
-    barrier();
+    collective_enter(rank, {Sig::kAllgather, Sig::kDouble, 1});
     std::vector<double> out(reduce_slots_);
-    barrier();
+    barrier_sync(rank);
     return out;
   }
 
+  /// Marks the world failed and wakes every blocked rank so it can unwind
+  /// (PeerFailureError) instead of waiting on a rank that will never
+  /// arrive. Idempotent; callable from any thread.
+  void poison() {
+    poisoned_.store(true, std::memory_order_release);
+    for (Mailbox& mb : mailboxes_) {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      mb.cv.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(bar_mu_);
+    bar_cv_.notify_all();
+  }
+
+  /// Per-rank blocked-state report: who waits where, mailbox depths. Must
+  /// be called without holding any mailbox/barrier lock.
+  std::string state_dump() {
+    std::ostringstream os;
+    os << "simmpi state dump (" << nranks_ << " ranks):\n";
+    for (int r = 0; r < nranks_; ++r) {
+      const char* where = blocked_[r].where.load(std::memory_order_acquire);
+      os << "  rank " << r << ": "
+         << (where ? where : "running (not in a simmpi wait)");
+      const int peer = blocked_[r].peer.load(std::memory_order_relaxed);
+      const int tag = blocked_[r].tag.load(std::memory_order_relaxed);
+      if (where && peer >= 0) os << " from rank " << peer << " tag " << tag;
+      std::size_t depth = 0, streams = 0;
+      {
+        std::lock_guard<std::mutex> lock(mailboxes_[r].mu);
+        for (const auto& [key, q] : mailboxes_[r].queues) {
+          if (q.empty()) continue;
+          depth += q.size();
+          ++streams;
+        }
+      }
+      os << "; mailbox: " << depth << " queued message(s) in " << streams
+         << " stream(s)\n";
+    }
+    return os.str();
+  }
+
  private:
+  /// RAII publication of a rank's wait site for the deadlock dump.
+  struct BlockedScope {
+    explicit BlockedScope(BlockedState& b, const char* where, int peer,
+                          int tag)
+        : b_(b) {
+      b_.peer.store(peer, std::memory_order_relaxed);
+      b_.tag.store(tag, std::memory_order_relaxed);
+      b_.where.store(where, std::memory_order_release);
+    }
+    ~BlockedScope() { b_.where.store(nullptr, std::memory_order_release); }
+    BlockedState& b_;
+  };
+
+  /// Condition wait bounded by the world timeout. Throws PeerFailureError
+  /// when the world is poisoned, DeadlockError (after poisoning the world
+  /// and capturing the state dump) when the deadline expires.
+  template <typename Pred>
+  void bounded_wait(std::unique_lock<std::mutex>& lock,
+                    std::condition_variable& cv, int rank, const char* where,
+                    Pred pred) {
+    const auto deadline = Clock::now() + timeout_;
+    for (;;) {
+      if (pred()) return;
+      if (poisoned_.load(std::memory_order_acquire))
+        throw PeerFailureError(
+            std::string("simmpi: rank ") + std::to_string(rank) +
+            " released from " + where + " after a peer failure");
+      if (cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (pred()) return;
+        if (!poisoned_.load(std::memory_order_acquire)) {
+          lock.unlock();  // the dump takes mailbox locks
+          timeout_failure(rank, where);
+        }
+      }
+    }
+  }
+
+  [[noreturn]] void timeout_failure(int rank, const char* where) {
+    const std::string dump = state_dump();
+    write_dump_file(dump);
+    poison();
+    const double secs =
+        std::chrono::duration<double>(timeout_).count();
+    std::ostringstream os;
+    os << "simmpi: rank " << rank << " timed out after " << secs << " s in "
+       << where << " (deadlock)";
+    throw DeadlockError(os.str(), dump);
+  }
+
+  /// Best-effort dump persistence for CI artifacts: one file per incident
+  /// under $HPAMG_STATE_DUMP_DIR (no-op when unset).
+  static void write_dump_file(const std::string& dump) {
+    const char* dir = std::getenv("HPAMG_STATE_DUMP_DIR");
+    if (!dir || !*dir) return;
+    static std::atomic<int> seq{0};
+    const std::string path = std::string(dir) + "/simmpi_deadlock_" +
+                             std::to_string(seq.fetch_add(1)) + ".txt";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+    }
+  }
+
   int nranks_;
+  Clock::duration timeout_;
   std::vector<Mailbox> mailboxes_;
+  std::vector<BlockedState> blocked_;
+  std::atomic<bool> poisoned_{false};
 
   std::mutex bar_mu_;
   std::condition_variable bar_cv_;
   int bar_count_ = 0;
   bool bar_sense_ = false;
 
+  std::vector<Sig> sig_slots_;
   std::vector<double> reduce_slots_;
   std::vector<Long> gather_slots_;
 };
@@ -178,7 +390,7 @@ std::vector<char> Comm::recv(int from, int tag) {
 
 void Comm::barrier() {
   TRACE_SPAN("mpi.barrier", "blocked");
-  world_->barrier();
+  world_->barrier_collective(rank_);
 }
 
 double Comm::allreduce_sum(double x) {
@@ -217,9 +429,25 @@ std::vector<double> Comm::allgather(double x) {
   return world_->allgather_double(rank_, x);
 }
 
-std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn) {
+namespace {
+
+Clock::duration resolve_timeout(const RunOptions& opts) {
+  double secs = opts.timeout_seconds;
+  if (secs <= 0.0) {
+    if (const char* env = std::getenv("HPAMG_SIMMPI_TIMEOUT_S"))
+      secs = std::atof(env);
+    if (secs <= 0.0) secs = 120.0;
+  }
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(secs));
+}
+
+}  // namespace
+
+std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn,
+                           const RunOptions& opts) {
   require(nranks > 0, "simmpi::run: need at least one rank");
-  World world(nranks);
+  World world(nranks, resolve_timeout(opts));
   std::vector<std::unique_ptr<Comm>> comms;
   comms.reserve(nranks);
   for (int r = 0; r < nranks; ++r) {
@@ -242,16 +470,30 @@ std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn) {
         fn(*comms[r]);
       } catch (...) {
         errors[r] = std::current_exception();
-        // A dead rank would deadlock its peers; there is no clean recovery
-        // in a barrier-based runtime, so terminate loudly via rethrow after
-        // join — peers blocked on this rank are detached by process exit in
-        // the worst case. Tests keep rank functions exception-free.
+        // Poison the world so peers blocked on this rank unwind with
+        // PeerFailureError instead of waiting out the full timeout; the
+        // rethrow below then surfaces this (root-cause) exception.
+        world.poison();
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+
+  // First real failure wins; PeerFailureError unwinds are collateral and
+  // surface only when no rank recorded a root cause.
+  std::exception_ptr first_real, first_peer;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const PeerFailureError&) {
+      if (!first_peer) first_peer = e;
+    } catch (...) {
+      if (!first_real) first_real = e;
+    }
+  }
+  if (first_real) std::rethrow_exception(first_real);
+  if (first_peer) std::rethrow_exception(first_peer);
 
   std::vector<CommStats> stats;
   stats.reserve(nranks);

@@ -13,6 +13,17 @@
 //
 // API mirrors the MPI subset HYPRE's AMG uses: isend/irecv/waitall,
 // persistent requests (§4.4), allreduce/allgather/barrier.
+//
+// Hardening (see support/error.hpp): every blocking wait (recv, barrier,
+// the collectives) is bounded by a configurable timeout and raises a
+// structured DeadlockError carrying a per-rank blocked-state dump instead
+// of hanging; collectives carry an (op, dtype, count) signature that is
+// cross-checked at the entry barrier so a mismatched collective fails
+// loudly on every rank (CollectiveMismatchError); and a rank that throws
+// poisons the world so peers blocked in waits unwind (PeerFailureError)
+// rather than stranding until process exit. Fault-injection sites
+// (support/fault.hpp: "simmpi.drop" / "simmpi.delay" / "simmpi.reorder" /
+// "simmpi.bitflip") let the chaos suite prove those paths deterministically.
 #pragma once
 
 #include <array>
@@ -110,6 +121,15 @@ struct CommStats {
 
 class World;
 
+/// Per-run knobs for simmpi::run.
+struct RunOptions {
+  /// Bounded-wait timeout applied to recv/barrier/collectives. 0 means
+  /// "use the HPAMG_SIMMPI_TIMEOUT_S environment variable, or 120 s" —
+  /// generous for real runs, tightened by the chaos tests so deadlock
+  /// scenarios resolve in milliseconds.
+  double timeout_seconds = 0.0;
+};
+
 /// A rank's communicator handle. All methods are called from the rank's own
 /// thread only.
 class Comm {
@@ -180,7 +200,8 @@ class Comm {
   }
 
  private:
-  friend std::vector<CommStats> run(int, const std::function<void(Comm&)>&);
+  friend std::vector<CommStats> run(int, const std::function<void(Comm&)>&,
+                                    const RunOptions&);
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
   World* world_;
   int rank_;
@@ -189,9 +210,11 @@ class Comm {
 };
 
 /// Runs fn on `nranks` rank-threads; returns the per-rank comm stats.
-/// Exceptions thrown by any rank are rethrown (first one wins) after all
-/// ranks join.
-std::vector<CommStats> run(int nranks,
-                           const std::function<void(Comm&)>& fn);
+/// Exceptions thrown by any rank poison the world (peers blocked in waits
+/// unwind with PeerFailureError) and are rethrown after all ranks join;
+/// the first non-PeerFailure error wins, so the root cause surfaces, not
+/// the collateral unwinds.
+std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn,
+                           const RunOptions& opts = {});
 
 }  // namespace hpamg::simmpi

@@ -20,6 +20,13 @@ KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
   double relres = norm2(r) / normb;
   if (relres < opt.rtol) {
     res.converged = true;
+    res.status = Status::kOk;
+    res.final_relres = relres;
+    return res;
+  }
+  if (!std::isfinite(relres)) {
+    res.status = Status::kNonFinite;
+    res.nonfinite_iteration = 0;
     res.final_relres = relres;
     return res;
   }
@@ -34,7 +41,15 @@ KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
   for (Int it = 1; it <= opt.max_iterations; ++it) {
     spmv(A, p, Ap);
     const double pAp = dot(p, Ap);
-    if (pAp == 0.0 || !std::isfinite(pAp)) break;
+    if (!std::isfinite(pAp)) {
+      res.status = Status::kNonFinite;
+      res.nonfinite_iteration = it;
+      break;
+    }
+    if (pAp == 0.0) {  // exact breakdown: p is A-null, no progress possible
+      res.status = Status::kStagnated;
+      break;
+    }
     const double alpha = rz / pAp;
     axpy(alpha, p, x);
     axpy(-alpha, Ap, r);
@@ -43,6 +58,12 @@ KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
     res.iterations = it;
     if (relres < opt.rtol) {
       res.converged = true;
+      res.status = Status::kOk;
+      break;
+    }
+    if (!std::isfinite(relres)) {
+      res.status = Status::kNonFinite;
+      res.nonfinite_iteration = it;
       break;
     }
     if (precond)

@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include "amg/spmv.hpp"
 #include "krylov/gmres_common.hpp"
 #include "krylov/krylov.hpp"
@@ -32,6 +34,13 @@ KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
     if (total_it == 0) res.history.push_back(relres);
     if (relres < opt.rtol) {
       res.converged = true;
+      res.status = Status::kOk;
+      res.final_relres = relres;
+      return res;
+    }
+    if (!std::isfinite(relres)) {
+      res.status = Status::kNonFinite;
+      res.nonfinite_iteration = total_it;
       res.final_relres = relres;
       return res;
     }
@@ -61,6 +70,14 @@ KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
       relres = ls.apply_rotations(j) / normb;
       res.history.push_back(relres);
       res.iterations = total_it + 1;
+      if (!std::isfinite(relres) || !std::isfinite(hn)) {
+        // The Krylov basis is poisoned; applying the update x += ... y
+        // would only spread the NaN into x.
+        res.status = Status::kNonFinite;
+        res.nonfinite_iteration = total_it + 1;
+        res.final_relres = relres;
+        return res;
+      }
       if (relres < opt.rtol || hn == 0.0) {
         ++j;
         ++total_it;
@@ -72,6 +89,7 @@ KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
     for (Int i = 0; i < j; ++i) axpy(y[i], Z[i], x);
     if (relres < opt.rtol) {
       res.converged = true;
+      res.status = Status::kOk;
       res.final_relres = relres;
       return res;
     }
@@ -80,6 +98,9 @@ KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
   spmv_residual(A, x, b, r);
   res.final_relres = norm2(r) / normb;
   res.converged = res.final_relres < opt.rtol;
+  res.status = res.converged ? Status::kOk
+               : !std::isfinite(res.final_relres) ? Status::kNonFinite
+                                                  : Status::kMaxIterations;
   return res;
 }
 

@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include "amg/spmv.hpp"
 #include "krylov/gmres_common.hpp"
 #include "krylov/krylov.hpp"
@@ -28,6 +30,13 @@ KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
     if (total_it == 0) res.history.push_back(relres);
     if (relres < opt.rtol) {
       res.converged = true;
+      res.status = Status::kOk;
+      res.final_relres = relres;
+      return res;
+    }
+    if (!std::isfinite(relres)) {
+      res.status = Status::kNonFinite;
+      res.nonfinite_iteration = total_it;
       res.final_relres = relres;
       return res;
     }
@@ -58,6 +67,14 @@ KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
       relres = ls.apply_rotations(j) / normb;
       res.history.push_back(relres);
       res.iterations = total_it + 1;
+      if (!std::isfinite(relres) || !std::isfinite(hn)) {
+        // The Krylov basis is poisoned; applying the update x += ... y
+        // would only spread the NaN into x.
+        res.status = Status::kNonFinite;
+        res.nonfinite_iteration = total_it + 1;
+        res.final_relres = relres;
+        return res;
+      }
       if (relres < opt.rtol || hn == 0.0) {
         ++j;
         ++total_it;
@@ -76,6 +93,7 @@ KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
     }
     if (relres < opt.rtol) {
       res.converged = true;
+      res.status = Status::kOk;
       res.final_relres = relres;
       return res;
     }
@@ -85,6 +103,9 @@ KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
   spmv_residual(A, x, b, r);
   res.final_relres = norm2(r) / normb;
   res.converged = res.final_relres < opt.rtol;
+  res.status = res.converged ? Status::kOk
+               : !std::isfinite(res.final_relres) ? Status::kNonFinite
+                                                  : Status::kMaxIterations;
   return res;
 }
 

@@ -11,6 +11,7 @@
 #include "matrix/csr.hpp"
 #include "matrix/vector_ops.hpp"
 #include "support/counters.hpp"
+#include "support/error.hpp"
 
 namespace hpamg {
 
@@ -22,6 +23,12 @@ struct KrylovResult {
   Int iterations = 0;
   double final_relres = 0.0;
   bool converged = false;
+  /// Why the solve stopped (support/error.hpp): kOk, kMaxIterations,
+  /// kNonFinite (NaN/Inf residual or basis vector), kStagnated (exact
+  /// breakdown — no further progress possible). converged == status_ok().
+  Status status = Status::kMaxIterations;
+  /// First iteration that produced a non-finite quantity; -1 if none.
+  Int nonfinite_iteration = -1;
   std::vector<double> history;
 };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 
+#include "support/error.hpp"
 #include "support/parallel.hpp"
 
 namespace hpamg {
@@ -56,6 +58,30 @@ void CSRMatrix::validate() const {
   require(Long(colidx.size()) == nnz(), "CSRMatrix: nnz mismatch");
   for (Int c : colidx)
     require(c >= 0 && c < ncols, "CSRMatrix: column index out of range");
+}
+
+void CSRMatrix::validate_system_matrix(const char* what) const {
+  const auto fail = [&](Int row, const char* why) {
+    throw SolverError(Status::kInvalidInput,
+                      std::string(what) + ": " + why +
+                          (row >= 0 ? " (row " + std::to_string(row) + ")"
+                                    : std::string()));
+  };
+  if (nrows != ncols) fail(-1, "system matrix must be square");
+  try {
+    validate();
+  } catch (const std::exception& e) {
+    throw SolverError(Status::kInvalidInput,
+                      std::string(what) + ": " + e.what());
+  }
+  for (Int i = 0; i < nrows; ++i) {
+    double d = 0.0;
+    for (Int k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      if (!std::isfinite(values[k])) fail(i, "non-finite matrix entry");
+      if (colidx[k] == i) d = values[k];
+    }
+    if (d == 0.0) fail(i, "missing or zero diagonal entry");
+  }
 }
 
 CSRMatrix CSRMatrix::identity(Int n) {

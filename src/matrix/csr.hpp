@@ -50,6 +50,13 @@ class CSRMatrix {
   /// Throws std::invalid_argument on violation.
   void validate() const;
 
+  /// Solver-entry validation: the structural checks plus everything a
+  /// Poisson-like system operator must satisfy — square, every stored value
+  /// finite, a nonzero diagonal entry in every row (the smoothers and the
+  /// coarse LU divide by it). Throws SolverError(Status::kInvalidInput)
+  /// naming the first offending row. `what` labels the matrix in messages.
+  void validate_system_matrix(const char* what = "matrix") const;
+
   /// n x n identity.
   static CSRMatrix identity(Int n);
 

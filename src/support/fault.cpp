@@ -1,0 +1,105 @@
+#include "support/fault.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace hpamg::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct SiteState {
+  Schedule schedule;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+/// Leaked singleton (same lifetime policy as the metrics registry):
+/// injection sites may be evaluated from detached rank threads during
+/// process teardown.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// splitmix64 — counter-based, so draw k of a site is a pure function of
+/// (seed, k) and replays are exact.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+namespace detail {
+
+bool should_fire_slow(std::string_view site, std::uint64_t* draw) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  SiteState& s = it->second;
+  const std::uint64_t hit = s.hits++;
+  if (hit < s.schedule.after_n) return false;
+  if (s.fires >= s.schedule.count) return false;
+  const std::uint64_t rnd = splitmix64(s.schedule.seed ^ (hit * 2 + 1));
+  if (s.schedule.probability < 1.0) {
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u = double(rnd >> 11) * 0x1.0p-53;
+    if (u >= s.schedule.probability) return false;
+  }
+  ++s.fires;
+  if (draw) *draw = splitmix64(rnd);
+  return true;
+}
+
+}  // namespace detail
+
+void arm(std::string_view site, const Schedule& schedule) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites[std::string(site)] = SiteState{schedule, 0, 0};
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end()) r.sites.erase(it);
+  if (r.sites.empty())
+    detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fires(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+}  // namespace hpamg::fault

@@ -1,0 +1,99 @@
+// Seeded, deterministic fault injection — the chaos layer behind the
+// resilience tests (tests/test_resilience.cpp).
+//
+// Same overhead discipline as support/trace and support/metrics: the
+// injection sites are always compiled in, off by default, and a disabled
+// site costs exactly one relaxed atomic load (fault::enabled() is flipped
+// only while at least one site is armed, which production runs never do).
+//
+// A *site* is a string key named after the place it fires ("simmpi.drop",
+// "amg.setup.alloc", ...). Arming a site attaches a Schedule — fire after
+// the first N hits, fire at most `count` times, fire with probability p —
+// evaluated deterministically from a seeded counter-based RNG, so a chaos
+// scenario replays identically for a fixed seed regardless of wall-clock
+// or allocator noise. (Probabilistic schedules are deterministic per
+// site-hit index; cross-thread hit *ordering* is whatever the scheduler
+// does, so multi-threaded scenarios pin seeds AND use per-site schedules
+// that do not depend on interleaving.)
+//
+// Injection sites live in:
+//   - dist/simmpi.cpp — message delay / drop / delivery reordering /
+//     payload bit-flip (silent data corruption);
+//   - setup paths — allocation failure (maybe_fail_alloc);
+//   - numeric kernels — NaN poke into a vector entry (maybe_poison).
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <string_view>
+
+namespace hpamg::fault {
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+/// Slow path: registry lookup + schedule evaluation (takes a lock).
+bool should_fire_slow(std::string_view site, std::uint64_t* draw);
+}  // namespace detail
+
+/// True while at least one site is armed. One relaxed load — the only
+/// cost every injection site pays in a fault-free run.
+inline bool enabled() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// When a site fires: trigger on hit indices [after_n, after_n + count),
+/// each with `probability` (evaluated from a splitmix64 stream seeded by
+/// `seed` and the hit index, so replays are exact).
+struct Schedule {
+  std::uint64_t after_n = 0;  ///< skip this many hits first
+  std::uint64_t count = UINT64_MAX;  ///< max number of fires
+  double probability = 1.0;   ///< per-hit fire probability once eligible
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// Arms (or re-arms, resetting its counters) a site. Thread-safe; not
+/// intended to race with in-flight solver calls — chaos tests arm before
+/// the run and reset after, like trace::enable/disable.
+void arm(std::string_view site, const Schedule& schedule = {});
+
+/// Disarms one site (its counters are dropped).
+void disarm(std::string_view site);
+
+/// Disarms every site and clears all counters; enabled() becomes false.
+void reset();
+
+/// Times the site was evaluated / times it fired (0 for unknown sites).
+std::uint64_t hits(std::string_view site);
+std::uint64_t fires(std::string_view site);
+
+/// Hot-path check, called at every injection site. `draw` (optional)
+/// receives a deterministic 64-bit value tied to the firing hit — sites
+/// use it to pick a victim index / bit / delay without extra RNG state.
+inline bool should_fire(std::string_view site, std::uint64_t* draw = nullptr) {
+  if (!enabled()) return false;
+  return detail::should_fire_slow(site, draw);
+}
+
+// ---- canned injection helpers --------------------------------------------
+
+/// Allocation-failure site: throws std::bad_alloc when the site fires.
+inline void maybe_fail_alloc(std::string_view site) {
+  if (!enabled()) return;
+  if (detail::should_fire_slow(site, nullptr))
+    throw std::bad_alloc();
+}
+
+/// Numeric-corruption site: overwrites one entry of v (chosen by the
+/// deterministic draw) with NaN, modeling silent data corruption surfacing
+/// in a kernel. No-op on empty vectors.
+inline void maybe_poison(std::string_view site, double* v, std::size_t n) {
+  if (!enabled() || n == 0) return;
+  std::uint64_t draw = 0;
+  if (detail::should_fire_slow(site, &draw))
+    v[draw % n] = std::nan("");
+}
+
+}  // namespace hpamg::fault

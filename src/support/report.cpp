@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "support/error.hpp"
+
 namespace hpamg {
 
 // ------------------------------------------------------------------------
@@ -521,6 +523,15 @@ void SolveReport::write_json(JsonWriter& w) const {
   w.end_array();
   w.end_object();
 
+  w.key("status").begin_object();
+  w.kv("status", status.status);
+  w.kv("nonfinite_iteration", long(status.nonfinite_iteration));
+  w.kv("recoveries", long(status.recoveries));
+  w.key("events").begin_array();
+  for (const std::string& e : status.events) w.value(e);
+  w.end_array();
+  w.end_object();
+
   w.key("times").begin_object();
   w.kv("setup_seconds", setup_seconds);
   w.kv("solve_seconds", solve_seconds);
@@ -797,6 +808,29 @@ bool check_solve_report(const JsonValue& rep, const std::string& where,
   const JsonValue* hist = conv->find("residual_history");
   if (!hist || !hist->is_array())
     return schema_fail(err, where + ".convergence.residual_history missing");
+
+  const JsonValue* status = rep.find("status");
+  if (!status || !status->is_object())
+    return schema_fail(err, where + ".status missing");
+  const JsonValue* sname = status->find("status");
+  if (!sname || !sname->is_string())
+    return schema_fail(err, where + ".status.status missing");
+  if (status_from_name(sname->text) == Status::kUnknown &&
+      sname->text != "unknown")
+    return schema_fail(err, where + ".status.status unknown value \"" +
+                                sname->text + "\"");
+  for (const char* field : {"nonfinite_iteration", "recoveries"}) {
+    const JsonValue* f = status->find(field);
+    if (!f || !f->is_number())
+      return schema_fail(err, where + ".status." + field + " missing");
+  }
+  const JsonValue* events = status->find("events");
+  if (!events || !events->is_array())
+    return schema_fail(err, where + ".status.events missing");
+  for (const JsonValue& e : events->items)
+    if (!e.is_string())
+      return schema_fail(err,
+                         where + ".status.events entries must be strings");
 
   const JsonValue* times = rep.find("times");
   if (!times || !times->is_object())

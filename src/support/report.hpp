@@ -150,6 +150,17 @@ struct ConvergenceReport {
   std::vector<double> residual_history;
 };
 
+/// Terminal status + resilience incidents — the report's `status` block.
+/// `status` holds status_name() of the Status taxonomy (support/error.hpp);
+/// it stays "ok" for setup-only reports.
+struct StatusReport {
+  std::string status = "ok";
+  Int nonfinite_iteration = -1;  ///< first NaN/Inf iteration; -1 if none
+  Int recoveries = 0;            ///< scrub-and-restart recoveries performed
+  /// Setup + solve incident log (degenerate coarse operator, recoveries).
+  std::vector<std::string> events;
+};
+
 /// Everything a solver run exposes for regression tracking: hierarchy
 /// quality, phase breakdowns, machine-independent work counters, comm
 /// traffic (distributed runs), convergence, and measured plus
@@ -177,6 +188,7 @@ struct SolveReport {
   MemoryReport memory;
 
   ConvergenceReport convergence;
+  StatusReport status;
 
   double setup_seconds = 0.0;  ///< measured on this host
   double solve_seconds = 0.0;

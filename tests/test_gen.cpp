@@ -182,6 +182,9 @@ TEST_P(SuiteSweep, GeneratesWellFormedOperatorAtScale) {
   const SuiteEntry& e = table2_suite()[GetParam()];
   CSRMatrix A = generate_suite_matrix(e.name, 0.002);
   A.validate();
+  // Solver-entry validation (square, finite, nonzero diagonals) must accept
+  // every generated operator — the AMGSolver ctor runs this unconditionally.
+  A.validate_system_matrix(e.name.c_str());
   ASSERT_GT(A.nrows, 0);
   // Density within 2.5x of the paper's nnz/row (small sizes have more
   // boundary rows, so allow slack).

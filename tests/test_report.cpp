@@ -142,6 +142,10 @@ SolveReport sample_report() {
   r.convergence.final_relres = 1e-8;
   r.convergence.convergence_factor = 0.13;
   r.convergence.residual_history = {1.0, 0.1, 0.01};
+  r.status.status = "recovered";
+  r.status.nonfinite_iteration = 4;
+  r.status.recoveries = 1;
+  r.status.events = {"recovered at iteration 4 (non_finite)"};
   r.setup_seconds = 0.6;
   r.solve_seconds = 0.3;
   r.modeled_setup_seconds = 0.05;
@@ -165,7 +169,7 @@ TEST(SolveReportSchema, GoldenFieldNames) {
   EXPECT_EQ(member_names(v),
             (std::vector<std::string>{"solver", "variant", "hierarchy",
                                       "phases", "counters", "comm",
-                                      "convergence", "times"}));
+                                      "convergence", "status", "times"}));
   EXPECT_EQ(member_names(*v.find("hierarchy")),
             (std::vector<std::string>{"num_levels", "operator_complexity",
                                       "grid_complexity", "levels"}));
@@ -194,6 +198,9 @@ TEST(SolveReportSchema, GoldenFieldNames) {
             (std::vector<std::string>{"iterations", "converged",
                                       "final_relres", "convergence_factor",
                                       "residual_history"}));
+  EXPECT_EQ(member_names(*v.find("status")),
+            (std::vector<std::string>{"status", "nonfinite_iteration",
+                                      "recoveries", "events"}));
   EXPECT_EQ(member_names(*v.find("times")),
             (std::vector<std::string>{"setup_seconds", "solve_seconds",
                                       "modeled_setup_seconds",
@@ -226,6 +233,9 @@ TEST(SolveReportSchema, ValuesSurvive) {
   ASSERT_EQ(solve_pp.items.size(), 1u);
   EXPECT_DOUBLE_EQ(solve_pp.items[0].find("peer")->number, 1.0);
   EXPECT_DOUBLE_EQ(solve_pp.items[0].find("bytes")->number, 64.0);
+  EXPECT_EQ(v.find("status")->find("status")->text, "recovered");
+  EXPECT_DOUBLE_EQ(v.find("status")->find("recoveries")->number, 1.0);
+  ASSERT_EQ(v.find("status")->find("events")->items.size(), 1u);
 }
 
 // ------------------------------------------------------------- envelope ----

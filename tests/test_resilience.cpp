@@ -1,0 +1,468 @@
+// Chaos suite for the resilience layer: simmpi hardening (bounded waits,
+// collective signatures, peer-failure propagation), seeded fault injection
+// into the distributed and single-node solve paths, input validation, and
+// the degenerate-coarse-operator fallbacks. Every scenario must terminate
+// in a documented Status — never hang — and recoveries must be visible in
+// the result (status / recoveries / events) and the JSON report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "amg/hierarchy.hpp"
+#include "amg/solver.hpp"
+#include "dist/dist_krylov.hpp"
+#include "dist/dist_matrix.hpp"
+#include "gen/stencil.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "support/report.hpp"
+#include "test_util.hpp"
+
+namespace hpamg {
+namespace {
+
+/// Every test in the suite leaves the registry clean, even on assertion
+/// failure mid-test — armed sites leaking into later tests (or later
+/// ctest-sharded binaries) would be chaos of the unintentional kind.
+class Resilience : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+/// Short bounded-wait budget so deadlock scenarios resolve in milliseconds
+/// instead of the 120 s production default.
+simmpi::RunOptions fast_timeout(double seconds = 0.5) {
+  simmpi::RunOptions o;
+  o.timeout_seconds = seconds;
+  return o;
+}
+
+// ------------------------------------------------------ input validation ----
+
+TEST_F(Resilience, ValidateSystemMatrixAcceptsHealthyOperator) {
+  EXPECT_NO_THROW(lap2d_5pt(8, 8).validate_system_matrix("lap2d"));
+}
+
+TEST_F(Resilience, ValidateSystemMatrixRejectsNonSquare) {
+  CSRMatrix A = CSRMatrix::from_triplets(2, 3, {{0, 0, 1.0}, {1, 1, 1.0}});
+  try {
+    A.validate_system_matrix();
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidInput);
+  }
+}
+
+TEST_F(Resilience, ValidateSystemMatrixRejectsNonFiniteEntry) {
+  CSRMatrix A = lap2d_5pt(6, 6);
+  A.values[3] = std::nan("");
+  try {
+    A.validate_system_matrix();
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidInput);
+  }
+}
+
+TEST_F(Resilience, ValidateSystemMatrixRejectsZeroAndMissingDiagonal) {
+  // Row 0: zero diagonal. Row 1: no diagonal entry at all.
+  CSRMatrix zero_diag = CSRMatrix::from_triplets(
+      2, 2, {{0, 0, 0.0}, {0, 1, 1.0}, {1, 1, 2.0}});
+  EXPECT_THROW(zero_diag.validate_system_matrix(), SolverError);
+  CSRMatrix missing_diag =
+      CSRMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 0, 2.0}});
+  EXPECT_THROW(missing_diag.validate_system_matrix(), SolverError);
+}
+
+TEST_F(Resilience, SolverCtorRejectsInvalidInput) {
+  CSRMatrix A = lap2d_5pt(10, 10);
+  A.values[7] = std::numeric_limits<double>::infinity();
+  try {
+    AMGSolver solver(A, AMGOptions{});
+    FAIL() << "expected SolverError";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(status_from_exception(e), Status::kInvalidInput);
+  }
+}
+
+TEST_F(Resilience, DistSetupRejectsInvalidInput) {
+  CSRMatrix A = lap2d_5pt(10, 10);
+  A.values[7] = std::nan("");
+  try {
+    simmpi::run(2, [&](simmpi::Comm& c) {
+      DistMatrix dA = distribute_csr(c, A);
+      DistHierarchy h = dist_amg_setup(c, dA, DistAMGOptions{});
+    });
+    FAIL() << "expected SolverError";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(status_from_exception(e), Status::kInvalidInput);
+  }
+}
+
+// ------------------------------------------------------- simmpi hardening ----
+
+TEST_F(Resilience, BoundedRecvRaisesDeadlockErrorWithStateDump) {
+  try {
+    simmpi::run(
+        2,
+        [&](simmpi::Comm& c) {
+          if (c.rank() == 0) c.recv(1, 7);  // rank 1 never sends
+        },
+        fast_timeout(0.25));
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+    // The dump names every rank and where rank 0 is blocked.
+    EXPECT_NE(e.state_dump().find("rank 0"), std::string::npos);
+    EXPECT_NE(e.state_dump().find("recv"), std::string::npos);
+  }
+}
+
+TEST_F(Resilience, DeadlockDumpIsWrittenToStateDumpDir) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "hpamg_resilience_dumps";
+  fs::create_directories(dir);
+  ::setenv("HPAMG_STATE_DUMP_DIR", dir.c_str(), 1);
+  EXPECT_THROW(simmpi::run(
+                   2,
+                   [&](simmpi::Comm& c) {
+                     if (c.rank() == 1) c.recv(0, 9);
+                   },
+                   fast_timeout(0.25)),
+               DeadlockError);
+  ::unsetenv("HPAMG_STATE_DUMP_DIR");
+  bool found = false;
+  for (const auto& entry : fs::directory_iterator(dir))
+    found |= entry.path().filename().string().rfind("simmpi_deadlock_", 0) == 0;
+  EXPECT_TRUE(found);
+  fs::remove_all(dir);
+}
+
+TEST_F(Resilience, BoundedBarrierRaisesDeadlockError) {
+  EXPECT_THROW(simmpi::run(
+                   2,
+                   [&](simmpi::Comm& c) {
+                     if (c.rank() == 0) c.barrier();  // rank 1 never joins
+                   },
+                   fast_timeout(0.25)),
+               DeadlockError);
+}
+
+TEST_F(Resilience, MismatchedCollectivesFailLoudly) {
+  try {
+    simmpi::run(2, [&](simmpi::Comm& c) {
+      if (c.rank() == 0)
+        c.barrier();
+      else
+        c.allreduce_sum(1.0);
+    });
+    FAIL() << "expected CollectiveMismatchError";
+  } catch (const CollectiveMismatchError& e) {
+    EXPECT_EQ(e.status(), Status::kCollectiveMismatch);
+  }
+}
+
+TEST_F(Resilience, MismatchedAllreduceDtypeFailsLoudly) {
+  EXPECT_THROW(simmpi::run(2,
+                           [&](simmpi::Comm& c) {
+                             if (c.rank() == 0)
+                               c.allreduce_sum(1.0);  // double
+                             else
+                               c.allreduce_sum(Long(1));  // long
+                           }),
+               CollectiveMismatchError);
+}
+
+TEST_F(Resilience, ExceptionInOneRankReleasesBlockedPeers) {
+  // Rank 1 throws while rank 0 is committed to a collective; rank 0 must
+  // unwind (PeerFailureError internally) and run() must rethrow the ROOT
+  // CAUSE, not the collateral peer-failure unwind.
+  try {
+    simmpi::run(
+        2,
+        [&](simmpi::Comm& c) {
+          if (c.rank() == 1) throw std::runtime_error("boom at rank 1");
+          c.allreduce_sum(1.0);
+        },
+        fast_timeout(5.0));
+    FAIL() << "expected the rank-1 exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom at rank 1"), std::string::npos);
+    EXPECT_EQ(dynamic_cast<const PeerFailureError*>(&e), nullptr);
+  }
+}
+
+TEST_F(Resilience, ExceptionReleasesPeerBlockedInRecv) {
+  try {
+    simmpi::run(
+        2,
+        [&](simmpi::Comm& c) {
+          if (c.rank() == 1) throw std::runtime_error("rank 1 died");
+          c.recv(1, 3);  // would deadlock; peer failure must release it
+        },
+        fast_timeout(5.0));
+    FAIL() << "expected the rank-1 exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1 died"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------- message-level chaos ----
+
+TEST_F(Resilience, DroppedMessageBecomesDeadlockNotHang) {
+  fault::Schedule s;
+  s.count = 1;
+  fault::arm("simmpi.drop", s);
+  try {
+    simmpi::run(
+        2,
+        [&](simmpi::Comm& c) {
+          const double payload = 42.0;
+          if (c.rank() == 0) c.send(1, 5, &payload, sizeof payload);
+          if (c.rank() == 1) c.recv(0, 5);
+        },
+        fast_timeout(0.3));
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_EQ(e.status(), Status::kDeadlock);
+  }
+  EXPECT_EQ(fault::fires("simmpi.drop"), 1u);
+}
+
+TEST_F(Resilience, ReorderSwapsSameTagDelivery) {
+  fault::Schedule s;
+  s.after_n = 1;  // deliver the first message normally, reorder the second
+  s.count = 1;
+  fault::arm("simmpi.reorder", s);
+  simmpi::run(2, [&](simmpi::Comm& c) {
+    if (c.rank() == 0) {
+      const double first = 1.0, second = 2.0;
+      c.send(1, 4, &first, sizeof first);
+      c.send(1, 4, &second, sizeof second);
+    } else {
+      c.barrier();  // both messages are enqueued before the reads
+      std::vector<char> a = c.recv(0, 4), b = c.recv(0, 4);
+      double va, vb;
+      std::memcpy(&va, a.data(), sizeof va);
+      std::memcpy(&vb, b.data(), sizeof vb);
+      EXPECT_EQ(va, 2.0);
+      EXPECT_EQ(vb, 1.0);
+    }
+    if (c.rank() == 0) c.barrier();
+  });
+}
+
+TEST_F(Resilience, SolveConvergesThroughMessageDelays) {
+  fault::Schedule s;
+  s.probability = 0.25;
+  s.count = 40;  // bounded so the injected latency stays in the tens of ms
+  s.seed = 2024;
+  fault::arm("simmpi.delay", s);
+  CSRMatrix A = lap2d_5pt(20, 20);
+  simmpi::run(2, [&](simmpi::Comm& c) {
+    DistMatrix dA = distribute_csr(c, A);
+    DistHierarchy h = dist_amg_setup(c, dA, DistAMGOptions{});
+    Vector b(dA.local_rows(), 1.0), x(dA.local_rows(), 0.0);
+    DistSolveResult r = dist_fgmres(c, dA, h, b, x, 1e-8, 100);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.status, Status::kOk);
+  });
+}
+
+TEST_F(Resilience, BitflipTerminatesWithDocumentedStatus) {
+  // Silent data corruption in a solve-phase halo payload: depending on
+  // which bit flips the solve sails through, recovers, or fails — but it
+  // must TERMINATE with a taxonomy status, never hang or crash. Arming
+  // happens after setup so the flip lands in numeric traffic (doubles),
+  // not in a setup protocol message whose corruption is a different test.
+  CSRMatrix A = lap2d_5pt(16, 16);
+  try {
+    simmpi::run(
+        2,
+        [&](simmpi::Comm& c) {
+          DistMatrix dA = distribute_csr(c, A);
+          DistHierarchy h = dist_amg_setup(c, dA, DistAMGOptions{});
+          c.barrier();
+          if (c.rank() == 0) {
+            fault::Schedule s;
+            s.count = 1;
+            s.seed = 7;
+            fault::arm("simmpi.bitflip", s);
+          }
+          c.barrier();
+          Vector b(dA.local_rows(), 1.0), x(dA.local_rows(), 0.0);
+          DistSolveResult r = dist_fgmres(c, dA, h, b, x, 1e-8, 60);
+          EXPECT_NE(status_name(r.status), std::string("unknown"));
+          if (status_ok(r.status)) {
+            for (double v : x) EXPECT_TRUE(std::isfinite(v));
+          }
+        },
+        fast_timeout(30.0));
+  } catch (const SolverError& e) {
+    EXPECT_NE(status_name(e.status()), std::string("unknown"));
+  }
+}
+
+// ------------------------------------------------ solver-level recovery ----
+
+TEST_F(Resilience, SetupAllocFailureSurfacesAsBadAlloc) {
+  fault::Schedule s;
+  s.count = 1;
+  fault::arm("amg.setup.alloc", s);
+  CSRMatrix A = lap2d_5pt(12, 12);
+  try {
+    AMGSolver solver(A, AMGOptions{});
+    FAIL() << "expected bad_alloc";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(status_from_exception(e), Status::kAllocFailure);
+  }
+}
+
+TEST_F(Resilience, DistSetupAllocFailureSurfacesAsBadAlloc) {
+  fault::Schedule s;
+  s.count = 1;
+  fault::arm("dist.setup.alloc", s);
+  CSRMatrix A = lap2d_5pt(12, 12);
+  try {
+    simmpi::run(
+        2,
+        [&](simmpi::Comm& c) {
+          DistMatrix dA = distribute_csr(c, A);
+          DistHierarchy h = dist_amg_setup(c, dA, DistAMGOptions{});
+        },
+        fast_timeout(5.0));
+    FAIL() << "expected bad_alloc";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(status_from_exception(e), Status::kAllocFailure);
+  }
+}
+
+TEST_F(Resilience, TransientPoisonRecoversAndConverges) {
+  fault::Schedule s;
+  s.after_n = 2;  // a few clean iterations first, then one NaN poke
+  s.count = 1;
+  fault::arm("amg.solve.poison", s);
+  CSRMatrix A = lap2d_5pt(24, 24);
+  AMGSolver solver(A, AMGOptions{});
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  SolveResult r = solver.solve(b, x, 1e-8, 200);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.status, Status::kRecovered);
+  EXPECT_GE(r.recoveries, 1);
+  EXPECT_GE(r.nonfinite_iteration, 0);
+  ASSERT_FALSE(r.events.empty());
+  EXPECT_NE(r.events.front().find("recovered"), std::string::npos);
+  EXPECT_LT(test::relative_residual(A, x, b), 1e-7);
+}
+
+TEST_F(Resilience, PersistentPoisonExhaustsRecoveryBudget) {
+  fault::arm("amg.solve.poison");  // fires on every iteration, forever
+  CSRMatrix A = lap2d_5pt(16, 16);
+  AMGSolver solver(A, AMGOptions{});
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  SolveResult r = solver.solve(b, x, 1e-8, 200);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status, Status::kNonFinite);
+  EXPECT_EQ(r.recoveries, AMGSolver::kMaxRecoveries);
+  EXPECT_GE(r.nonfinite_iteration, 0);
+}
+
+TEST_F(Resilience, RecoveredSolveReportCarriesStatusBlock) {
+  fault::Schedule s;
+  s.after_n = 2;
+  s.count = 1;
+  fault::arm("amg.solve.poison", s);
+  CSRMatrix A = lap2d_5pt(20, 20);
+  AMGSolver solver(A, AMGOptions{});
+  Vector b(A.nrows, 1.0), x(A.nrows, 0.0);
+  SolveResult r = solver.solve(b, x, 1e-8, 200);
+  ASSERT_EQ(r.status, Status::kRecovered);
+  JsonWriter w;
+  solver.report(&r).write_json(w);
+  JsonValue v = json_parse(w.str());
+  const JsonValue* st = v.find("status");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->find("status")->text, "recovered");
+  EXPECT_GE(st->find("recoveries")->number, 1.0);
+  EXPECT_GE(st->find("nonfinite_iteration")->number, 0.0);
+  EXPECT_FALSE(st->find("events")->items.empty());
+}
+
+TEST_F(Resilience, DistSolveRecoversFromTransientPoison) {
+  fault::Schedule s;
+  s.after_n = 1;
+  s.count = 1;
+  fault::arm("dist.solve.poison", s);
+  CSRMatrix A = lap2d_5pt(20, 20);
+  simmpi::run(
+      2,
+      [&](simmpi::Comm& c) {
+        DistMatrix dA = distribute_csr(c, A);
+        DistHierarchy h = dist_amg_setup(c, dA, DistAMGOptions{});
+        Vector b(dA.local_rows(), 1.0), x(dA.local_rows(), 0.0);
+        DistSolveResult r = dist_amg_solve(c, dA, h, b, x, 1e-8, 200);
+        // The poke lands on ONE rank, but the verdict comes from the
+        // globally reduced residual, so every rank reports the recovery.
+        EXPECT_TRUE(status_ok(r.status));
+        EXPECT_EQ(r.status, Status::kRecovered);
+        EXPECT_GE(r.recoveries, 1);
+        EXPECT_FALSE(r.events.empty());
+        for (double vx : x) EXPECT_TRUE(std::isfinite(vx));
+      },
+      fast_timeout(30.0));
+}
+
+TEST_F(Resilience, DistFgmresDiscardsPoisonedBasisAndConverges) {
+  fault::Schedule s;
+  s.after_n = 1;
+  s.count = 1;
+  fault::arm("dist.solve.poison", s);
+  CSRMatrix A = lap2d_5pt(20, 20);
+  simmpi::run(
+      2,
+      [&](simmpi::Comm& c) {
+        DistMatrix dA = distribute_csr(c, A);
+        DistHierarchy h = dist_amg_setup(c, dA, DistAMGOptions{});
+        Vector b(dA.local_rows(), 1.0), x(dA.local_rows(), 0.0);
+        DistSolveResult r = dist_fgmres(c, dA, h, b, x, 1e-8, 100);
+        EXPECT_TRUE(status_ok(r.status));
+        EXPECT_EQ(r.status, Status::kRecovered);
+        EXPECT_GE(r.recoveries, 1);
+      },
+      fast_timeout(30.0));
+}
+
+// --------------------------------------- degenerate coarse-level fallback ----
+
+TEST_F(Resilience, CountDegenerateDiagFindsZeroMissingAndNonFinite) {
+  // Row 0 healthy, row 1 zero diagonal, row 2 missing diagonal, row 3
+  // non-finite diagonal.
+  CSRMatrix A = CSRMatrix::from_triplets(
+      4, 4,
+      {{0, 0, 4.0}, {1, 1, 0.0}, {1, 0, 1.0}, {2, 0, 1.0},
+       {3, 3, std::numeric_limits<double>::infinity()}});
+  double dmax = 0.0;
+  EXPECT_EQ(count_degenerate_diag(A, &dmax), 3);
+  EXPECT_DOUBLE_EQ(dmax, 4.0);
+}
+
+TEST_F(Resilience, RegularizeDiagonalRepairsDegenerateRows) {
+  CSRMatrix A = CSRMatrix::from_triplets(
+      3, 3,
+      {{0, 0, 2.0}, {1, 1, 0.0}, {2, 0, std::nan("")}});
+  CSRMatrix R = regularize_diagonal(A, 0.5);
+  EXPECT_EQ(count_degenerate_diag(R, nullptr), 0);
+  EXPECT_NO_THROW(R.validate_system_matrix("regularized"));
+}
+
+}  // namespace
+}  // namespace hpamg
