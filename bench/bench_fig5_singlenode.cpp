@@ -13,6 +13,7 @@
 //                              [--repeat N] [--json out.json]
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 #include "gen/suite.hpp"
@@ -39,7 +40,14 @@ RunResult run(const CSRMatrix& A, Variant v, double alpha, double rtol,
   if (repeat.warmup()) {
     AMGSolver warm(A, table3_options(v, alpha));
     Vector bw(A.nrows, 1.0), xw(A.nrows, 0.0);
-    warm.solve(bw, xw, rtol, 200);
+    // Warmup solve: only the caches matter, but a failed warmup means the
+    // timed runs below measure a broken configuration — surface it.
+    const SolveResult wr = warm.solve(bw, xw, rtol, 200);
+    if (!status_ok(wr.status) && wr.status != Status::kMaxIterations) {
+      std::fprintf(stderr, "warmup solve failed: %s\n",
+                   status_name(wr.status));
+      std::exit(1);
+    }
   }
   for (int i = 0; i < repeat.count; ++i) {
     Timer t;

@@ -23,7 +23,10 @@ namespace hpamg {
 /// Terminal outcome of a solve (or setup) — the error-code taxonomy
 /// threaded through SolveResult / DistSolveResult / KrylovResult and the
 /// report's `status` block. Names are schema-stable (status_name).
-enum class Status : int {
+/// [[nodiscard]] on the enum makes every Status-returning call site a
+/// -Wunused-result warning when the verdict is dropped — enforced as an
+/// error in CI builds and audited by tools/hpamg_lint (nodiscard-status).
+enum class [[nodiscard]] Status : int {
   kOk = 0,              ///< converged within tolerance, no incident
   kRecovered,           ///< converged after >= 1 recovery (scrub/restart)
   kMaxIterations,       ///< iteration budget exhausted, residual finite
@@ -65,7 +68,7 @@ inline Status status_from_name(std::string_view name) {
 }
 
 /// True for outcomes that count as a successful solve.
-inline bool status_ok(Status s) {
+[[nodiscard]] inline bool status_ok(Status s) {
   return s == Status::kOk || s == Status::kRecovered;
 }
 
@@ -146,7 +149,7 @@ class ConvergenceMonitor {
   /// kOk (keep iterating), kNonFinite, or kDiverged (both: recover or
   /// stop). Stagnation never stops a solve mid-flight — query stagnated()
   /// when the budget runs out.
-  Status observe(Int iteration, double relres) {
+  [[nodiscard]] Status observe(Int iteration, double relres) {
     if (!std::isfinite(relres)) {
       if (nonfinite_iteration_ < 0) nonfinite_iteration_ = iteration;
       return Status::kNonFinite;
