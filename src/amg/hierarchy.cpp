@@ -8,6 +8,7 @@
 #include "matrix/transpose.hpp"
 #include "spgemm/rap.hpp"
 #include "spgemm/spgemm.hpp"
+#include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
@@ -205,6 +206,53 @@ std::vector<LevelMemory> Hierarchy::memory_by_level() const {
   return mem;
 }
 
+Status check_hierarchy(const Hierarchy& h) {
+  using check::detail::fail;
+  const bool optimized = h.opts.variant == Variant::kOptimized;
+  for (std::size_t l = 0; l < h.levels.size(); ++l) {
+    const Level& L = h.levels[l];
+    const std::string where = "hierarchy level " + std::to_string(l);
+    if (Status s = check::csr_well_formed(L.A, "level operator");
+        s != Status::kOk)
+      return fail(s, where + ": " + check::last_error());
+    if (L.A.nrows != L.n || L.A.ncols != L.n)
+      return fail(Status::kInvalidInput,
+                  "check: " + where + ": operator is " +
+                      std::to_string(L.A.nrows) + " x " +
+                      std::to_string(L.A.ncols) + ", expected square " +
+                      std::to_string(L.n));
+    const bool coarsest = l + 1 == h.levels.size();
+    if (coarsest) continue;
+    // P/R dimension agreement with this level's (n, nc).
+    if (optimized) {
+      if (Status s =
+              check::interp_shape(L.Pf, L.n - L.nc, L.nc, "fine block Pf");
+          s != Status::kOk)
+        return fail(s, where + ": " + check::last_error());
+      if (Status s = check::interp_shape(L.PfT, L.nc, L.n - L.nc,
+                                         "kept transpose PfT");
+          s != Status::kOk)
+        return fail(s, where + ": " + check::last_error());
+    } else {
+      if (Status s = check::interp_shape(L.P, L.n, L.nc, "interpolation P");
+          s != Status::kOk)
+        return fail(s, where + ": " + check::last_error());
+      if (L.cf.size() != std::size_t(L.n))
+        return fail(Status::kInvalidInput,
+                    "check: " + where + ": CF marker has " +
+                        std::to_string(L.cf.size()) + " entries, expected " +
+                        std::to_string(L.n));
+    }
+    // Galerkin size chain: the next level solves the coarse space.
+    if (h.levels[l + 1].n != L.nc)
+      return fail(Status::kInvalidInput,
+                  "check: " + where + ": Galerkin chain broken — next "
+                  "level has " + std::to_string(h.levels[l + 1].n) +
+                      " rows, expected nc = " + std::to_string(L.nc));
+  }
+  return Status::kOk;
+}
+
 Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
   TRACE_SPAN("amg.setup", "phase");
   require(A_in.nrows == A_in.ncols, "build_hierarchy: matrix must be square");
@@ -287,6 +335,8 @@ Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
     else
       P = build_interp(L.A, S_work, cf, opts, kind, wc);
     h.setup_times.add("Interp", phase.seconds());
+    HPAMG_CHECK_INVARIANT(check::Depth::kCheap,
+                          check::interp_shape(P, n, nc, "level interp P"));
 
     // ---- Galerkin product ----
     phase.reset();
@@ -305,6 +355,11 @@ Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
     }
     A_next.sort_rows();
     h.setup_times.add("RAP", phase.seconds());
+    HPAMG_CHECK_INVARIANT(
+        check::Depth::kCheap,
+        check::csr_well_formed(A_next, "Galerkin coarse operator"));
+    HPAMG_CHECK_INVARIANT(check::Depth::kFull,
+                          check::csr_finite(A_next, "Galerkin coarse operator"));
 
     // ---- Degenerate coarse operator -> cap the hierarchy here ----
     // A Galerkin product with zero/non-finite diagonal rows cannot be
@@ -367,6 +422,11 @@ Hierarchy build_hierarchy(const CSRMatrix& A_in, const AMGOptions& opts) {
     h.stats.push_back({L.n, L.A.nnz(), 0, 0});
     h.levels.push_back(std::move(L));
   }
+
+  // Whole-hierarchy consistency audit (P/R dims, Galerkin size chain) —
+  // compiled out unless -DHPAMG_CHECK=ON, and the full sweep only runs at
+  // HPAMG_CHECK_LEVEL=2.
+  HPAMG_CHECK_INVARIANT(check::Depth::kFull, check_hierarchy(h));
 
   // Per-level hierarchy gauges for the metrics registry (stencil growth =
   // nnz/row of the level relative to the finest level — the Table 2

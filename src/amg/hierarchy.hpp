@@ -29,6 +29,7 @@
 #include "matrix/dense.hpp"
 #include "matrix/permute.hpp"
 #include "support/counters.hpp"
+#include "support/error.hpp"
 #include "support/timer.hpp"
 
 namespace hpamg {
@@ -134,6 +135,15 @@ struct Hierarchy {
 
 /// Runs the full setup phase on A.
 Hierarchy build_hierarchy(const CSRMatrix& A, const AMGOptions& opts);
+
+/// Structural consistency of a built hierarchy (support/check.hpp
+/// invariant layer): every level operator well-formed and square, the
+/// interpolation operators' shapes agreeing with their level's (n, nc),
+/// and the Galerkin size chain levels[l+1].n == levels[l].nc intact.
+/// Returns kOk or kInvalidInput with the diagnosis in check::last_error().
+/// Always compiled (tests call it directly); build_hierarchy invokes it at
+/// full checking depth in -DHPAMG_CHECK=ON builds.
+Status check_hierarchy(const Hierarchy& h);
 
 /// Rows of A whose diagonal entry is missing, zero, or non-finite — such
 /// rows break the smoothers (divide by diag) and the dense coarse LU.

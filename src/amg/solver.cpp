@@ -7,6 +7,7 @@
 #include "amg/spmv.hpp"
 #include "matrix/transpose.hpp"
 #include "spgemm/rap.hpp"
+#include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
@@ -36,6 +37,12 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
   Level& L0 = h_.levels[0];
   require(Int(b.size()) == L0.n && Int(x.size()) == L0.n,
           "AMGSolver::solve: vector size mismatch");
+  // Solver-entry invariants: the hierarchy may have been mutated since
+  // setup (refresh_values, external tampering in tests); a check build
+  // re-audits it before trusting the level operators.
+  HPAMG_CHECK_INVARIANT(check::Depth::kCheap,
+                        check::csr_well_formed(L0.A, "AMGSolver::solve A0"));
+  HPAMG_CHECK_INVARIANT(check::Depth::kFull, check_hierarchy(h_));
   const bool optimized = h_.opts.variant == Variant::kOptimized;
   const bool permuted = optimized && !L0.perm.perm.empty();
   PhaseTimes& pt = res.solve_times;

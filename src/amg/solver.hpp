@@ -57,7 +57,7 @@ class AMGSolver {
   /// SDC bit-flip) costs iterations instead of the solve. The terminal
   /// classification lands in SolveResult::status; persistent failure
   /// reports kNonFinite / kDiverged with the incident iteration.
-  SolveResult solve(const Vector& b, Vector& x, double rtol = 1e-7,
+  [[nodiscard]] SolveResult solve(const Vector& b, Vector& x, double rtol = 1e-7,
                     Int max_iterations = 500);
 
   /// Recovery budget per solve: after this many scrub-and-restart attempts

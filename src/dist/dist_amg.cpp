@@ -6,6 +6,7 @@
 #include "dist/dist_krylov.hpp"
 #include "dist/dist_transpose.hpp"
 #include "matrix/vector_ops.hpp"
+#include "support/check.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
@@ -301,6 +302,11 @@ DistHierarchy dist_amg_setup(simmpi::Comm& comm, const DistMatrix& A_in,
       throw SolverError(Status::kInvalidInput,
                         "dist_amg_setup: non-finite off-diagonal entry");
   if (fault::enabled()) fault::maybe_fail_alloc("dist.setup.alloc");
+  // Setup-entry ownership audit: partitions contiguous, colmap strictly
+  // off-rank (rank-local, so running it on every rank is safe regardless
+  // of depth).
+  HPAMG_CHECK_INVARIANT(check::Depth::kCheap,
+                        A_in.check_partition(comm.size()));
   DistHierarchy h;
   h.opts = opts;
   const bool optimized = opts.variant == Variant::kOptimized;

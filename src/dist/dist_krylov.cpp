@@ -5,6 +5,7 @@
 
 #include "krylov/gmres_common.hpp"
 #include "matrix/vector_ops.hpp"
+#include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/trace.hpp"
@@ -28,6 +29,13 @@ DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
   TRACE_SPAN("krylov.fgmres", "phase");
   DistSolveResult res;
   const Int n = A.local_rows();
+  // Solver-entry invariants: ownership partition and vector shapes.
+  HPAMG_CHECK_INVARIANT(check::Depth::kCheap,
+                        A.check_partition(comm.size()));
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::vectors_match(std::size_t(n), b.size(), x.size(),
+                           "dist_fgmres"));
   PhaseTimes& pt = res.solve_times;
   HaloExchange halo(comm, A.colmap, A.row_starts, true);
   Vector x_ext;
@@ -170,6 +178,12 @@ DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
                                double rtol, Int max_iterations) {
   TRACE_SPAN("krylov.amg_richardson", "phase");
   DistSolveResult res;
+  HPAMG_CHECK_INVARIANT(check::Depth::kCheap,
+                        A.check_partition(comm.size()));
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::vectors_match(std::size_t(A.local_rows()), b.size(), x.size(),
+                           "dist_amg_solve"));
   PhaseTimes& pt = res.solve_times;
   HaloExchange halo(comm, A.colmap, A.row_starts, true);
   Vector x_ext, r(A.local_rows());

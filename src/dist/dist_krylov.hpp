@@ -32,14 +32,14 @@ inline constexpr Int kDistMaxRecoveries = 3;
 /// restarts from the current (still finite) iterate; a non-finite restart
 /// residual restores the best snapshot — each counts against
 /// kDistMaxRecoveries, after which the solve stops with kNonFinite.
-DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
+[[nodiscard]] DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
                             DistHierarchy& h, const Vector& b, Vector& x,
                             double rtol, Int max_iterations, Int restart = 50);
 
 /// Collective standalone AMG iteration (V-cycles to tolerance), with the
 /// same scrub-and-restart recovery as AMGSolver::solve (restore the last
 /// improving iterate on a non-finite or diverging residual).
-DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
+[[nodiscard]] DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
                                DistHierarchy& h, const Vector& b, Vector& x,
                                double rtol, Int max_iterations);
 

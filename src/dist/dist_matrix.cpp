@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/check.hpp"
 #include "support/parallel.hpp"
 #include "support/sort.hpp"
 
@@ -26,6 +27,47 @@ void DistMatrix::validate() const {
     if (j > 0)
       require(colmap[j - 1] < colmap[j], "DistMatrix: colmap not sorted");
   }
+}
+
+Status DistMatrix::check_partition(int nranks) const {
+  using check::detail::fail;
+  if (my_rank < 0 || my_rank >= nranks)
+    return fail(Status::kInvalidInput,
+                "check: DistMatrix: my_rank " + std::to_string(my_rank) +
+                    " outside [0, " + std::to_string(nranks) + ")");
+  if (Status s = check::partition(row_starts, nranks, global_rows,
+                                  "DistMatrix row partition");
+      s != Status::kOk)
+    return s;
+  if (Status s = check::partition(col_starts, nranks, global_cols,
+                                  "DistMatrix col partition");
+      s != Status::kOk)
+    return s;
+  if (diag.nrows != local_rows() || offd.nrows != local_rows())
+    return fail(Status::kInvalidInput,
+                "check: DistMatrix: diag/offd row counts " +
+                    std::to_string(diag.nrows) + "/" +
+                    std::to_string(offd.nrows) + ", expected " +
+                    std::to_string(local_rows()));
+  if (diag.ncols != local_cols())
+    return fail(Status::kInvalidInput,
+                "check: DistMatrix: diag has " + std::to_string(diag.ncols) +
+                    " columns, expected " + std::to_string(local_cols()));
+  if (offd.ncols != Int(colmap.size()))
+    return fail(Status::kInvalidInput,
+                "check: DistMatrix: offd has " + std::to_string(offd.ncols) +
+                    " columns, expected colmap size " +
+                    std::to_string(colmap.size()));
+  if (Status s = check::csr_well_formed(diag, "DistMatrix diag",
+                                        /*require_sorted_unique=*/false);
+      s != Status::kOk)
+    return s;
+  if (Status s = check::csr_well_formed(offd, "DistMatrix offd",
+                                        /*require_sorted_unique=*/false);
+      s != Status::kOk)
+    return s;
+  return check::colmap_ownership(colmap, first_col(), last_col(),
+                                 global_cols, "DistMatrix colmap");
 }
 
 std::vector<Long> even_partition(Long n, int nranks) {

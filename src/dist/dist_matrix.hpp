@@ -10,6 +10,7 @@
 #include "dist/simmpi.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/vector_ops.hpp"
+#include "support/error.hpp"
 
 namespace hpamg {
 
@@ -47,6 +48,14 @@ class DistMatrix {
 
   /// Structural invariants (shapes, colmap sorted/unique/off-rank).
   void validate() const;
+
+  /// Distributed-ownership audit (support/check.hpp invariant layer):
+  /// row/col partitions contiguous over `nranks` ranks and ending at the
+  /// global shape, my_rank in range, diag/offd blocks well-formed CSR, and
+  /// every colmap entry sorted, unique, and owned by some *other* rank.
+  /// Returns kOk or kInvalidInput with the diagnosis in
+  /// check::last_error(). Rank-local (no communication).
+  Status check_partition(int nranks) const;
 };
 
 /// One global row as (global column, value) pairs.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/check.hpp"
 #include "support/trace.hpp"
 
 namespace hpamg {
@@ -63,6 +64,35 @@ HaloExchange::HaloExchange(simmpi::Comm& comm,
     for (Long g : theirs) sp.local_idx.push_back(Int(g - base));
     send_peers_.push_back(sp);
   }
+  // Cross-rank audit that the freshly built send/recv lists mirror.
+  // Collective, so it must run on every rank or none: the guard depends
+  // only on build flags and the process-wide HPAMG_CHECK_LEVEL, which all
+  // rank-threads share.
+  HPAMG_CHECK_INVARIANT(check::Depth::kFull, check_symmetry());
+}
+
+Status HaloExchange::check_symmetry() {
+  const int nranks = comm_.size();
+  const int me = comm_.rank();
+  // All-to-all count exchange (zeros included) — symmetric by construction,
+  // so an asymmetric pattern yields a mismatch, never a missing-message
+  // hang. Uses the last tag of this instance's block.
+  const int tag = tag_base_ + simmpi::Comm::kTagBlockSize - 1;
+  std::vector<Long> ships_to(nranks, 0);
+  for (const SendPeer& sp : send_peers_)
+    ships_to[sp.rank] += Long(sp.local_idx.size());
+  for (int r = 0; r < nranks; ++r)
+    if (r != me) comm_.send(r, tag, &ships_to[r], sizeof(Long));
+  std::vector<Long> peer_sends(nranks, 0);
+  std::vector<Long> recv_counts(nranks, 0);
+  for (const RecvPeer& rp : recv_peers_) recv_counts[rp.rank] += rp.count;
+  for (int r = 0; r < nranks; ++r) {
+    if (r == me) continue;
+    const std::vector<Long> claim = comm_.recv_vec<Long>(r, tag);
+    peer_sends[r] = claim.empty() ? 0 : claim[0];
+  }
+  return check::halo_counts_mirror(peer_sends, recv_counts, me,
+                                   "HaloExchange");
 }
 
 template <typename T>

@@ -19,6 +19,7 @@
 
 #include "dist/dist_matrix.hpp"
 #include "dist/simmpi.hpp"
+#include "support/error.hpp"
 
 namespace hpamg {
 
@@ -42,6 +43,14 @@ class HaloExchange {
 
   Int ext_size() const { return ext_size_; }
   int num_peers() const { return int(send_peers_.size() + recv_peers_.size()); }
+
+  /// Collective symmetry audit (support/check.hpp invariant layer): every
+  /// rank tells every peer how many elements it will ship, and each rank
+  /// verifies the claims mirror its own recv segments. All ranks must call
+  /// this together (the constructor does, at full checking depth, in
+  /// -DHPAMG_CHECK=ON builds). Returns kOk or kInvalidInput with the
+  /// mismatching peer in check::last_error().
+  Status check_symmetry();
 
  private:
   template <typename T>

@@ -39,18 +39,18 @@ struct KrylovOptions {
 };
 
 /// (Preconditioned) conjugate gradient. Pass a null precond for plain CG.
-KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
+[[nodiscard]] KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
                  const KrylovOptions& opt = {},
                  const Preconditioner& precond = nullptr);
 
 /// Right-preconditioned restarted GMRES(m).
-KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
+[[nodiscard]] KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
                    const KrylovOptions& opt = {},
                    const Preconditioner& precond = nullptr);
 
 /// Flexible GMRES(m): the preconditioner may change between iterations
 /// (stores the preconditioned basis Z).
-KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
+[[nodiscard]] KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
                     const KrylovOptions& opt = {},
                     const Preconditioner& precond = nullptr);
 

@@ -1,0 +1,207 @@
+#include "support/check.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace hpamg::check {
+
+namespace {
+thread_local std::string t_last_error;
+
+Depth parse_depth_env() {
+  const char* env = std::getenv("HPAMG_CHECK_LEVEL");
+  if (env == nullptr || *env == '\0') return Depth::kFull;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0 || v > 2) return Depth::kFull;
+  return static_cast<Depth>(v);
+}
+}  // namespace
+
+Depth depth() {
+  // Parsed once; a process does not change its checking depth mid-run.
+  static const Depth d = parse_depth_env();
+  return d;
+}
+
+const std::string& last_error() { return t_last_error; }
+
+namespace detail {
+Status fail(Status s, std::string msg) {
+  t_last_error = std::move(msg);
+  return s;
+}
+}  // namespace detail
+
+namespace {
+/// Success path: clears the thread's diagnosis so last_error() never
+/// reports a stale failure after a passing validator.
+Status ok() {
+  t_last_error.clear();
+  return Status::kOk;
+}
+}  // namespace
+
+Status csr_well_formed(const CSRMatrix& A, const char* what,
+                       bool require_sorted_unique) {
+  std::ostringstream os;
+  os << "check: " << what << ": ";
+  if (A.nrows < 0 || A.ncols < 0) {
+    os << "negative shape " << A.nrows << " x " << A.ncols;
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  if (A.rowptr.size() != std::size_t(A.nrows) + 1) {
+    os << "rowptr size " << A.rowptr.size() << ", expected " << A.nrows + 1;
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  if (A.rowptr[0] != 0) {
+    os << "rowptr[0] = " << A.rowptr[0] << ", expected 0";
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  for (Int i = 0; i < A.nrows; ++i) {
+    if (A.rowptr[i + 1] < A.rowptr[i]) {
+      os << "rowptr not monotone at row " << i << " (" << A.rowptr[i]
+         << " -> " << A.rowptr[i + 1] << ")";
+      return detail::fail(Status::kInvalidInput, os.str());
+    }
+  }
+  const std::size_t nnz = std::size_t(A.rowptr[A.nrows]);
+  if (A.colidx.size() != nnz || A.values.size() != nnz) {
+    os << "colidx/values sizes " << A.colidx.size() << "/" << A.values.size()
+       << ", expected nnz = " << nnz;
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  for (Int i = 0; i < A.nrows; ++i) {
+    Int prev = -1;
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      const Int c = A.colidx[k];
+      if (c < 0 || c >= A.ncols) {
+        os << "row " << i << ": column index " << c << " outside [0, "
+           << A.ncols << ")";
+        return detail::fail(Status::kInvalidInput, os.str());
+      }
+      if (require_sorted_unique && c <= prev) {
+        os << "row " << i << ": columns not strictly ascending (" << prev
+           << " then " << c << ")";
+        return detail::fail(Status::kInvalidInput, os.str());
+      }
+      prev = c;
+    }
+  }
+  return ok();
+}
+
+Status csr_finite(const CSRMatrix& A, const char* what) {
+  for (Int i = 0; i < A.nrows; ++i) {
+    for (Int k = A.rowptr[i]; k < A.rowptr[i + 1]; ++k) {
+      if (!std::isfinite(A.values[k])) {
+        std::ostringstream os;
+        os << "check: " << what << ": non-finite value at row " << i
+           << ", column " << A.colidx[k];
+        return detail::fail(Status::kInvalidInput, os.str());
+      }
+    }
+  }
+  return ok();
+}
+
+Status interp_shape(const CSRMatrix& P, Int fine_rows, Int coarse_rows,
+                    const char* what) {
+  if (P.nrows != fine_rows || P.ncols != coarse_rows) {
+    std::ostringstream os;
+    os << "check: " << what << ": interpolation is " << P.nrows << " x "
+       << P.ncols << ", expected " << fine_rows << " x " << coarse_rows
+       << " (fine x coarse)";
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  return ok();
+}
+
+Status partition(const std::vector<Long>& starts, int nranks, Long total,
+                 const char* what) {
+  std::ostringstream os;
+  os << "check: " << what << ": ";
+  if (starts.size() != std::size_t(nranks) + 1) {
+    os << "partition has " << starts.size() << " boundaries, expected "
+       << nranks + 1;
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  if (starts.front() != 0) {
+    os << "partition starts at " << starts.front() << ", expected 0";
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  for (int p = 0; p < nranks; ++p) {
+    if (starts[p + 1] < starts[p]) {
+      os << "partition not monotone at rank " << p << " (" << starts[p]
+         << " -> " << starts[p + 1] << ")";
+      return detail::fail(Status::kInvalidInput, os.str());
+    }
+  }
+  if (starts.back() != total) {
+    os << "partition ends at " << starts.back() << ", expected " << total;
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  return ok();
+}
+
+Status colmap_ownership(const std::vector<Long>& colmap, Long own_first,
+                        Long own_last, Long global_cols, const char* what) {
+  Long prev = -1;
+  for (std::size_t j = 0; j < colmap.size(); ++j) {
+    const Long g = colmap[j];
+    std::ostringstream os;
+    os << "check: " << what << ": colmap[" << j << "] = " << g;
+    if (g < 0 || g >= global_cols) {
+      os << " outside [0, " << global_cols << ")";
+      return detail::fail(Status::kInvalidInput, os.str());
+    }
+    if (g <= prev) {
+      os << " not strictly ascending after " << prev;
+      return detail::fail(Status::kInvalidInput, os.str());
+    }
+    if (g >= own_first && g < own_last) {
+      os << " lies in this rank's own span [" << own_first << ", "
+         << own_last << ") — diag/offd split is corrupt";
+      return detail::fail(Status::kInvalidInput, os.str());
+    }
+    prev = g;
+  }
+  return ok();
+}
+
+Status halo_counts_mirror(const std::vector<Long>& peer_sends,
+                          const std::vector<Long>& recv_counts, int my_rank,
+                          const char* what) {
+  if (peer_sends.size() != recv_counts.size()) {
+    std::ostringstream os;
+    os << "check: " << what << ": rank " << my_rank
+       << ": peer-send table has " << peer_sends.size()
+       << " entries, recv table " << recv_counts.size();
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  for (std::size_t p = 0; p < peer_sends.size(); ++p) {
+    if (peer_sends[p] != recv_counts[p]) {
+      std::ostringstream os;
+      os << "check: " << what << ": rank " << my_rank
+         << ": halo lists not mirrored with rank " << p << " — peer ships "
+         << peer_sends[p] << " elements, this rank expects "
+         << recv_counts[p];
+      return detail::fail(Status::kInvalidInput, os.str());
+    }
+  }
+  return ok();
+}
+
+Status vectors_match(std::size_t n, std::size_t b_size, std::size_t x_size,
+                     const char* what) {
+  if (b_size != n || x_size != n) {
+    std::ostringstream os;
+    os << "check: " << what << ": vector sizes b = " << b_size
+       << ", x = " << x_size << ", expected " << n;
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  return ok();
+}
+
+}  // namespace hpamg::check

@@ -1,0 +1,143 @@
+// Debug invariant checkers: structural validators for the data structures
+// the solver's correctness rests on, compiled to no-ops in release builds.
+//
+// Two layers:
+//
+//  - The validator *functions* (csr_well_formed, interp_shape, partition,
+//    halo_counts_mirror, ...) are always compiled and callable from any
+//    build — tests exercise them directly and corrupted inputs must yield
+//    the documented Status (kInvalidInput), never UB or silence. Each
+//    returns Status::kOk or records a human-readable diagnosis retrievable
+//    via last_error() (thread-local, so concurrent solves don't interleave
+//    messages).
+//
+//  - The call *sites* at level-build and solver-entry boundaries go through
+//    HPAMG_CHECK_INVARIANT, which compiles to nothing unless the build sets
+//    -DHPAMG_CHECK=ON (CMake option -> HPAMG_CHECK_ENABLED). In an enabled
+//    build the depth is chosen at runtime by the HPAMG_CHECK_LEVEL
+//    environment variable: 0 = off, 1 = cheap structural checks (shape and
+//    index-range sweeps), 2 = full (adds value scans and cross-rank count
+//    exchanges). Default when compiled in is 2 — a check build is expected
+//    to check.
+//
+// Layering: this header may use matrix/ types but must not include amg/ or
+// dist/ (enforced by tools/hpamg_lint include-hygiene). Domain aggregates —
+// whole-hierarchy consistency, distributed ownership, halo symmetry — are
+// composed from these primitives inside amg/ and dist/ themselves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "support/common.hpp"
+#include "support/error.hpp"
+
+namespace hpamg::check {
+
+#if defined(HPAMG_CHECK_ENABLED)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+/// Runtime checking depth (HPAMG_CHECK_LEVEL). Ordered: kFull implies
+/// kCheap.
+enum class Depth : int { kOff = 0, kCheap = 1, kFull = 2 };
+
+/// The process-wide depth: parsed from HPAMG_CHECK_LEVEL once on first
+/// use; defaults to kFull when the env var is absent or malformed.
+Depth depth();
+
+/// True when an enabled build should run checks of at least `min` depth.
+/// In a non-HPAMG_CHECK build this is constant-false and the compiler
+/// removes the guarded call entirely.
+inline bool active(Depth min = Depth::kCheap) {
+  if constexpr (!kCompiled) return false;
+  return static_cast<int>(depth()) >= static_cast<int>(min);
+}
+
+/// Diagnosis recorded by the most recent failing validator on this thread
+/// ("" if the last validator passed).
+const std::string& last_error();
+
+namespace detail {
+/// Records `msg` as last_error() and returns `s` (validator failure path).
+Status fail(Status s, std::string msg);
+}  // namespace detail
+
+// ------------------------------------------------------------------------
+// Validators (always compiled; every failure returns Status::kInvalidInput
+// with a diagnosis in last_error())
+// ------------------------------------------------------------------------
+
+/// CSR well-formedness: rowptr has size nrows+1 with rowptr[0] == 0 and
+/// monotone entries, colidx/values sized to nnz, every column index in
+/// [0, ncols). With `require_sorted_unique`, column indices must also be
+/// strictly ascending within each row (the contract all optimized kernels
+/// assume). `what` labels the matrix in the diagnosis.
+Status csr_well_formed(const CSRMatrix& A, const char* what,
+                       bool require_sorted_unique = true);
+
+/// Every stored value is finite (kFull-depth scan).
+Status csr_finite(const CSRMatrix& A, const char* what);
+
+/// Interpolation shape agreement: P maps a coarse space of `coarse_rows`
+/// unknowns into a fine space of `fine_rows` (P is fine_rows x coarse_rows).
+/// The Galerkin size chain follows: A_{l+1} must have coarse_rows rows.
+Status interp_shape(const CSRMatrix& P, Int fine_rows, Int coarse_rows,
+                    const char* what);
+
+/// Contiguous partition sanity: `starts` has nranks+1 entries, begins at 0,
+/// is non-decreasing, and ends at `total`.
+Status partition(const std::vector<Long>& starts, int nranks, Long total,
+                 const char* what);
+
+/// Distributed-ownership check for a compressed off-diagonal column map:
+/// sorted, unique, every global id in [0, global_cols) and *outside* this
+/// rank's own span [own_first, own_last) — an owned column appearing in the
+/// halo means the diag/offd split is corrupt.
+Status colmap_ownership(const std::vector<Long>& colmap, Long own_first,
+                        Long own_last, Long global_cols, const char* what);
+
+/// Halo-exchange symmetry, rank-local view after an all-to-all count
+/// exchange: `peer_sends[p]` is the element count rank p claims it ships to
+/// this rank, `recv_counts[p]` the count this rank's pattern expects from
+/// rank p. The pattern is symmetric iff the two agree for every peer —
+/// a mismatch means send/recv lists do not mirror across ranks.
+Status halo_counts_mirror(const std::vector<Long>& peer_sends,
+                          const std::vector<Long>& recv_counts, int my_rank,
+                          const char* what);
+
+/// Solver-entry vector shape check: b and x must both have `n` elements.
+Status vectors_match(std::size_t n, std::size_t b_size, std::size_t x_size,
+                     const char* what);
+
+// ------------------------------------------------------------------------
+// Enforcement at call sites
+// ------------------------------------------------------------------------
+
+/// Escalates a failed validator into the existing error taxonomy: throws
+/// SolverError carrying the validator's Status and diagnosis. No-op on kOk.
+inline void enforce(Status s) {
+  if (s != Status::kOk) throw SolverError(s, last_error());
+}
+
+}  // namespace hpamg::check
+
+/// Invariant call site: evaluates `expr` (a check:: validator call) and
+/// throws SolverError(status, diagnosis) on violation — but only in a
+/// -DHPAMG_CHECK=ON build running at >= `min_depth`; otherwise the whole
+/// statement, including `expr`'s argument evaluation, compiles away.
+#if defined(HPAMG_CHECK_ENABLED)
+#define HPAMG_CHECK_INVARIANT(min_depth, expr)              \
+  do {                                                      \
+    if (::hpamg::check::active(min_depth)) {                \
+      ::hpamg::check::enforce(expr);                        \
+    }                                                       \
+  } while (0)
+#else
+#define HPAMG_CHECK_INVARIANT(min_depth, expr) \
+  do {                                         \
+  } while (0)
+#endif
