@@ -1,6 +1,7 @@
 #include "support/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -28,8 +29,13 @@ std::uint64_t steady_ns() {
 }
 
 /// One thread's recording target. Owned by the registry (so it outlives
-/// the thread — simmpi rank threads exit before export); written only by
-/// its thread, read only after that thread quiesces.
+/// the thread — simmpi rank threads exit before export). Two access
+/// contracts coexist:
+///   - `total` is atomic: the owner publishes it with release stores, so
+///     stats() may count events on a track that is still recording.
+///   - `ring` (the event payloads) is written lock-free by the owner only
+///     and read exclusively after that thread quiesces (the export path).
+///     `capacity` is immutable once the track is published.
 struct TrackBuffer {
   int pid = 0;
   int tid = 0;
@@ -37,26 +43,39 @@ struct TrackBuffer {
   std::string thread_name;
   std::size_t capacity = kDefaultCapacity;
   std::vector<Event> ring;
-  std::uint64_t total = 0;  ///< events ever pushed (>= ring.size())
+  std::atomic<std::uint64_t> total{0};  ///< events ever pushed
 
   void push(const Event& e) {
-    if (ring.size() < capacity)
+    const std::uint64_t n = total.load(std::memory_order_relaxed);
+    if (n < capacity)
       ring.push_back(e);
     else
-      ring[std::size_t(total % capacity)] = e;
-    ++total;
+      ring[std::size_t(n % capacity)] = e;
+    total.store(n + 1, std::memory_order_release);
   }
 
-  std::uint64_t dropped() const { return total - ring.size(); }
+  /// Ring-free (safe against a live owner): the owner pushes
+  /// sequentially, so ring.size() == min(total, capacity) always holds.
+  std::uint64_t held() const {
+    return std::min<std::uint64_t>(
+        total.load(std::memory_order_acquire), capacity);
+  }
 
-  /// Oldest-to-newest traversal across the wrap point.
+  std::uint64_t dropped() const {
+    const std::uint64_t n = total.load(std::memory_order_acquire);
+    return n > capacity ? n - capacity : 0;
+  }
+
+  /// Oldest-to-newest traversal across the wrap point. Reads event
+  /// payloads: owner-quiesced contexts only (export).
   template <typename F>
   void for_each(F&& f) const {
-    if (total <= ring.size()) {
+    const std::uint64_t n = total.load(std::memory_order_acquire);
+    if (n <= ring.size()) {
       for (const Event& e : ring) f(e);
       return;
     }
-    const std::size_t start = std::size_t(total % capacity);
+    const std::size_t start = std::size_t(n % capacity);
     for (std::size_t i = 0; i < ring.size(); ++i)
       f(ring[(start + i) % ring.size()]);
   }
@@ -246,8 +265,10 @@ TraceStats stats() {
   std::lock_guard<std::mutex> lock(R.mu);
   TraceStats s;
   s.tracks = R.tracks.size();
+  // Counts only, via the atomic `total` — tracks may still be recording
+  // (stats() is safe against live writers; export is not).
   for (const auto& t : R.tracks) {
-    s.recorded += t->ring.size();
+    s.recorded += t->held();
     s.dropped += t->dropped();
   }
   return s;
