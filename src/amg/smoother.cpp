@@ -4,6 +4,7 @@
 
 #include "matrix/permute.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -42,6 +43,8 @@ void HybridGSBaseline::sweep(const CSRMatrix& A, const Vector& b, Vector& x,
                              Vector& temp, bool forward,
                              const signed char* cf, signed char want,
                              WorkCounters* wc) const {
+  TRACE_SPAN("smoother.gs_baseline", "kernel", "rows",
+             std::int64_t(A.nrows));
   copy(x, temp);
   const int nt = int(bounds_.size()) - 1;
   std::vector<WorkCounters> counters(wc ? nt : 0);
@@ -133,6 +136,8 @@ HybridGSOptimized::HybridGSOptimized(const CSRMatrix& A, int parts) {
 void HybridGSOptimized::sweep(const Vector& b, Vector& x, Vector& temp,
                               Int row_lo, Int row_hi, bool forward,
                               bool zero_init, WorkCounters* wc) const {
+  TRACE_SPAN("smoother.gs_optimized", "kernel", "rows",
+             std::int64_t(A_.nrows));
   if (row_hi < 0) row_hi = A_.nrows;
   if (!zero_init) copy(x, temp);
   const int nt = int(bounds_.size()) - 1;

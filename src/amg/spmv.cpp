@@ -53,6 +53,7 @@ void spmv_transpose(const CSRMatrix& A, const Vector& x, Vector& y,
 
 void spmv_residual(const CSRMatrix& A, const Vector& x, const Vector& b,
                    Vector& r, WorkCounters* wc) {
+  TRACE_SPAN("spmv.residual", "kernel", "rows", std::int64_t(A.nrows));
   require(Int(r.size()) >= A.nrows, "spmv_residual: r too small");
   const double* HPAMG_RESTRICT xp = x.data();
   const double* HPAMG_RESTRICT bp = b.data();
@@ -70,6 +71,8 @@ void spmv_residual(const CSRMatrix& A, const Vector& x, const Vector& b,
 double spmv_residual_norm2sq_fused(const CSRMatrix& A, const Vector& x,
                                    const Vector& b, Vector& r,
                                    WorkCounters* wc) {
+  TRACE_SPAN("spmv.residual_fused", "kernel", "rows",
+             std::int64_t(A.nrows));
   require(Int(r.size()) >= A.nrows, "spmv_residual fused: r too small");
   const double* HPAMG_RESTRICT xp = x.data();
   const double* HPAMG_RESTRICT bp = b.data();
@@ -90,6 +93,8 @@ double spmv_residual_norm2sq_fused(const CSRMatrix& A, const Vector& x,
 
 void interp_add_identity_block(const CSRMatrix& Pf, const Vector& e,
                                Vector& x, Int nc, WorkCounters* wc) {
+  TRACE_SPAN("spmv.interp_identity", "kernel", "rows",
+             std::int64_t(Pf.nrows));
   require(Pf.ncols == nc, "interp_add_identity_block: shape mismatch");
   const double* HPAMG_RESTRICT ep = e.data();
   double* HPAMG_RESTRICT xp = x.data();
@@ -108,6 +113,7 @@ void interp_add_identity_block(const CSRMatrix& Pf, const Vector& e,
 
 void restrict_identity_block(const CSRMatrix& PfT, const Vector& r,
                              Vector& rc, Int nc, WorkCounters* wc) {
+  TRACE_SPAN("spmv.restrict_identity", "kernel", "rows", std::int64_t(nc));
   require(PfT.nrows == nc, "restrict_identity_block: shape mismatch");
   const double* HPAMG_RESTRICT rp = r.data();
   double* HPAMG_RESTRICT rcp = rc.data();

@@ -2,6 +2,7 @@
 
 #include "support/parallel.hpp"
 #include "support/sort.hpp"
+#include "support/trace.hpp"
 
 namespace hpamg {
 
@@ -28,6 +29,7 @@ CSRMatrix transpose_serial(const CSRMatrix& A, WorkCounters* wc) {
 }
 
 CSRMatrix transpose_parallel(const CSRMatrix& A, WorkCounters* wc) {
+  TRACE_SPAN("matrix.transpose", "kernel", "rows", std::int64_t(A.nrows));
   const Long nnz = A.nnz();
   CSRMatrix T(A.ncols, A.nrows);
   if (nnz == 0) return T;

@@ -197,6 +197,8 @@ CSRMatrix spgemm_onepass(const CSRMatrix& A, const CSRMatrix& B,
 
 void spgemm_numeric_only(const CSRMatrix& A, const CSRMatrix& B, CSRMatrix& C,
                          WorkCounters* wc) {
+  TRACE_SPAN("spgemm.numeric_only", "kernel", "rows",
+             std::int64_t(A.nrows));
   require(A.ncols == B.nrows && C.nrows == A.nrows && C.ncols == B.ncols,
           "spgemm_numeric_only: shape mismatch");
   const int nt = num_threads();
@@ -230,6 +232,7 @@ void spgemm_numeric_only(const CSRMatrix& A, const CSRMatrix& B, CSRMatrix& C,
 }
 
 CSRMatrix csr_add(const CSRMatrix& A, const CSRMatrix& B, WorkCounters* wc) {
+  TRACE_SPAN("spgemm.csr_add", "kernel", "rows", std::int64_t(A.nrows));
   require(A.nrows == B.nrows && A.ncols == B.ncols, "csr_add: shape mismatch");
   CSRMatrix C(A.nrows, A.ncols);
   const int nt = num_threads();
