@@ -46,11 +46,15 @@ void HybridGSBaseline::sweep(const CSRMatrix& A, const Vector& b, Vector& x,
   TRACE_SPAN("smoother.gs_baseline", "kernel", "rows",
              std::int64_t(A.nrows));
   copy(x, temp);
+  // Partitions are independent within a sweep (in-partition columns read
+  // x in Gauss-Seidel order, external columns read the pre-sweep copy), so
+  // the partition count is a numerical knob, not a thread count: iterate
+  // partitions on the ambient team instead of forcing a team of nt threads
+  // (which oversubscribes badly for large gs_partitions).
   const int nt = int(bounds_.size()) - 1;
   std::vector<WorkCounters> counters(wc ? nt : 0);
-#pragma omp parallel num_threads(nt)
-  {
-    const int t = omp_get_thread_num();
+#pragma omp parallel for schedule(static)
+  for (int t = 0; t < nt; ++t) {
     const Int is = bounds_[t], ie = bounds_[t + 1];
     WorkCounters local;
     for (Int s = 0; s < ie - is; ++s) {
@@ -140,11 +144,13 @@ void HybridGSOptimized::sweep(const Vector& b, Vector& x, Vector& temp,
              std::int64_t(A_.nrows));
   if (row_hi < 0) row_hi = A_.nrows;
   if (!zero_init) copy(x, temp);
+  // As in the baseline sweep: partitions are independent within a sweep,
+  // so they are distributed over the ambient team rather than forcing a
+  // num_threads(nt) team per call.
   const int nt = int(bounds_.size()) - 1;
   std::vector<WorkCounters> counters(wc ? nt : 0);
-#pragma omp parallel num_threads(nt)
-  {
-    const int t = omp_get_thread_num();
+#pragma omp parallel for schedule(static)
+  for (int t = 0; t < nt; ++t) {
     const Int is = std::max(bounds_[t], row_lo);
     const Int ie = std::min(bounds_[t + 1], row_hi);
     WorkCounters local;
