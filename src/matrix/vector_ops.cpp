@@ -21,6 +21,7 @@ void axpy(double alpha, const Vector& x, Vector& y, WorkCounters* wc) {
   const Int n = Int(x.size());
   const double* HPAMG_RESTRICT xp = x.data();
   double* HPAMG_RESTRICT yp = y.data();
+  // lint: no-span(BLAS1 body; the calling solver phase holds the span)
 #pragma omp parallel for schedule(static)
   for (Int i = 0; i < n; ++i) yp[i] += alpha * xp[i];
   count_stream(wc, n, 2, 1, 2 * std::uint64_t(n));
@@ -31,6 +32,7 @@ void xpby(const Vector& x, double beta, Vector& y, WorkCounters* wc) {
   const Int n = Int(x.size());
   const double* HPAMG_RESTRICT xp = x.data();
   double* HPAMG_RESTRICT yp = y.data();
+  // lint: no-span(BLAS1 body; the calling solver phase holds the span)
 #pragma omp parallel for schedule(static)
   for (Int i = 0; i < n; ++i) yp[i] = xp[i] + beta * yp[i];
   count_stream(wc, n, 2, 1, 2 * std::uint64_t(n));
@@ -39,6 +41,7 @@ void xpby(const Vector& x, double beta, Vector& y, WorkCounters* wc) {
 void scale(double alpha, Vector& x, WorkCounters* wc) {
   const Int n = Int(x.size());
   double* HPAMG_RESTRICT xp = x.data();
+  // lint: no-span(BLAS1 body; the calling solver phase holds the span)
 #pragma omp parallel for schedule(static)
   for (Int i = 0; i < n; ++i) xp[i] *= alpha;
   count_stream(wc, n, 1, 1, std::uint64_t(n));
@@ -50,6 +53,7 @@ double dot(const Vector& x, const Vector& y, WorkCounters* wc) {
   const double* HPAMG_RESTRICT xp = x.data();
   const double* HPAMG_RESTRICT yp = y.data();
   double acc = 0.0;
+  // lint: no-span(BLAS1 body; the calling solver phase holds the span)
 #pragma omp parallel for schedule(static) reduction(+ : acc)
   for (Int i = 0; i < n; ++i) acc += xp[i] * yp[i];
   count_stream(wc, n, 2, 0, 2 * std::uint64_t(n));
@@ -63,6 +67,7 @@ double norm2(const Vector& x, WorkCounters* wc) {
 void set_zero(Vector& x) {
   const Int n = Int(x.size());
   double* HPAMG_RESTRICT xp = x.data();
+  // lint: no-span(BLAS1 body; the calling solver phase holds the span)
 #pragma omp parallel for schedule(static)
   for (Int i = 0; i < n; ++i) xp[i] = 0.0;
 }
@@ -72,6 +77,7 @@ void copy(const Vector& src, Vector& dst) {
   const Int n = Int(src.size());
   const double* HPAMG_RESTRICT sp = src.data();
   double* HPAMG_RESTRICT dp = dst.data();
+  // lint: no-span(BLAS1 body; the calling solver phase holds the span)
 #pragma omp parallel for schedule(static)
   for (Int i = 0; i < n; ++i) dp[i] = sp[i];
 }

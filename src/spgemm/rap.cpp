@@ -30,6 +30,7 @@ struct ChunkedOutput {
     exclusive_scan(C.rowptr);
     C.colidx.resize(C.rowptr[nrows]);
     C.values.resize(C.rowptr[nrows]);
+    // lint: no-span(chunk-assembly helper; the rap_* kernels that call it hold the span)
 #pragma omp parallel num_threads(nt)
     {
       const int t = omp_get_thread_num();

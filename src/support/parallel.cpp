@@ -12,6 +12,7 @@ Long scan_impl(std::vector<T>& v) {
   const int nt = num_threads();
   if (m == 0) return 0;
   std::vector<Long> partial(nt + 1, 0);
+  // lint: no-span(generic parallel-for/reduce scaffolding; the calling kernel owns the span)
 #pragma omp parallel num_threads(nt)
   {
     const int t = omp_get_thread_num();

@@ -28,6 +28,7 @@ inline std::pair<Int, Int> chunk_range(Int n, int nparts, int p) {
 /// Parallel loop over [begin, end) with static scheduling.
 template <typename F>
 void parallel_for(Int begin, Int end, F&& f) {
+  // lint: no-span(generic parallel-for/reduce scaffolding; the calling kernel owns the span)
 #pragma omp parallel for schedule(static)
   for (Int i = begin; i < end; ++i) f(i);
 }
@@ -35,6 +36,7 @@ void parallel_for(Int begin, Int end, F&& f) {
 /// Parallel loop with dynamic scheduling for irregular per-row work.
 template <typename F>
 void parallel_for_dynamic(Int begin, Int end, F&& f) {
+  // lint: no-span(generic parallel-for/reduce scaffolding; the calling kernel owns the span)
 #pragma omp parallel for schedule(dynamic, 64)
   for (Int i = begin; i < end; ++i) f(i);
 }
@@ -43,6 +45,7 @@ void parallel_for_dynamic(Int begin, Int end, F&& f) {
 template <typename F>
 double parallel_reduce_sum(Int begin, Int end, F&& f) {
   double acc = 0.0;
+  // lint: no-span(generic parallel-for/reduce scaffolding; the calling kernel owns the span)
 #pragma omp parallel for schedule(static) reduction(+ : acc)
   for (Int i = begin; i < end; ++i) acc += f(i);
   return acc;
@@ -52,6 +55,7 @@ double parallel_reduce_sum(Int begin, Int end, F&& f) {
 template <typename F>
 double parallel_reduce_max(Int begin, Int end, F&& f) {
   double acc = 0.0;
+  // lint: no-span(generic parallel-for/reduce scaffolding; the calling kernel owns the span)
 #pragma omp parallel for schedule(static) reduction(max : acc)
   for (Int i = begin; i < end; ++i) acc = std::max(acc, f(i));
   return acc;

@@ -21,6 +21,7 @@ std::vector<T> sort_unique_impl(std::vector<T> keys) {
     return keys;
   }
   std::vector<std::vector<T>> runs(nt);
+  // lint: no-span(sort building block; the calling setup kernel holds the enclosing span)
 #pragma omp parallel num_threads(nt)
   {
     const int t = omp_get_thread_num();
@@ -33,6 +34,7 @@ std::vector<T> sort_unique_impl(std::vector<T> keys) {
   // Pairwise merge tree; each level halves the number of runs. Merges at the
   // same level are independent and run in parallel.
   for (int width = 1; width < nt; width *= 2) {
+  // lint: no-span(sort building block; the calling setup kernel holds the enclosing span)
 #pragma omp parallel for schedule(dynamic, 1)
     for (int t = 0; t < nt; t += 2 * width) {
       if (t + width >= nt) continue;
@@ -71,6 +73,7 @@ void parallel_counting_sort(Int n, Int nkeys, const Int* keys,
   // chunk. Laid out so the offset pass below assigns each (key, thread)
   // pair a disjoint output range, preserving stability within a thread.
   std::vector<std::vector<Int>> counts(nt, std::vector<Int>(nkeys, 0));
+  // lint: no-span(sort building block; the calling setup kernel holds the enclosing span)
 #pragma omp parallel num_threads(nt)
   {
     const int t = omp_get_thread_num();
@@ -89,6 +92,7 @@ void parallel_counting_sort(Int n, Int nkeys, const Int* keys,
     }
   }
   bucket_ptr[nkeys] = Int(run);
+  // lint: no-span(sort building block; the calling setup kernel holds the enclosing span)
 #pragma omp parallel num_threads(nt)
   {
     const int t = omp_get_thread_num();
