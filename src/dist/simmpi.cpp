@@ -372,7 +372,7 @@ void Comm::send(int to, int tag, const void* data, std::size_t bytes,
       ++pt.size_hist[msg_size_bucket(bytes)];
     }
     if (metrics::enabled()) {
-      static metrics::Histogram& h = metrics::histogram("simmpi.msg_bytes");
+      static metrics::Histogram& h = metrics::histogram("comm.msg_bytes");
       h.observe_always(bytes);
     }
   }
