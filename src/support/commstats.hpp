@@ -1,0 +1,98 @@
+// Per-rank communication counters — pure data, no transport.
+//
+// These live in support/ (not dist/) because they are consumed below the
+// distributed layer: SolveReport embeds a CommStats per phase
+// (support/report.hpp) and the perfmodel costs one into network time —
+// neither needs the simmpi runtime, and support/ must not include amg/ or
+// dist/ (the layering rule hpamg_lint's include-hygiene check enforces).
+// The types keep the hpamg::simmpi namespace: they are defined by the
+// simmpi transport contract and every producer/consumer already names
+// them that way. dist/simmpi.hpp re-exports this header.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace hpamg::simmpi {
+
+/// Power-of-two message-size histogram resolution: bucket 0 holds 0-byte
+/// messages (never recorded — zero-byte sends are protocol acks), bucket
+/// k >= 1 holds [2^(k-1), 2^k) bytes; sizes at or beyond 64 MB land in the
+/// last bucket. Same convention as metrics::Histogram.
+inline constexpr int kMsgSizeBuckets = 28;
+
+constexpr int msg_size_bucket(std::uint64_t bytes) {
+  const int b = bytes == 0 ? 0 : std::bit_width(bytes);
+  return b < kMsgSizeBuckets ? b : kMsgSizeBuckets - 1;
+}
+
+/// Smallest message size that maps to bucket `b`.
+constexpr std::uint64_t msg_size_bucket_floor(int b) {
+  return b == 0 ? 0 : std::uint64_t(1) << (b - 1);
+}
+
+/// Traffic sent from one rank to one peer (indexed by destination rank in
+/// CommStats::per_peer).
+struct PeerTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  /// Message count per size bucket (msg_size_bucket). The network model
+  /// classifies each message eager vs. rendezvous from this instead of the
+  /// aggregate mean, so mixed small/large exchanges are costed correctly
+  /// (perfmodel/network.hpp); all-zero for hand-built CommStats.
+  std::array<std::uint64_t, kMsgSizeBuckets> size_hist{};
+};
+
+/// Per-rank communication counters — inputs to the network model.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t allreduces = 0;
+  std::uint64_t request_setups = 0;     ///< per-message setup work performed
+  std::uint64_t persistent_starts = 0;  ///< Startall calls on prebuilt reqs
+  /// Outgoing traffic split by destination rank (sized to the world inside
+  /// simmpi::run; may be empty for hand-built CommStats).
+  std::vector<PeerTraffic> per_peer;
+
+  CommStats& operator+=(const CommStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    allreduces += o.allreduces;
+    request_setups += o.request_setups;
+    persistent_starts += o.persistent_starts;
+    if (per_peer.size() < o.per_peer.size()) per_peer.resize(o.per_peer.size());
+    for (std::size_t p = 0; p < o.per_peer.size(); ++p) {
+      per_peer[p].messages += o.per_peer[p].messages;
+      per_peer[p].bytes += o.per_peer[p].bytes;
+      for (int b = 0; b < kMsgSizeBuckets; ++b)
+        per_peer[p].size_hist[b] += o.per_peer[p].size_hist[b];
+    }
+    return *this;
+  }
+
+  /// Counters accumulated since `base` was captured (base must be an
+  /// earlier snapshot of the same rank's stats).
+  CommStats delta_since(const CommStats& base) const {
+    CommStats d;
+    d.messages_sent = messages_sent - base.messages_sent;
+    d.bytes_sent = bytes_sent - base.bytes_sent;
+    d.allreduces = allreduces - base.allreduces;
+    d.request_setups = request_setups - base.request_setups;
+    d.persistent_starts = persistent_starts - base.persistent_starts;
+    d.per_peer.resize(per_peer.size());
+    for (std::size_t p = 0; p < per_peer.size(); ++p) {
+      const PeerTraffic before =
+          p < base.per_peer.size() ? base.per_peer[p] : PeerTraffic{};
+      d.per_peer[p].messages = per_peer[p].messages - before.messages;
+      d.per_peer[p].bytes = per_peer[p].bytes - before.bytes;
+      for (int b = 0; b < kMsgSizeBuckets; ++b)
+        d.per_peer[p].size_hist[b] =
+            per_peer[p].size_hist[b] - before.size_hist[b];
+    }
+    return d;
+  }
+};
+
+}  // namespace hpamg::simmpi

@@ -19,7 +19,7 @@
 #include <utility>
 #include <vector>
 
-#include "dist/simmpi.hpp"
+#include "support/commstats.hpp"
 #include "support/common.hpp"
 #include "support/counters.hpp"
 #include "support/metrics.hpp"
