@@ -1,0 +1,16 @@
+// lint-fixture-path: src/amg/bad_discard.cpp
+// Violation fixture: both ways of silently discarding a Status result.
+// expect: nodiscard-status
+#include "amg/hierarchy.hpp"
+#include "support/check.hpp"
+
+namespace hpamg {
+
+void ignores_status(const Hierarchy& h, const CSRMatrix& A) {
+  // Bare-statement call: the Status return value evaporates.
+  check_hierarchy(h);
+  // Explicit cast-away without a waiver comment.
+  (void)check::csr_well_formed(A, "A");
+}
+
+}  // namespace hpamg

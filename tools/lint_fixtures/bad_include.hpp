@@ -1,0 +1,14 @@
+// lint-fixture-path: src/support/bad_include.hpp
+// Violation fixture: header hygiene — <iostream> in a header, and a
+// support/ file reaching up into the dist/ layer.
+// expect: include-hygiene
+// expect: include-hygiene
+#pragma once
+
+#include <iostream>
+
+#include "dist/simmpi.hpp"
+
+namespace hpamg {
+inline void noisy() { std::cout << "hi\n"; }
+}  // namespace hpamg

@@ -1,0 +1,13 @@
+// lint-fixture-path: src/amg/bad_metric.cpp
+// Violation fixture: a metric registered outside the approved dotted
+// namespaces (amg. / comm. / mem. / fault. / trace.).
+// expect: metric-names
+#include "support/metrics.hpp"
+
+namespace hpamg {
+
+void register_rogue_metric() {
+  metrics::counter("solver.iterations").add(1);
+}
+
+}  // namespace hpamg

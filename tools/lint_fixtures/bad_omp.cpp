@@ -1,0 +1,13 @@
+// lint-fixture-path: src/amg/bad_omp.cpp
+// Violation fixture: a parallel region invisible to the tracer.
+// expect: omp-trace-span
+#include "matrix/csr.hpp"
+
+namespace hpamg {
+
+void untraced_kernel(Vector& y) {
+#pragma omp parallel for
+  for (Int i = 0; i < Int(y.size()); ++i) y[i] *= 2.0;
+}
+
+}  // namespace hpamg

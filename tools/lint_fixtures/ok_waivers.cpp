@@ -1,0 +1,23 @@
+// lint-fixture-path: src/amg/ok_waivers.cpp
+// Clean fixture: each rule's waiver comment in its documented position —
+// nothing may fire.
+// expect: clean
+#include "amg/hierarchy.hpp"
+#include "support/check.hpp"
+#include "support/metrics.hpp"
+
+namespace hpamg {
+
+void waived_everything(const Hierarchy& h, Vector& y) {
+  // lint: discard-ok(probing for side effects only; status irrelevant here)
+  check_hierarchy(h);
+
+  // lint: no-span(sub-microsecond doubling loop; a span would dominate)
+#pragma omp parallel for
+  for (Int i = 0; i < Int(y.size()); ++i) y[i] *= 2.0;
+
+  // lint: metric-name-ok(legacy dashboard name, scheduled for migration)
+  metrics::counter("legacy.iterations").add(1);
+}
+
+}  // namespace hpamg
