@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
     const int passes = repeat.count + (repeat.warmup() ? 1 : 0);
     for (int i = 0; i < passes; ++i) {
       const bool warm = repeat.warmup() && i == 0;
+      if (!warm) begin_timed_repeat();
       WorkCounters wh, wr, wc, wu;
       Timer t;
       rap_fused_hypre(R, Ap, P, &wh);

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
       std::vector<double> renum_samples, local_samples;
       const int passes = repeat.count + (repeat.warmup() ? 1 : 0);
       for (int p = 0; p < passes; ++p) {
+        if (!(repeat.warmup() && p == 0)) begin_timed_repeat();
         std::vector<DistSpgemmInfo> infos(ranks);
         std::vector<WorkCounters> wcs(ranks);
         simmpi::run(ranks, [&](simmpi::Comm& c) {

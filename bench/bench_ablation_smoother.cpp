@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
       std::vector<double> setup_samples, solve_samples;
       const int passes = repeat.count + (repeat.warmup() ? 1 : 0);
       for (int p = 0; p < passes; ++p) {
+        if (!(repeat.warmup() && p == 0)) begin_timed_repeat();
         Timer t;
         AMGSolver amg(A, o);
         const double setup = t.seconds();

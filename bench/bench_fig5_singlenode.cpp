@@ -50,6 +50,7 @@ RunResult run(const CSRMatrix& A, Variant v, double alpha, double rtol,
     }
   }
   for (int i = 0; i < repeat.count; ++i) {
+    begin_timed_repeat();
     Timer t;
     AMGSolver amg(A, table3_options(v, alpha));
     r.setup_samples.push_back(t.seconds());

@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
           std::vector<double> setup_samples, solve_samples;
           WeakResult r;
           for (int i = 0; i < repeat.count; ++i) {
+            begin_timed_repeat();
             r = run_weak(input, n, ranks, scheme, v, rtol);
             setup_samples.push_back(r.setup_s);
             solve_samples.push_back(r.solve_s);

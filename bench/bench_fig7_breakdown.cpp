@@ -95,6 +95,7 @@ int main(int argc, char** argv) {
     if (repeat.warmup()) one_pass();
     std::vector<std::vector<double>> bar_samples(6);
     for (int i = 0; i < repeat.count; ++i) {
+      begin_timed_repeat();
       const std::vector<double> pass = one_pass();
       for (int k = 0; k < 6; ++k) bar_samples[k].push_back(pass[k]);
     }

@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
       if (repeat.warmup()) one_pass();
       std::vector<double> setup_samples, solve_samples;
       for (int i = 0; i < repeat.count; ++i) {
+        begin_timed_repeat();
         const auto [ps, pv] = one_pass();
         setup_samples.push_back(ps);
         solve_samples.push_back(pv);

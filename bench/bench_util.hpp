@@ -174,6 +174,19 @@ struct Repeat {
   bool warmup() const { return count > 1; }
 };
 
+/// Call at the top of EVERY timed repeat body (including the first). When
+/// the registry is live (--json runs), this zeroes it so the envelope
+/// snapshot taken at finish() describes exactly one timed repeat — the
+/// last, which for a deterministic solver carries the same work counters
+/// as the median-timed one — instead of accumulating warm-up plus all N
+/// repeats. Without it, `comm.msg_bytes` and friends scale with --repeat,
+/// so baselines recorded at --repeat 3 would be incomparable to local
+/// --repeat 1 runs. No-op when metrics are off, so untimed paths and
+/// non-JSON runs are unaffected.
+inline void begin_timed_repeat() {
+  if (metrics::enabled()) metrics::reset();
+}
+
 /// Attaches `<key>_seconds` (median) plus `<key>_min_seconds` /
 /// `<key>_mad_seconds` when the sample has more than one repeat.
 inline void add_time_metrics(BenchReport::Run& run, const std::string& key,

@@ -156,7 +156,244 @@ void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched (multi-RHS) cycle. Mirrors vcycle_level exactly — same smoother
+// order, same restriction/prolongation sequence, no extra norms — so each
+// column evolves bitwise-identically to a scalar cycle on that column.
+// ---------------------------------------------------------------------------
+
+/// Per-column fallback for smoothers without a batched variant: gathers
+/// column j into the level's scalar scratch, runs the scalar sweep, and
+/// scatters back. Bitwise-equal by construction, but re-streams the matrix
+/// once per column.
+void smooth_multi_fallback(const Hierarchy& h, Level& L, const MultiVector& B,
+                           MultiVector& X, bool pre, bool zero_init,
+                           WorkCounters* wc) {
+  for (Int j = 0; j < X.m; ++j) {
+    gather_column(B, j, L.b);
+    gather_column(X, j, L.x);
+    smooth(h, L, L.b, L.x, pre, zero_init, wc);
+    scatter_column(L.x, j, X);
+  }
+}
+
+void smooth_multi(const Hierarchy& h, Level& L, MultiRhsWorkspace& W, Int l,
+                  const MultiVector& B, MultiVector& X, bool pre,
+                  bool zero_init, WorkCounters* wc) {
+  TRACE_SPAN("smoother.multi", "kernel", "rows", std::int64_t(L.n));
+  const AMGOptions& o = h.opts;
+  MultiVector& Temp = W.temp[std::size_t(l)];
+  for (Int sweep = 0; sweep < o.num_sweeps; ++sweep) {
+    const bool zi = zero_init && sweep == 0;
+    switch (o.smoother) {
+      case SmootherKind::kJacobi:
+        jacobi_sweep_multi(L.A, B, X, Temp, 2.0 / 3.0, 0, L.n, wc);
+        break;
+      case SmootherKind::kHybridGS: {
+        if (!L.gs_opt) {
+          smooth_multi_fallback(h, L, B, X, pre, zi, wc);
+          return;  // the fallback already loops num_sweeps internally
+        }
+        const bool cf = o.cf_smoothing && L.nc > 0;
+        if (!cf) {
+          L.gs_opt->sweep_multi(B, X, Temp, 0, L.n, true, zi, wc);
+        } else if (pre) {
+          L.gs_opt->sweep_multi(B, X, Temp, 0, L.nc, true, zi, wc);
+          L.gs_opt->sweep_multi(B, X, Temp, L.nc, L.n, true, false, wc);
+        } else {
+          L.gs_opt->sweep_multi(B, X, Temp, L.nc, L.n, true, false, wc);
+          L.gs_opt->sweep_multi(B, X, Temp, 0, L.nc, true, false, wc);
+        }
+        break;
+      }
+      case SmootherKind::kLexGS:
+      case SmootherKind::kMultiColorGS:
+        smooth_multi_fallback(h, L, B, X, pre, zi, wc);
+        return;  // ditto: internal num_sweeps loop
+    }
+  }
+}
+
+void coarse_solve_multi(Hierarchy& h, Level& L, MultiRhsWorkspace& W, Int l,
+                        const MultiVector& B, MultiVector& X,
+                        WorkCounters* wc) {
+  if (h.coarse_lu.size() == L.n && L.n > 0) {
+    for (Int j = 0; j < B.m; ++j) {
+      gather_column(B, j, L.b);
+      h.coarse_lu.solve(L.b.data(), L.x.data());
+      scatter_column(L.x, j, X);
+    }
+    if (wc) wc->flops += std::uint64_t(L.n) * L.n * std::uint64_t(B.m);
+    return;
+  }
+  set_zero(X);
+  for (int s = 0; s < 8; ++s)
+    smooth_multi(h, L, W, l, B, X, s % 2 == 0, s == 0, wc);
+}
+
+void vcycle_level_multi(Hierarchy& h, Int l, PhaseTimes* pt,
+                        WorkCounters* wc, bool zero_entry = true) {
+  TRACE_SPAN("cycle.level_multi", std::int64_t(l));
+  Level& L = h.levels[l];
+  MultiRhsWorkspace& W = h.multi_ws;
+  const Int m = W.m;
+  const bool optimized = h.opts.variant == Variant::kOptimized;
+  MultiVector& Wb = W.b[std::size_t(l)];
+  MultiVector& Wx = W.x[std::size_t(l)];
+  if (l == h.num_levels() - 1) {
+    Timer t;
+    coarse_solve_multi(h, L, W, l, Wb, Wx, wc);
+    if (pt) pt->add("Solve_etc", t.seconds());
+    return;
+  }
+  Level& N = h.levels[l + 1];
+  MultiVector& Wr = W.r[std::size_t(l)];
+  MultiVector& Wrc = W.rc_pre[std::size_t(l)];
+  MultiVector& Nb = W.b[std::size_t(l + 1)];
+  MultiVector& Nx = W.x[std::size_t(l + 1)];
+
+  {
+    Timer t;
+    smooth_multi(h, L, W, l, Wb, Wx, /*pre=*/true,
+                 /*zero_init=*/l > 0 && zero_entry, wc);
+    if (pt) pt->add("GS", t.seconds());
+  }
+
+  {
+    Timer t;
+    spmv_residual_multi(L.A, Wx, Wb, Wr, wc);
+    if (optimized) {
+      restrict_identity_block_multi(L.PfT, Wr, Wrc, L.nc, wc);
+      const std::vector<Int>& perm = N.perm.perm;
+      if (!perm.empty()) {
+        const double* HPAMG_RESTRICT src = Wrc.data.data();
+        double* HPAMG_RESTRICT dst = Nb.data.data();
+        parallel_for(0, N.n, [&](Int i) {
+          const double* HPAMG_RESTRICT s = src + std::size_t(perm[i]) * m;
+          double* HPAMG_RESTRICT d = dst + std::size_t(i) * m;
+          for (Int j = 0; j < m; ++j) d[j] = s[j];
+        });
+      } else {
+        copy(Wrc, Nb);
+      }
+    } else {
+      CSRMatrix R = transpose_serial(L.P, wc);
+      spmv_multi(R, Wr, Nb, wc);
+    }
+    if (pt) pt->add("SpMV", t.seconds());
+  }
+
+  set_zero(Nx);
+  for (Int g = 0; g < std::max<Int>(1, h.opts.cycle_gamma); ++g)
+    vcycle_level_multi(h, l + 1, pt, wc, /*zero_entry=*/g == 0);
+
+  {
+    Timer t;
+    if (optimized) {
+      const std::vector<Int>& perm = N.perm.perm;
+      if (!perm.empty()) {
+        const double* HPAMG_RESTRICT src = Nx.data.data();
+        double* HPAMG_RESTRICT dst = Wrc.data.data();
+        parallel_for(0, N.n, [&](Int i) {
+          const double* HPAMG_RESTRICT s = src + std::size_t(i) * m;
+          double* HPAMG_RESTRICT d = dst + std::size_t(perm[i]) * m;
+          for (Int j = 0; j < m; ++j) d[j] = s[j];
+        });
+        interp_add_identity_block_multi(L.Pf, Wrc, Wx, L.nc, wc);
+      } else {
+        interp_add_identity_block_multi(L.Pf, Nx, Wx, L.nc, wc);
+      }
+    } else {
+      MultiVector& Wtemp = W.temp[std::size_t(l)];
+      spmv_multi(L.P, Nx, Wtemp, wc);
+      const std::vector<double> ones(std::size_t(m), 1.0);
+      axpy_columns(ones, Wtemp, Wx, wc);
+    }
+    if (pt) pt->add("SpMV", t.seconds());
+  }
+
+  {
+    Timer t;
+    smooth_multi(h, L, W, l, Wb, Wx, /*pre=*/false, /*zero_init=*/false, wc);
+    if (pt) pt->add("GS", t.seconds());
+  }
+}
+
 }  // namespace
+
+void ensure_multi_workspace(Hierarchy& h, Int m) {
+  require(m > 0, "ensure_multi_workspace: m must be positive");
+  MultiRhsWorkspace& W = h.multi_ws;
+  const std::size_t nl = h.levels.size();
+  if (W.m == m && W.b.size() == nl) return;
+  W.m = m;
+  W.b.resize(nl);
+  W.x.resize(nl);
+  W.temp.resize(nl);
+  W.r.resize(nl);
+  W.rc_pre.resize(nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    const Int n = h.levels[l].n;
+    const Int nc = std::max<Int>(h.levels[l].nc, 1);
+    W.b[l].resize(n, m);
+    W.x[l].resize(n, m);
+    W.temp[l].resize(n, m);
+    W.r[l].resize(n, m);
+    W.rc_pre[l].resize(nc, m);
+  }
+}
+
+void vcycle_workspace_multi(Hierarchy& h, const MultiVector& B_work,
+                            MultiVector& X_work, PhaseTimes* pt,
+                            WorkCounters* wc) {
+  require(!h.levels.empty(), "vcycle_multi: empty hierarchy");
+  require(B_work.m == X_work.m, "vcycle_multi: column count mismatch");
+  ensure_multi_workspace(h, B_work.m);
+  copy(B_work, h.multi_ws.b[0]);
+  copy(X_work, h.multi_ws.x[0]);
+  vcycle_level_multi(h, 0, pt, wc);
+  copy(h.multi_ws.x[0], X_work);
+}
+
+void vcycle_multi(Hierarchy& h, const MultiVector& B, MultiVector& X,
+                  PhaseTimes* pt, WorkCounters* wc) {
+  TRACE_SPAN("cycle.v_multi", "phase");
+  require(!h.levels.empty(), "vcycle_multi: empty hierarchy");
+  require(B.m == X.m, "vcycle_multi: column count mismatch");
+  ensure_multi_workspace(h, B.m);
+  Level& L0 = h.levels[0];
+  MultiVector& Wb = h.multi_ws.b[0];
+  MultiVector& Wx = h.multi_ws.x[0];
+  const bool permuted = h.opts.variant == Variant::kOptimized &&
+                        !L0.perm.perm.empty();
+  if (!permuted) {
+    copy(B, Wb);
+    copy(X, Wx);
+    vcycle_level_multi(h, 0, pt, wc);
+    copy(Wx, X);
+    return;
+  }
+  Timer t;
+  const Int m = B.m;
+  const std::vector<Int>& perm = L0.perm.perm;
+  parallel_for(0, L0.n, [&](Int i) {
+    const std::size_t src = std::size_t(perm[i]) * m;
+    const std::size_t dst = std::size_t(i) * m;
+    for (Int j = 0; j < m; ++j) {
+      Wb.data[dst + j] = B.data[src + j];
+      Wx.data[dst + j] = X.data[src + j];
+    }
+  });
+  if (pt) pt->add("Solve_etc", t.seconds());
+  vcycle_level_multi(h, 0, pt, wc);
+  t.reset();
+  parallel_for(0, L0.n, [&](Int i) {
+    const std::size_t src = std::size_t(i) * m;
+    const std::size_t dst = std::size_t(perm[i]) * m;
+    for (Int j = 0; j < m; ++j) X.data[dst + j] = h.multi_ws.x[0].data[src + j];
+  });
+  if (pt) pt->add("Solve_etc", t.seconds());
+}
 
 void vcycle_workspace(Hierarchy& h, const Vector& b_work, Vector& x_work,
                       PhaseTimes* pt, WorkCounters* wc) {

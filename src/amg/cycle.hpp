@@ -27,4 +27,22 @@ void vcycle(Hierarchy& h, const Vector& b, Vector& x,
 void vcycle_workspace(Hierarchy& h, const Vector& b_work, Vector& x_work,
                       PhaseTimes* pt = nullptr, WorkCounters* wc = nullptr);
 
+/// Sizes h.multi_ws for m right-hand sides (no-op if already sized). The
+/// batched cycle entry points below call this themselves; benches may call
+/// it up front to keep allocation out of timed regions.
+void ensure_multi_workspace(Hierarchy& h, Int m);
+
+/// Batched V-cycle over all columns of B/X (original input ordering).
+/// Column j of the result is bitwise-equal to vcycle() applied to column j
+/// alone when the smoother has a batched variant (hybrid GS optimized,
+/// Jacobi); other smoothers fall back to per-column sweeps and are equal by
+/// construction.
+void vcycle_multi(Hierarchy& h, const MultiVector& B, MultiVector& X,
+                  PhaseTimes* pt = nullptr, WorkCounters* wc = nullptr);
+
+/// Batched V-cycle with B/X already in level-0 working (permuted) order.
+void vcycle_workspace_multi(Hierarchy& h, const MultiVector& B_work,
+                            MultiVector& X_work, PhaseTimes* pt = nullptr,
+                            WorkCounters* wc = nullptr);
+
 }  // namespace hpamg

@@ -110,10 +110,20 @@ struct LevelMemory {
   std::uint64_t workspace_bytes = 0;
 };
 
+/// Per-level multi-RHS solve workspace: the batched analogue of the
+/// Level::{b,x,temp,r,rc_pre} scratch vectors, sized lazily for a given
+/// column count by ensure_multi_workspace (cycle.hpp). Kept out of Level so
+/// single-RHS solves pay nothing for the multi-RHS capability.
+struct MultiRhsWorkspace {
+  Int m = 0;  ///< column count the per-level multivectors are sized for
+  std::vector<MultiVector> b, x, temp, r, rc_pre;  ///< indexed per level
+};
+
 struct Hierarchy {
   AMGOptions opts;
   std::vector<Level> levels;
   LUSolver coarse_lu;
+  MultiRhsWorkspace multi_ws;  ///< lazily sized; see ensure_multi_workspace
   PhaseTimes setup_times;   ///< Strength+Coarsen / Interp / RAP / Setup_etc
   WorkCounters setup_work;
   std::vector<LevelStats> stats;

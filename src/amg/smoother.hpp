@@ -15,6 +15,7 @@
 // the initial guess is zero (common for coarse-level pre-smoothing).
 #pragma once
 
+#include "amg/multivector.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/vector_ops.hpp"
 #include "support/counters.hpp"
@@ -25,6 +26,14 @@ namespace hpamg {
 void jacobi_sweep(const CSRMatrix& A, const Vector& b, Vector& x,
                   Vector& temp, double weight = 2.0 / 3.0, Int row_lo = 0,
                   Int row_hi = -1, WorkCounters* wc = nullptr);
+
+/// Batched weighted Jacobi: one sweep applied to every column of X. The
+/// matrix row streams once per column block; per column the arithmetic
+/// order matches jacobi_sweep exactly (bitwise-equal results).
+void jacobi_sweep_multi(const CSRMatrix& A, const MultiVector& B,
+                        MultiVector& X, MultiVector& Temp,
+                        double weight = 2.0 / 3.0, Int row_lo = 0,
+                        Int row_hi = -1, WorkCounters* wc = nullptr);
 
 // ---------------------------------------------------------------------------
 // Baseline hybrid GS (Fig 2a): per-column ownership branch, per-column
@@ -73,6 +82,14 @@ class HybridGSOptimized {
   void sweep(const Vector& b, Vector& x, Vector& temp, Int row_lo, Int row_hi,
              bool forward = true, bool zero_init = false,
              WorkCounters* wc = nullptr) const;
+
+  /// Batched sweep: one hybrid-GS sweep applied to every column of X.
+  /// Column j of the result is bitwise-equal to sweep() on column j alone —
+  /// the partition/row/column-segment order is identical, only the matrix
+  /// entries are reused across the columns of a block.
+  void sweep_multi(const MultiVector& B, MultiVector& X, MultiVector& Temp,
+                   Int row_lo, Int row_hi, bool forward = true,
+                   bool zero_init = false, WorkCounters* wc = nullptr) const;
 
   const std::vector<Int>& thread_bounds() const { return bounds_; }
   std::uint64_t footprint_bytes() const {

@@ -176,6 +176,118 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
   return res;
 }
 
+MultiSolveResult AMGSolver::solve_multi(const MultiVector& B, MultiVector& X,
+                                        double rtol, Int max_iterations) {
+  TRACE_SPAN("amg.solve_multi", "phase");
+  MultiSolveResult res;
+  Level& L0 = h_.levels[0];
+  const Int m = B.m;
+  require(B.n == L0.n && X.n == L0.n && X.m == m,
+          "AMGSolver::solve_multi: shape mismatch");
+  require(m > 0, "AMGSolver::solve_multi: no right-hand sides");
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::csr_well_formed(L0.A, "AMGSolver::solve_multi A0"));
+  HPAMG_CHECK_INVARIANT(check::Depth::kFull, check_hierarchy(h_));
+  const bool optimized = h_.opts.variant == Variant::kOptimized;
+  const bool permuted = optimized && !L0.perm.perm.empty();
+  PhaseTimes& pt = res.solve_times;
+  WorkCounters* wc = &res.solve_work;
+  ensure_multi_workspace(h_, m);
+
+  // Keep working multivectors permuted across the whole solve, exactly as
+  // the scalar solve does with its bw/xw pair.
+  MultiVector BW(L0.n, m), XW(L0.n, m), R(L0.n, m);
+  {
+    Timer t;
+    if (permuted) {
+      const std::vector<Int>& perm = L0.perm.perm;
+      parallel_for(0, L0.n, [&](Int i) {
+        const std::size_t src = std::size_t(perm[i]) * m;
+        const std::size_t dst = std::size_t(i) * m;
+        for (Int j = 0; j < m; ++j) {
+          BW.data[dst + j] = B.data[src + j];
+          XW.data[dst + j] = X.data[src + j];
+        }
+      });
+    } else {
+      copy(B, BW);
+      copy(X, XW);
+    }
+    pt.add("Solve_etc", t.seconds());
+  }
+
+  Timer t_blas;
+  std::vector<double> normb = norm2sq_columns(BW, wc);
+  pt.add("BLAS1", t_blas.seconds());
+  for (double& nb : normb) nb = nb > 0.0 ? std::sqrt(nb) : 1.0;
+
+  std::vector<double> norms2sq;
+  std::vector<double> relres(std::size_t(m), 0.0);
+  res.col_iterations.assign(std::size_t(m), -1);
+  auto update_relres = [&](Int it) {
+    bool all_done = true;
+    bool finite = true;
+    for (Int j = 0; j < m; ++j) {
+      relres[std::size_t(j)] =
+          std::sqrt(norms2sq[std::size_t(j)]) / normb[std::size_t(j)];
+      if (!std::isfinite(relres[std::size_t(j)])) finite = false;
+      if (relres[std::size_t(j)] < rtol) {
+        if (res.col_iterations[std::size_t(j)] < 0)
+          res.col_iterations[std::size_t(j)] = it;
+      } else {
+        all_done = false;
+      }
+    }
+    if (!finite && res.nonfinite_iteration < 0) res.nonfinite_iteration = it;
+    return finite ? (all_done ? Status::kOk : Status::kMaxIterations)
+                  : Status::kNonFinite;
+  };
+
+  {
+    Timer t;
+    spmv_residual_norms2sq_fused_multi(L0.A, XW, BW, R, norms2sq, wc);
+    pt.add("SpMV", t.seconds());
+  }
+  Status st = update_relres(0);
+  if (st == Status::kOk) {
+    res.converged = true;
+    res.status = Status::kOk;
+    res.final_relres = relres;
+    return res;
+  }
+
+  for (Int it = 1; it <= max_iterations && st != Status::kNonFinite; ++it) {
+    vcycle_workspace_multi(h_, BW, XW, &pt, wc);
+    Timer t;
+    spmv_residual_norms2sq_fused_multi(L0.A, XW, BW, R, norms2sq, wc);
+    pt.add("SpMV", t.seconds());
+    res.iterations = it;
+    st = update_relres(it);
+    if (st == Status::kOk) {
+      res.converged = true;
+      res.status = Status::kOk;
+      break;
+    }
+  }
+  if (st == Status::kNonFinite) res.status = Status::kNonFinite;
+  res.final_relres = relres;
+
+  Timer t;
+  if (permuted) {
+    const std::vector<Int>& perm = L0.perm.perm;
+    parallel_for(0, L0.n, [&](Int i) {
+      const std::size_t src = std::size_t(i) * m;
+      const std::size_t dst = std::size_t(perm[i]) * m;
+      for (Int j = 0; j < m; ++j) X.data[dst + j] = XW.data[src + j];
+    });
+  } else {
+    copy(XW, X);
+  }
+  pt.add("Solve_etc", t.seconds());
+  return res;
+}
+
 SolveReport AMGSolver::report(const SolveResult* sr) const {
   SolveReport rep;
   rep.solver = "amg";
@@ -237,6 +349,12 @@ void AMGSolver::precondition(const Vector& b, Vector& x, PhaseTimes* pt,
                              WorkCounters* wc) {
   set_zero(x);
   vcycle(h_, b, x, pt, wc);
+}
+
+void AMGSolver::precondition_multi(const MultiVector& b, MultiVector& x,
+                                   PhaseTimes* pt, WorkCounters* wc) {
+  set_zero(x);
+  vcycle_multi(h_, b, x, pt, wc);
 }
 
 void AMGSolver::refresh_values(const CSRMatrix& A_new) {

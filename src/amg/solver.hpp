@@ -44,6 +44,24 @@ struct SolveResult {
   }
 };
 
+/// Result of a batched (multi-RHS) standalone AMG solve. All columns share
+/// the V-cycles: a column that reaches the tolerance early keeps riding the
+/// remaining cycles (its residual keeps shrinking), so after k cycles every
+/// column's iterate is bitwise-equal to a scalar solve run for k cycles.
+struct MultiSolveResult {
+  Int iterations = 0;   ///< cycles run (shared across columns)
+  bool converged = false;  ///< every column reached rtol
+  Status status = Status::kMaxIterations;
+  /// First iteration with a NaN/Inf residual in any column; -1 if none.
+  Int nonfinite_iteration = -1;
+  std::vector<double> final_relres;  ///< per column
+  /// Per column: first cycle at which that column's relres crossed rtol
+  /// (0 = already converged on entry; -1 = never converged).
+  std::vector<Int> col_iterations;
+  PhaseTimes solve_times;
+  WorkCounters solve_work;
+};
+
 class AMGSolver {
  public:
   /// Validates A (square, finite values, nonzero diagonals — throws
@@ -64,10 +82,25 @@ class AMGSolver {
   /// the solve stops with the failure status instead of retrying.
   static constexpr Int kMaxRecoveries = 3;
 
+  /// Batched standalone AMG: V-cycles on all columns of B simultaneously
+  /// until every column satisfies ||b_j - A x_j|| / ||b_j|| < rtol. One
+  /// pass over the hierarchy per cycle serves all m columns (the multi-RHS
+  /// amortization this solver exists for). No scrub-and-restart recovery:
+  /// a non-finite residual in any column aborts with kNonFinite.
+  [[nodiscard]] MultiSolveResult solve_multi(const MultiVector& B,
+                                             MultiVector& X,
+                                             double rtol = 1e-7,
+                                             Int max_iterations = 500);
+
   /// One V-cycle as a preconditioner apply: x = B(b), zero initial guess.
   /// b and x are in the original matrix ordering.
   void precondition(const Vector& b, Vector& x, PhaseTimes* pt = nullptr,
                     WorkCounters* wc = nullptr);
+
+  /// Batched preconditioner apply: X = B(B_rhs) per column, zero guess.
+  void precondition_multi(const MultiVector& b, MultiVector& x,
+                          PhaseTimes* pt = nullptr,
+                          WorkCounters* wc = nullptr);
 
   /// Numeric setup refresh for time-dependent problems: A_new must have
   /// the SAME sparsity pattern as the setup matrix, only different values.

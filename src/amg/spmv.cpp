@@ -1,5 +1,8 @@
 #include "amg/spmv.hpp"
 
+#include <algorithm>
+
+#include "support/check.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
@@ -13,12 +16,30 @@ void count_spmv(WorkCounters* wc, const CSRMatrix& A) {
                     std::uint64_t(A.nrows) * sizeof(Int);
   wc->bytes_written += std::uint64_t(A.nrows) * sizeof(double);
 }
+
+/// Batched-kernel accounting: the matrix structure streams once per
+/// column block (the whole point of the batching); vector traffic and
+/// flops scale with the full column count.
+void count_spmv_multi(WorkCounters* wc, const CSRMatrix& A, Int m) {
+  if (!wc) return;
+  const std::uint64_t blocks = std::uint64_t((m + kMaxRhsBlock - 1) /
+                                             kMaxRhsBlock);
+  wc->flops += 2 * std::uint64_t(A.nnz()) * std::uint64_t(m);
+  wc->bytes_read +=
+      blocks * (std::uint64_t(A.nnz()) * (sizeof(Int) + sizeof(double)) +
+                std::uint64_t(A.nrows) * sizeof(Int)) +
+      std::uint64_t(A.nnz()) * std::uint64_t(m) * sizeof(double);
+  wc->bytes_written +=
+      std::uint64_t(A.nrows) * std::uint64_t(m) * sizeof(double);
+}
 }  // namespace
 
 void spmv(const CSRMatrix& A, const Vector& x, Vector& y, WorkCounters* wc) {
   TRACE_SPAN("spmv", "kernel", "rows", std::int64_t(A.nrows));
   require(Int(x.size()) >= A.ncols && Int(y.size()) >= A.nrows,
           "spmv: vector too small");
+  HPAMG_CHECK_INVARIANT(check::Depth::kCheap,
+                        check::distinct_buffers(y.data(), x.data(), "spmv"));
   const Int* HPAMG_RESTRICT rowptr = A.rowptr.data();
   const Int* HPAMG_RESTRICT colidx = A.colidx.data();
   const double* HPAMG_RESTRICT values = A.values.data();
@@ -39,6 +60,9 @@ void spmv_transpose(const CSRMatrix& A, const Vector& x, Vector& y,
   TRACE_SPAN("spmv.transpose", "kernel", "rows", std::int64_t(A.nrows));
   require(Int(x.size()) >= A.nrows && Int(y.size()) >= A.ncols,
           "spmv_transpose: vector too small");
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::distinct_buffers(y.data(), x.data(), "spmv_transpose"));
   std::fill(y.begin(), y.begin() + A.ncols, 0.0);
   // Scatter form: sequential (concurrent scatters would race), which is
   // exactly why the baseline's transpose-per-restriction is expensive.
@@ -55,6 +79,11 @@ void spmv_residual(const CSRMatrix& A, const Vector& x, const Vector& b,
                    Vector& r, WorkCounters* wc) {
   TRACE_SPAN("spmv.residual", "kernel", "rows", std::int64_t(A.nrows));
   require(Int(r.size()) >= A.nrows, "spmv_residual: r too small");
+  // r aliasing b is fine (b[i] is read before r[i] is written); r aliasing
+  // x is not, because x is read at arbitrary column indices.
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::distinct_buffers(r.data(), x.data(), "spmv_residual"));
   const double* HPAMG_RESTRICT xp = x.data();
   const double* HPAMG_RESTRICT bp = b.data();
   double* HPAMG_RESTRICT rp = r.data();
@@ -74,6 +103,9 @@ double spmv_residual_norm2sq_fused(const CSRMatrix& A, const Vector& x,
   TRACE_SPAN("spmv.residual_fused", "kernel", "rows",
              std::int64_t(A.nrows));
   require(Int(r.size()) >= A.nrows, "spmv_residual fused: r too small");
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::distinct_buffers(r.data(), x.data(), "spmv_residual_norm2sq"));
   const double* HPAMG_RESTRICT xp = x.data();
   const double* HPAMG_RESTRICT bp = b.data();
   double* HPAMG_RESTRICT rp = r.data();
@@ -96,6 +128,9 @@ void interp_add_identity_block(const CSRMatrix& Pf, const Vector& e,
   TRACE_SPAN("spmv.interp_identity", "kernel", "rows",
              std::int64_t(Pf.nrows));
   require(Pf.ncols == nc, "interp_add_identity_block: shape mismatch");
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::distinct_buffers(x.data(), e.data(), "interp_add_identity"));
   const double* HPAMG_RESTRICT ep = e.data();
   double* HPAMG_RESTRICT xp = x.data();
 #pragma omp parallel for schedule(static)
@@ -115,6 +150,9 @@ void restrict_identity_block(const CSRMatrix& PfT, const Vector& r,
                              Vector& rc, Int nc, WorkCounters* wc) {
   TRACE_SPAN("spmv.restrict_identity", "kernel", "rows", std::int64_t(nc));
   require(PfT.nrows == nc, "restrict_identity_block: shape mismatch");
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::distinct_buffers(rc.data(), r.data(), "restrict_identity"));
   const double* HPAMG_RESTRICT rp = r.data();
   double* HPAMG_RESTRICT rcp = rc.data();
 #pragma omp parallel for schedule(static)
@@ -126,6 +164,208 @@ void restrict_identity_block(const CSRMatrix& PfT, const Vector& r,
   }
   count_spmv(wc, PfT);
   if (wc) wc->flops += std::uint64_t(nc);
+}
+
+// --------------------------------------------------------------------------
+// Batched (multi-RHS) kernels. Column blocks of kMaxRhsBlock keep the
+// accumulators on the stack; within a block the k-loop order per column is
+// identical to the scalar kernel, so each result column is bitwise-equal to
+// the scalar kernel applied to that column alone.
+// --------------------------------------------------------------------------
+
+void spmv_multi(const CSRMatrix& A, const MultiVector& X, MultiVector& Y,
+                WorkCounters* wc) {
+  TRACE_SPAN("spmv.multi", "kernel", "rows", std::int64_t(A.nrows));
+  require(X.n >= A.ncols && Y.n >= A.nrows && X.m == Y.m,
+          "spmv_multi: shape mismatch");
+  HPAMG_CHECK_INVARIANT(check::Depth::kCheap,
+                        check::distinct_buffers(Y.data.data(), X.data.data(),
+                                                "spmv_multi"));
+  const Int m = X.m;
+  const Int* HPAMG_RESTRICT rowptr = A.rowptr.data();
+  const Int* HPAMG_RESTRICT colidx = A.colidx.data();
+  const double* HPAMG_RESTRICT values = A.values.data();
+  const double* HPAMG_RESTRICT xp = X.data.data();
+  double* HPAMG_RESTRICT yp = Y.data.data();
+  for (Int j0 = 0; j0 < m; j0 += kMaxRhsBlock) {
+    const Int bw = std::min(kMaxRhsBlock, m - j0);
+#pragma omp parallel for schedule(static)
+    for (Int i = 0; i < A.nrows; ++i) {
+      double acc[kMaxRhsBlock];
+      for (Int j = 0; j < bw; ++j) acc[j] = 0.0;
+      for (Int k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        const double v = values[k];
+        const double* HPAMG_RESTRICT xr =
+            xp + std::size_t(colidx[k]) * m + j0;
+        for (Int j = 0; j < bw; ++j) acc[j] += v * xr[j];
+      }
+      double* HPAMG_RESTRICT yr = yp + std::size_t(i) * m + j0;
+      for (Int j = 0; j < bw; ++j) yr[j] = acc[j];
+    }
+  }
+  count_spmv_multi(wc, A, m);
+}
+
+void spmv_residual_multi(const CSRMatrix& A, const MultiVector& X,
+                         const MultiVector& B, MultiVector& R,
+                         WorkCounters* wc) {
+  TRACE_SPAN("spmv.residual_multi", "kernel", "rows", std::int64_t(A.nrows));
+  require(R.n >= A.nrows && B.n >= A.nrows && X.m == R.m && X.m == B.m,
+          "spmv_residual_multi: shape mismatch");
+  HPAMG_CHECK_INVARIANT(check::Depth::kCheap,
+                        check::distinct_buffers(R.data.data(), X.data.data(),
+                                                "spmv_residual_multi"));
+  const Int m = X.m;
+  const Int* HPAMG_RESTRICT rowptr = A.rowptr.data();
+  const Int* HPAMG_RESTRICT colidx = A.colidx.data();
+  const double* HPAMG_RESTRICT values = A.values.data();
+  const double* HPAMG_RESTRICT xp = X.data.data();
+  const double* HPAMG_RESTRICT bp = B.data.data();
+  double* HPAMG_RESTRICT rp = R.data.data();
+  for (Int j0 = 0; j0 < m; j0 += kMaxRhsBlock) {
+    const Int bw = std::min(kMaxRhsBlock, m - j0);
+#pragma omp parallel for schedule(static)
+    for (Int i = 0; i < A.nrows; ++i) {
+      double acc[kMaxRhsBlock];
+      const double* HPAMG_RESTRICT br = bp + std::size_t(i) * m + j0;
+      for (Int j = 0; j < bw; ++j) acc[j] = br[j];
+      for (Int k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        const double v = values[k];
+        const double* HPAMG_RESTRICT xr =
+            xp + std::size_t(colidx[k]) * m + j0;
+        for (Int j = 0; j < bw; ++j) acc[j] -= v * xr[j];
+      }
+      double* HPAMG_RESTRICT rr = rp + std::size_t(i) * m + j0;
+      for (Int j = 0; j < bw; ++j) rr[j] = acc[j];
+    }
+  }
+  count_spmv_multi(wc, A, m);
+}
+
+void spmv_residual_norms2sq_fused_multi(const CSRMatrix& A,
+                                        const MultiVector& X,
+                                        const MultiVector& B, MultiVector& R,
+                                        std::vector<double>& norms2sq,
+                                        WorkCounters* wc) {
+  TRACE_SPAN("spmv.residual_fused_multi", "kernel", "rows",
+             std::int64_t(A.nrows));
+  require(R.n >= A.nrows && B.n >= A.nrows && X.m == R.m && X.m == B.m,
+          "spmv_residual fused multi: shape mismatch");
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::distinct_buffers(R.data.data(), X.data.data(),
+                              "spmv_residual_norms2sq_multi"));
+  const Int m = X.m;
+  norms2sq.assign(std::size_t(m), 0.0);
+  const Int* HPAMG_RESTRICT rowptr = A.rowptr.data();
+  const Int* HPAMG_RESTRICT colidx = A.colidx.data();
+  const double* HPAMG_RESTRICT values = A.values.data();
+  const double* HPAMG_RESTRICT xp = X.data.data();
+  const double* HPAMG_RESTRICT bp = B.data.data();
+  double* HPAMG_RESTRICT rp = R.data.data();
+  for (Int j0 = 0; j0 < m; j0 += kMaxRhsBlock) {
+    const Int bw = std::min(kMaxRhsBlock, m - j0);
+#pragma omp parallel
+    {
+      double local[kMaxRhsBlock];
+      for (Int j = 0; j < bw; ++j) local[j] = 0.0;
+#pragma omp for schedule(static) nowait
+      for (Int i = 0; i < A.nrows; ++i) {
+        double acc[kMaxRhsBlock];
+        const double* HPAMG_RESTRICT br = bp + std::size_t(i) * m + j0;
+        for (Int j = 0; j < bw; ++j) acc[j] = br[j];
+        for (Int k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+          const double v = values[k];
+          const double* HPAMG_RESTRICT xr =
+              xp + std::size_t(colidx[k]) * m + j0;
+          for (Int j = 0; j < bw; ++j) acc[j] -= v * xr[j];
+        }
+        double* HPAMG_RESTRICT rr = rp + std::size_t(i) * m + j0;
+        for (Int j = 0; j < bw; ++j) {
+          rr[j] = acc[j];
+          local[j] += acc[j] * acc[j];  // fused: r never re-read from memory
+        }
+      }
+#pragma omp critical(hpamg_residual_norms_multi)
+      for (Int j = 0; j < bw; ++j) norms2sq[std::size_t(j0 + j)] += local[j];
+    }
+  }
+  count_spmv_multi(wc, A, m);
+  if (wc) wc->flops += 2 * std::uint64_t(A.nrows) * std::uint64_t(m);
+}
+
+void interp_add_identity_block_multi(const CSRMatrix& Pf,
+                                     const MultiVector& E, MultiVector& X,
+                                     Int nc, WorkCounters* wc) {
+  TRACE_SPAN("spmv.interp_identity_multi", "kernel", "rows",
+             std::int64_t(Pf.nrows));
+  require(Pf.ncols == nc && E.m == X.m,
+          "interp_add_identity_block_multi: shape mismatch");
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::distinct_buffers(X.data.data(), E.data.data(),
+                              "interp_add_identity_multi"));
+  const Int m = X.m;
+  const double* HPAMG_RESTRICT ep = E.data.data();
+  double* HPAMG_RESTRICT xp = X.data.data();
+#pragma omp parallel for schedule(static)
+  for (Int i = 0; i < nc; ++i) {
+    const std::size_t off = std::size_t(i) * m;
+    for (Int j = 0; j < m; ++j) xp[off + j] += ep[off + j];
+  }
+  for (Int j0 = 0; j0 < m; j0 += kMaxRhsBlock) {
+    const Int bw = std::min(kMaxRhsBlock, m - j0);
+#pragma omp parallel for schedule(static)
+    for (Int i = 0; i < Pf.nrows; ++i) {
+      double acc[kMaxRhsBlock];
+      for (Int j = 0; j < bw; ++j) acc[j] = 0.0;
+      for (Int k = Pf.rowptr[i]; k < Pf.rowptr[i + 1]; ++k) {
+        const double v = Pf.values[k];
+        const double* HPAMG_RESTRICT er =
+            ep + std::size_t(Pf.colidx[k]) * m + j0;
+        for (Int j = 0; j < bw; ++j) acc[j] += v * er[j];
+      }
+      double* HPAMG_RESTRICT xr = xp + std::size_t(nc + i) * m + j0;
+      for (Int j = 0; j < bw; ++j) xr[j] += acc[j];
+    }
+  }
+  count_spmv_multi(wc, Pf, m);
+  if (wc) wc->flops += std::uint64_t(nc) * std::uint64_t(m);
+}
+
+void restrict_identity_block_multi(const CSRMatrix& PfT, const MultiVector& r,
+                                   MultiVector& rc, Int nc,
+                                   WorkCounters* wc) {
+  TRACE_SPAN("spmv.restrict_identity_multi", "kernel", "rows",
+             std::int64_t(nc));
+  require(PfT.nrows == nc && r.m == rc.m,
+          "restrict_identity_block_multi: shape mismatch");
+  HPAMG_CHECK_INVARIANT(
+      check::Depth::kCheap,
+      check::distinct_buffers(rc.data.data(), r.data.data(),
+                              "restrict_identity_multi"));
+  const Int m = r.m;
+  const double* HPAMG_RESTRICT rp = r.data.data();
+  double* HPAMG_RESTRICT rcp = rc.data.data();
+  for (Int j0 = 0; j0 < m; j0 += kMaxRhsBlock) {
+    const Int bw = std::min(kMaxRhsBlock, m - j0);
+#pragma omp parallel for schedule(static)
+    for (Int i = 0; i < nc; ++i) {
+      double acc[kMaxRhsBlock];
+      const double* HPAMG_RESTRICT ri = rp + std::size_t(i) * m + j0;
+      for (Int j = 0; j < bw; ++j) acc[j] = ri[j];
+      for (Int k = PfT.rowptr[i]; k < PfT.rowptr[i + 1]; ++k) {
+        const double v = PfT.values[k];
+        const double* HPAMG_RESTRICT rr =
+            rp + std::size_t(nc + PfT.colidx[k]) * m + j0;
+        for (Int j = 0; j < bw; ++j) acc[j] += v * rr[j];
+      }
+      double* HPAMG_RESTRICT rcr = rcp + std::size_t(i) * m + j0;
+      for (Int j = 0; j < bw; ++j) rcr[j] = acc[j];
+    }
+  }
+  count_spmv_multi(wc, PfT, m);
+  if (wc) wc->flops += std::uint64_t(nc) * std::uint64_t(m);
 }
 
 }  // namespace hpamg

@@ -8,8 +8,16 @@
 //     P = [I; P_F], touching only the (n_l - n_{l+1}) x n_{l+1} block;
 //  3. the residual SpMV is fused with the inner product used for the
 //     residual norm, saving one write+read pass over the residual vector.
+// Aliasing contract (enforced under HPAMG_CHECK via
+// check::distinct_buffers): every kernel here writes its output row-by-row
+// while reading the operand vector at arbitrary column indices, so the
+// output must never alias the multiplied vector (y != x, r != x, x != e,
+// rc != r). The residual kernels MAY take r aliasing b: row i reads b[i]
+// before writing r[i] and rows are disjoint, so in-place b <- b - A x is
+// well-defined and allowed.
 #pragma once
 
+#include "amg/multivector.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/vector_ops.hpp"
 #include "support/counters.hpp"
@@ -43,5 +51,39 @@ void interp_add_identity_block(const CSRMatrix& Pf, const Vector& e,
 /// rc = R * r for R = [I | PfT]: rc[j] = r[j] + (PfT * r[nc:])[j].
 void restrict_identity_block(const CSRMatrix& PfT, const Vector& r,
                              Vector& rc, Int nc, WorkCounters* wc = nullptr);
+
+// ------------------------------------------------------------------------
+// Batched (multi-RHS) kernels: one pass over A applies every column of a
+// row-major multivector. Per column, the arithmetic order is identical to
+// the scalar kernel above, so column j of the result is bitwise-equal to
+// the scalar kernel applied to column j.
+// ------------------------------------------------------------------------
+
+/// Y = A * X for all columns.
+void spmv_multi(const CSRMatrix& A, const MultiVector& X, MultiVector& Y,
+                WorkCounters* wc = nullptr);
+
+/// R = B - A * X for all columns.
+void spmv_residual_multi(const CSRMatrix& A, const MultiVector& X,
+                         const MultiVector& B, MultiVector& R,
+                         WorkCounters* wc = nullptr);
+
+/// R = B - A * X, returning per-column <r_j, r_j> computed in the same
+/// pass (the §3.3 fusion, batched). `norms2sq` is resized to X.m.
+void spmv_residual_norms2sq_fused_multi(const CSRMatrix& A,
+                                        const MultiVector& X,
+                                        const MultiVector& B, MultiVector& R,
+                                        std::vector<double>& norms2sq,
+                                        WorkCounters* wc = nullptr);
+
+/// X += P * E per column for the CF-permuted P = [I; P_F].
+void interp_add_identity_block_multi(const CSRMatrix& Pf,
+                                     const MultiVector& E, MultiVector& X,
+                                     Int nc, WorkCounters* wc = nullptr);
+
+/// Rc = R * Rfine per column for R = [I | PfT].
+void restrict_identity_block_multi(const CSRMatrix& PfT, const MultiVector& r,
+                                   MultiVector& rc, Int nc,
+                                   WorkCounters* wc = nullptr);
 
 }  // namespace hpamg

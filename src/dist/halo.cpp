@@ -49,14 +49,21 @@ HaloExchange::HaloExchange(simmpi::Comm& comm,
       recv_peers_.push_back(rp);
     }
   }
-  // Handshake: tell every rank what we need (empty allowed), learn what
-  // every rank needs from us. Pattern setup is one-time work.
+  // Handshake: an alltoall of counts tells every rank who actually needs
+  // something from it, then need-lists flow only between real peers. The
+  // old protocol sent a (mostly empty) list to every rank, posting
+  // O(nranks^2) zero-length messages that skewed per-peer CommStats and
+  // the message-size histogram's zero bucket.
+  std::vector<Long> need_counts(nranks, 0);
+  for (int r = 0; r < nranks; ++r) need_counts[r] = Long(need[r].size());
+  const std::vector<Long> peer_needs = comm.alltoall(need_counts);
   for (int r = 0; r < nranks; ++r)
-    if (r != me) comm.send_vec(r, kTagNeed, need[r]);
+    if (r != me && !need[r].empty()) comm.send_vec(r, kTagNeed, need[r]);
   for (int r = 0; r < nranks; ++r) {
-    if (r == me) continue;
+    if (r == me || peer_needs[r] == 0) continue;
     std::vector<Long> theirs = comm.recv_vec<Long>(r, kTagNeed);
-    if (theirs.empty()) continue;
+    require(Long(theirs.size()) == peer_needs[r],
+            "HaloExchange: need-list size disagrees with count handshake");
     SendPeer sp;
     sp.rank = r;
     sp.local_idx.reserve(theirs.size());
@@ -74,23 +81,17 @@ HaloExchange::HaloExchange(simmpi::Comm& comm,
 Status HaloExchange::check_symmetry() {
   const int nranks = comm_.size();
   const int me = comm_.rank();
-  // All-to-all count exchange (zeros included) — symmetric by construction,
-  // so an asymmetric pattern yields a mismatch, never a missing-message
-  // hang. Uses the last tag of this instance's block.
-  const int tag = tag_base_ + simmpi::Comm::kTagBlockSize - 1;
+  // One alltoall of ship counts (zeros carried by the collective, never as
+  // point-to-point messages) — symmetric by construction, so an asymmetric
+  // pattern yields a mismatch, never a missing-message hang. A rank with an
+  // empty boundary participates in the collective but posts no messages,
+  // keeping CommStats and the size histogram free of zero-byte artifacts.
   std::vector<Long> ships_to(nranks, 0);
   for (const SendPeer& sp : send_peers_)
     ships_to[sp.rank] += Long(sp.local_idx.size());
-  for (int r = 0; r < nranks; ++r)
-    if (r != me) comm_.send(r, tag, &ships_to[r], sizeof(Long));
-  std::vector<Long> peer_sends(nranks, 0);
+  const std::vector<Long> peer_sends = comm_.alltoall(ships_to);
   std::vector<Long> recv_counts(nranks, 0);
   for (const RecvPeer& rp : recv_peers_) recv_counts[rp.rank] += rp.count;
-  for (int r = 0; r < nranks; ++r) {
-    if (r == me) continue;
-    const std::vector<Long> claim = comm_.recv_vec<Long>(r, tag);
-    peer_sends[r] = claim.empty() ? 0 : claim[0];
-  }
   return check::halo_counts_mirror(peer_sends, recv_counts, me,
                                    "HaloExchange");
 }
@@ -129,6 +130,33 @@ void HaloExchange::exchange(const std::vector<Long>& local,
   exchange_impl(local.data(), ext.data(), tag_base_ + 2);
 }
 
+void HaloExchange::exchange(const MultiVector& x_local, MultiVector& x_ext) {
+  TRACE_SPAN("halo.exchange_multi", "comm", "ext_size",
+             std::int64_t(ext_size_));
+  const Int m = x_local.m;
+  x_ext.resize(ext_size_, m);
+  const int tag = tag_base_ + 3;
+  // Pack all m values of each boundary row contiguously: one message per
+  // peer regardless of the RHS count, so per-RHS message count is 1/m of
+  // the scalar exchange while the byte volume stays m-proportional.
+  std::vector<double> buf;
+  for (const SendPeer& sp : send_peers_) {
+    buf.resize(sp.local_idx.size() * std::size_t(m));
+    for (std::size_t k = 0; k < sp.local_idx.size(); ++k) {
+      const double* HPAMG_RESTRICT row = x_local.row(sp.local_idx[k]);
+      for (Int j = 0; j < m; ++j) buf[k * std::size_t(m) + j] = row[j];
+    }
+    comm_.send(sp.rank, tag, buf.data(), buf.size() * sizeof(double),
+               persistent_);
+  }
+  for (const RecvPeer& rp : recv_peers_) {
+    std::vector<double> in = comm_.recv_vec<double>(rp.rank, tag);
+    require(Int(in.size()) == rp.count * m,
+            "HaloExchange: multi-RHS size mismatch");
+    std::copy(in.begin(), in.end(), x_ext.row(rp.offset));
+  }
+}
+
 GatheredRows gather_rows(simmpi::Comm& comm, const DistMatrix& B,
                          const std::vector<Long>& needed_rows,
                          const RowFilter& filter, bool persistent) {
@@ -149,13 +177,19 @@ GatheredRows gather_rows(simmpi::Comm& comm, const DistMatrix& B,
     req[owner].push_back(needed_rows[j]);
     req_slot[owner].push_back(Int(j));
   }
+  // Count handshake first (one collective), then request lists flow only
+  // between real peers — no zero-length request messages skewing per-peer
+  // CommStats and the message-size histogram.
+  std::vector<Long> req_counts(nranks, 0);
+  for (int r = 0; r < nranks; ++r) req_counts[r] = Long(req[r].size());
+  const std::vector<Long> peer_reqs = comm.alltoall(req_counts);
   for (int r = 0; r < nranks; ++r)
-    if (r != me) comm.send_vec(r, kTagRowReq, req[r]);
+    if (r != me && !req[r].empty()) comm.send_vec(r, kTagRowReq, req[r]);
 
   // Serve peers: serialize requested rows (lengths, global cols, values),
   // applying the sender-side filter (§4.3) if given.
   for (int r = 0; r < nranks; ++r) {
-    if (r == me) continue;
+    if (r == me || peer_reqs[r] == 0) continue;
     std::vector<Long> theirs = comm.recv_vec<Long>(r, kTagRowReq);
     std::vector<Int> lens;
     std::vector<Long> cols;

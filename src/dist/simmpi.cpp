@@ -46,6 +46,7 @@ struct Sig {
     kAllreduceSum,
     kAllreduceMax,
     kAllgather,
+    kAlltoall,
   };
   enum Dtype : std::uint8_t { kVoid = 0, kDouble, kLong };
   std::uint8_t op = kNone;
@@ -57,10 +58,10 @@ struct Sig {
   }
 
   std::string describe() const {
-    static const char* ops[] = {"none", "barrier", "allreduce_sum",
-                                "allreduce_max", "allgather"};
+    static const char* ops[] = {"none",          "barrier",   "allreduce_sum",
+                                "allreduce_max", "allgather", "alltoall"};
     static const char* types[] = {"", "<double>", "<long>"};
-    std::string s = ops[op <= kAllgather ? op : 0];
+    std::string s = ops[op <= kAlltoall ? op : 0];
     s += types[dtype <= kLong ? dtype : 0];
     return s;
   }
@@ -81,7 +82,8 @@ class World {
   World(int nranks, Clock::duration timeout)
       : nranks_(nranks), timeout_(timeout), mailboxes_(nranks),
         blocked_(nranks), sig_slots_(nranks), reduce_slots_(nranks, 0.0),
-        gather_slots_(nranks, 0) {}
+        gather_slots_(nranks, 0),
+        alltoall_slots_(std::size_t(nranks) * std::size_t(nranks), 0) {}
 
   int nranks() const { return nranks_; }
 
@@ -221,6 +223,17 @@ class World {
     return out;
   }
 
+  std::vector<Long> alltoall_long(int rank, const std::vector<Long>& send) {
+    std::copy(send.begin(), send.end(),
+              alltoall_slots_.begin() + std::size_t(rank) * nranks_);
+    collective_enter(rank, {Sig::kAlltoall, Sig::kLong, nranks_});
+    std::vector<Long> out(nranks_);
+    for (int r = 0; r < nranks_; ++r)
+      out[r] = alltoall_slots_[std::size_t(r) * nranks_ + rank];
+    barrier_sync(rank);
+    return out;
+  }
+
   /// Marks the world failed and wakes every blocked rank so it can unwind
   /// (PeerFailureError) instead of waiting on a rank that will never
   /// arrive. Idempotent; callable from any thread.
@@ -339,6 +352,7 @@ class World {
   std::vector<Sig> sig_slots_;
   std::vector<double> reduce_slots_;
   std::vector<Long> gather_slots_;
+  std::vector<Long> alltoall_slots_;  ///< rank r's row at [r*nranks, +nranks)
 };
 
 int Comm::size() const { return world_->nranks(); }
@@ -427,6 +441,13 @@ std::vector<double> Comm::allgather(double x) {
   TRACE_SPAN("mpi.allgather", "blocked");
   ++stats_.allreduces;
   return world_->allgather_double(rank_, x);
+}
+
+std::vector<Long> Comm::alltoall(const std::vector<Long>& send) {
+  TRACE_SPAN("mpi.alltoall", "blocked");
+  require(int(send.size()) == size(), "alltoall: need one entry per rank");
+  ++stats_.allreduces;
+  return world_->alltoall_long(rank_, send);
 }
 
 namespace {

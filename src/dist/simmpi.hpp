@@ -97,6 +97,12 @@ class Comm {
   /// Gathers one value from every rank (result indexed by rank).
   std::vector<Long> allgather(Long x);
   std::vector<double> allgather(double x);
+  /// Personalized all-to-all of one Long per destination: `send[r]` goes to
+  /// rank r, and the result's element r is what rank r sent here. The
+  /// canonical use is count handshakes (halo pattern setup, row-gather
+  /// sizing) — one collective instead of nranks^2 point-to-point messages,
+  /// most of them empty.
+  std::vector<Long> alltoall(const std::vector<Long>& send);
 
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }

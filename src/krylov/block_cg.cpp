@@ -1,0 +1,161 @@
+#include <cmath>
+
+#include "amg/spmv.hpp"
+#include "krylov/krylov.hpp"
+#include "support/parallel.hpp"
+#include "support/trace.hpp"
+
+namespace hpamg {
+
+namespace {
+
+/// Masked p-update: p_j = z_j + beta_j p_j for live columns, p_j untouched
+/// for frozen ones (a frozen column's direction must not change, or its
+/// iterate would drift if it were ever thawed).
+void update_directions(const MultiVector& Z, const std::vector<double>& beta,
+                       const std::vector<char>& live, MultiVector& P) {
+  const Int m = P.m;
+  const double* HPAMG_RESTRICT zp = Z.data.data();
+  const double* HPAMG_RESTRICT bp = beta.data();
+  const char* HPAMG_RESTRICT lp = live.data();
+  double* HPAMG_RESTRICT pp = P.data.data();
+  parallel_for(0, P.n, [&](Int i) {
+    const std::size_t off = std::size_t(i) * m;
+    for (Int j = 0; j < m; ++j)
+      if (lp[j]) pp[off + j] = zp[off + j] + bp[j] * pp[off + j];
+  });
+}
+
+}  // namespace
+
+BlockKrylovResult block_pcg(const CSRMatrix& A, const MultiVector& B,
+                            MultiVector& X, const KrylovOptions& opt,
+                            const MultiPreconditioner& precond) {
+  TRACE_SPAN("krylov.block_pcg", "phase", "rhs", std::int64_t(B.m));
+  const Int n = A.nrows;
+  const Int m = B.m;
+  require(B.n == n && X.n == n && X.m == m, "block_pcg: shape mismatch");
+  require(m > 0, "block_pcg: no right-hand sides");
+  BlockKrylovResult res;
+  res.final_relres.assign(std::size_t(m), 0.0);
+  res.col_iterations.assign(std::size_t(m), -1);
+
+  MultiVector R(n, m), Z(n, m), P(n, m), AP(n, m);
+  spmv_residual_multi(A, X, B, R);
+  std::vector<double> normb = norm2sq_columns(B);
+  for (double& nb : normb) nb = nb > 0.0 ? std::sqrt(nb) : 1.0;
+
+  // live = still iterating; a column leaves the live set by converging or
+  // by exact breakdown (kStagnated if it never converged).
+  std::vector<char> live(std::size_t(m), 1);
+  std::vector<char> stagnated(std::size_t(m), 0);
+  std::vector<double> rz(std::size_t(m), 0.0), alpha(std::size_t(m), 0.0),
+      beta(std::size_t(m), 0.0);
+
+  std::vector<double> rnorm = norm2sq_columns(R);
+  Int num_live = m;
+  for (Int j = 0; j < m; ++j) {
+    const double rr = std::sqrt(rnorm[std::size_t(j)]) / normb[std::size_t(j)];
+    res.final_relres[std::size_t(j)] = rr;
+    if (!std::isfinite(rr)) {
+      res.status = Status::kNonFinite;
+      res.nonfinite_iteration = 0;
+      return res;
+    }
+    if (rr < opt.rtol) {
+      live[std::size_t(j)] = 0;
+      res.col_iterations[std::size_t(j)] = 0;
+      --num_live;
+    }
+  }
+  if (num_live == 0) {
+    res.converged = true;
+    res.status = Status::kOk;
+    return res;
+  }
+
+  if (precond)
+    precond(R, Z);
+  else
+    copy(R, Z);
+  copy(Z, P);
+  rz = dot_columns(R, Z);
+
+  for (Int it = 1; it <= opt.max_iterations && num_live > 0; ++it) {
+    spmv_multi(A, P, AP);
+    const std::vector<double> pAp = dot_columns(P, AP);
+    for (Int j = 0; j < m; ++j) {
+      if (!live[std::size_t(j)]) {
+        alpha[std::size_t(j)] = 0.0;  // frozen: x_j, r_j must not move
+        continue;
+      }
+      const double d = pAp[std::size_t(j)];
+      if (!std::isfinite(d)) {
+        res.status = Status::kNonFinite;
+        res.nonfinite_iteration = it;
+        return res;
+      }
+      if (d == 0.0) {  // exact breakdown: p_j is A-null
+        live[std::size_t(j)] = 0;
+        stagnated[std::size_t(j)] = 1;
+        --num_live;
+        alpha[std::size_t(j)] = 0.0;
+        continue;
+      }
+      alpha[std::size_t(j)] = rz[std::size_t(j)] / d;
+    }
+    axpy_columns(alpha, P, X);
+    for (double& a : alpha) a = -a;
+    axpy_columns(alpha, AP, R);
+
+    rnorm = norm2sq_columns(R);
+    res.iterations = it;
+    for (Int j = 0; j < m; ++j) {
+      if (!live[std::size_t(j)]) continue;
+      const double rr =
+          std::sqrt(rnorm[std::size_t(j)]) / normb[std::size_t(j)];
+      res.final_relres[std::size_t(j)] = rr;
+      if (!std::isfinite(rr)) {
+        res.status = Status::kNonFinite;
+        res.nonfinite_iteration = it;
+        return res;
+      }
+      if (rr < opt.rtol) {
+        live[std::size_t(j)] = 0;
+        res.col_iterations[std::size_t(j)] = it;
+        --num_live;
+      }
+    }
+    if (num_live == 0) break;
+
+    if (precond)
+      precond(R, Z);
+    else
+      copy(R, Z);
+    const std::vector<double> rz_new = dot_columns(R, Z);
+    for (Int j = 0; j < m; ++j) {
+      beta[std::size_t(j)] = live[std::size_t(j)]
+                                 ? rz_new[std::size_t(j)] / rz[std::size_t(j)]
+                                 : 0.0;
+      rz[std::size_t(j)] = rz_new[std::size_t(j)];
+    }
+    update_directions(Z, beta, live, P);
+  }
+
+  bool all_converged = true;
+  bool any_live = false;
+  for (Int j = 0; j < m; ++j) {
+    if (res.col_iterations[std::size_t(j)] < 0) all_converged = false;
+    if (live[std::size_t(j)]) any_live = true;
+  }
+  res.converged = all_converged;
+  if (all_converged)
+    res.status = Status::kOk;
+  else if (!any_live)
+    res.status = Status::kStagnated;  // every straggler broke down
+  else
+    res.status = Status::kMaxIterations;
+  return res;
+}
+
+}  // namespace hpamg

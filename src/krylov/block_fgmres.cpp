@@ -1,0 +1,194 @@
+#include <cmath>
+
+#include "amg/spmv.hpp"
+#include "krylov/gmres_common.hpp"
+#include "krylov/krylov.hpp"
+#include "support/parallel.hpp"
+#include "support/trace.hpp"
+
+namespace hpamg {
+
+namespace {
+
+/// Column-wise W -= h_j * V for live columns only (dead columns keep their
+/// basis frozen so a later cycle's bookkeeping stays consistent).
+void ortho_step(const std::vector<double>& h, const std::vector<char>& live,
+                const MultiVector& V, MultiVector& W) {
+  const Int m = W.m;
+  const double* HPAMG_RESTRICT hp = h.data();
+  const char* HPAMG_RESTRICT lp = live.data();
+  const double* HPAMG_RESTRICT vp = V.data.data();
+  double* HPAMG_RESTRICT wp = W.data.data();
+  parallel_for(0, W.n, [&](Int i) {
+    const std::size_t off = std::size_t(i) * m;
+    for (Int j = 0; j < m; ++j)
+      if (lp[j]) wp[off + j] -= hp[j] * vp[off + j];
+  });
+}
+
+/// Column-wise V_dst = W * (1/scale) for live columns with scale != 0.
+void set_scaled_columns(const MultiVector& W, const std::vector<double>& scale,
+                        const std::vector<char>& live, MultiVector& V) {
+  const Int m = V.m;
+  const double* HPAMG_RESTRICT sp = scale.data();
+  const char* HPAMG_RESTRICT lp = live.data();
+  const double* HPAMG_RESTRICT wp = W.data.data();
+  double* HPAMG_RESTRICT vp = V.data.data();
+  parallel_for(0, V.n, [&](Int i) {
+    const std::size_t off = std::size_t(i) * m;
+    for (Int j = 0; j < m; ++j)
+      if (lp[j] && sp[j] != 0.0) vp[off + j] = wp[off + j] / sp[j];
+  });
+}
+
+}  // namespace
+
+BlockKrylovResult block_fgmres(const CSRMatrix& A, const MultiVector& B,
+                               MultiVector& X, const KrylovOptions& opt,
+                               const MultiPreconditioner& precond) {
+  TRACE_SPAN("krylov.block_fgmres", "phase", "rhs", std::int64_t(B.m));
+  const Int n = A.nrows;
+  const Int m = B.m;
+  require(B.n == n && X.n == n && X.m == m, "block_fgmres: shape mismatch");
+  require(m > 0, "block_fgmres: no right-hand sides");
+  const Int restart = opt.restart;
+  BlockKrylovResult res;
+  res.final_relres.assign(std::size_t(m), 0.0);
+  res.col_iterations.assign(std::size_t(m), -1);
+
+  std::vector<double> normb = norm2sq_columns(B);
+  for (double& nb : normb) nb = nb > 0.0 ? std::sqrt(nb) : 1.0;
+
+  std::vector<MultiVector> V(std::size_t(restart) + 1, MultiVector(n, m));
+  std::vector<MultiVector> Z(std::size_t(restart), MultiVector(n, m));
+  MultiVector R(n, m), W(n, m);
+  // done = globally converged; live = participating in the current cycle's
+  // Arnoldi sweep (a column leaves on convergence or lucky breakdown and
+  // re-enters, if unconverged, at the next restart).
+  std::vector<char> done(std::size_t(m), 0);
+  Int total_it = 0;
+
+  while (total_it < opt.max_iterations) {
+    spmv_residual_multi(A, X, B, R);
+    std::vector<double> beta = norm2sq_columns(R);
+    std::vector<char> live(std::size_t(m), 0);
+    Int num_live = 0;
+    for (Int j = 0; j < m; ++j) {
+      beta[std::size_t(j)] = std::sqrt(beta[std::size_t(j)]);
+      const double rr = beta[std::size_t(j)] / normb[std::size_t(j)];
+      res.final_relres[std::size_t(j)] = rr;
+      if (!std::isfinite(rr)) {
+        res.status = Status::kNonFinite;
+        res.nonfinite_iteration = total_it;
+        return res;
+      }
+      if (rr < opt.rtol) {
+        if (!done[std::size_t(j)]) {
+          done[std::size_t(j)] = 1;
+          if (res.col_iterations[std::size_t(j)] < 0)
+            res.col_iterations[std::size_t(j)] = total_it;
+        }
+      } else if (beta[std::size_t(j)] != 0.0) {
+        live[std::size_t(j)] = 1;
+        ++num_live;
+      }
+    }
+    if (num_live == 0) break;
+
+    set_scaled_columns(R, beta, live, V[0]);
+    std::vector<detail::HessenbergLS> ls;
+    ls.reserve(std::size_t(m));
+    for (Int j = 0; j < m; ++j) {
+      ls.emplace_back(restart);
+      ls.back().set_rhs(beta[std::size_t(j)]);
+    }
+    std::vector<Int> jdone(std::size_t(m), 0);  // per-column Arnoldi depth
+
+    Int j_in = 0;
+    for (; j_in < restart && total_it < opt.max_iterations && num_live > 0;
+         ++j_in, ++total_it) {
+      const MultiVector& Vj = V[std::size_t(j_in)];
+      MultiVector& Zj = Z[std::size_t(j_in)];
+      if (precond)
+        precond(Vj, Zj);
+      else
+        copy(Vj, Zj);
+      spmv_multi(A, Zj, W);
+      for (Int i = 0; i <= j_in; ++i) {
+        const std::vector<double> hij = dot_columns(W, V[std::size_t(i)]);
+        for (Int j = 0; j < m; ++j)
+          if (live[std::size_t(j)])
+            ls[std::size_t(j)].h(i, j_in) = hij[std::size_t(j)];
+        ortho_step(hij, live, V[std::size_t(i)], W);
+      }
+      std::vector<double> hn = norm2sq_columns(W);
+      for (double& h : hn) h = std::sqrt(h);
+      set_scaled_columns(W, hn, live, V[std::size_t(j_in) + 1]);
+      res.iterations = total_it + 1;
+      for (Int j = 0; j < m; ++j) {
+        if (!live[std::size_t(j)]) continue;
+        ls[std::size_t(j)].h(j_in + 1, j_in) = hn[std::size_t(j)];
+        const double rr = ls[std::size_t(j)].apply_rotations(j_in) /
+                          normb[std::size_t(j)];
+        res.final_relres[std::size_t(j)] = rr;
+        jdone[std::size_t(j)] = j_in + 1;
+        if (!std::isfinite(rr) || !std::isfinite(hn[std::size_t(j)])) {
+          // Poisoned basis: applying x += Z y would spread the NaN.
+          res.status = Status::kNonFinite;
+          res.nonfinite_iteration = total_it + 1;
+          return res;
+        }
+        if (rr < opt.rtol || hn[std::size_t(j)] == 0.0) {
+          // Converged (or lucky breakdown) mid-cycle: stop extending this
+          // column's least-squares problem; the update below uses its own
+          // depth jdone[j].
+          live[std::size_t(j)] = 0;
+          --num_live;
+        }
+      }
+    }
+
+    // Per-column flexible update x_j += sum_i y_i Z_i(:, j) at each
+    // column's own depth.
+    for (Int j = 0; j < m; ++j) {
+      const Int k = jdone[std::size_t(j)];
+      if (k == 0) continue;
+      const std::vector<double> y = ls[std::size_t(j)].solve(k);
+      double* HPAMG_RESTRICT xp = X.data.data();
+      for (Int i = 0; i < k; ++i) {
+        const double yi = y[std::size_t(i)];
+        if (yi == 0.0) continue;
+        const double* HPAMG_RESTRICT zp = Z[std::size_t(i)].data.data();
+        parallel_for(0, n, [&](Int row) {
+          xp[std::size_t(row) * m + j] += yi * zp[std::size_t(row) * m + j];
+        });
+      }
+    }
+  }
+
+  // Final true residual per column (the scalar solver does the same when
+  // it exits on the iteration cap).
+  spmv_residual_multi(A, X, B, R);
+  std::vector<double> rnorm = norm2sq_columns(R);
+  bool all_converged = true;
+  bool nonfinite = false;
+  for (Int j = 0; j < m; ++j) {
+    const double rr =
+        std::sqrt(rnorm[std::size_t(j)]) / normb[std::size_t(j)];
+    res.final_relres[std::size_t(j)] = rr;
+    if (!std::isfinite(rr)) nonfinite = true;
+    if (rr < opt.rtol) {
+      if (res.col_iterations[std::size_t(j)] < 0)
+        res.col_iterations[std::size_t(j)] = total_it;
+    } else {
+      all_converged = false;
+    }
+  }
+  res.converged = all_converged;
+  res.status = all_converged  ? Status::kOk
+               : nonfinite    ? Status::kNonFinite
+                              : Status::kMaxIterations;
+  return res;
+}
+
+}  // namespace hpamg

@@ -8,6 +8,7 @@
 
 #include <functional>
 
+#include "amg/multivector.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/vector_ops.hpp"
 #include "support/counters.hpp"
@@ -53,5 +54,46 @@ struct KrylovOptions {
 [[nodiscard]] KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
                     const KrylovOptions& opt = {},
                     const Preconditioner& precond = nullptr);
+
+// ---------------------------------------------------------------------------
+// Block (multi-RHS) Krylov: m simultaneous per-column recurrences sharing
+// the batched SpMV and one batched preconditioner apply per iteration. The
+// columns stay mathematically independent (no shared search space), so each
+// converges like the scalar method on that column — the win is bandwidth
+// amortization, matching the AMG multi-RHS path it composes with.
+// ---------------------------------------------------------------------------
+
+/// Batched preconditioner apply: Z = M^{-1} R column-wise (Z overwritten).
+using MultiPreconditioner =
+    std::function<void(const MultiVector& R, MultiVector& Z)>;
+
+struct BlockKrylovResult {
+  Int iterations = 0;      ///< iterations shared across columns
+  bool converged = false;  ///< every column reached rtol
+  /// kOk (all converged), kMaxIterations, kNonFinite (any column poisoned
+  /// — the batch aborts), kStagnated (every unconverged column broke down).
+  Status status = Status::kMaxIterations;
+  Int nonfinite_iteration = -1;
+  std::vector<double> final_relres;  ///< per column
+  /// Per column: iteration at which it converged (0 = on entry, -1 = not).
+  std::vector<Int> col_iterations;
+};
+
+/// Block PCG: per-column alpha/beta/rho recurrences; converged or
+/// broken-down columns freeze (their iterate stops changing) while the
+/// rest keep sharing the batched kernels.
+[[nodiscard]] BlockKrylovResult block_pcg(
+    const CSRMatrix& A, const MultiVector& B, MultiVector& X,
+    const KrylovOptions& opt = {},
+    const MultiPreconditioner& precond = nullptr);
+
+/// Block flexible GMRES(m): per-column Hessenberg least-squares problems
+/// over a shared batched Arnoldi sweep; each column's update uses its own
+/// inner-iteration count, so early-converging columns are not dragged
+/// through extra corrections.
+[[nodiscard]] BlockKrylovResult block_fgmres(
+    const CSRMatrix& A, const MultiVector& B, MultiVector& X,
+    const KrylovOptions& opt = {},
+    const MultiPreconditioner& precond = nullptr);
 
 }  // namespace hpamg

@@ -204,4 +204,14 @@ Status vectors_match(std::size_t n, std::size_t b_size, std::size_t x_size,
   return ok();
 }
 
+Status distinct_buffers(const void* out, const void* in, const char* what) {
+  if (out == in && out != nullptr) {
+    std::ostringstream os;
+    os << "check: " << what
+       << ": output aliases an input the kernel reads at arbitrary indices";
+    return detail::fail(Status::kInvalidInput, os.str());
+  }
+  return ok();
+}
+
 }  // namespace hpamg::check

@@ -113,6 +113,15 @@ Status halo_counts_mirror(const std::vector<Long>& peer_sends,
 Status vectors_match(std::size_t n, std::size_t b_size, std::size_t x_size,
                      const char* what);
 
+/// Kernel no-aliasing precondition: `out` must not be the same buffer as
+/// `in`. The fused residual kernels read the input vector at arbitrary
+/// column indices while writing the output row-by-row, so out == in would
+/// read partially overwritten data (out aliasing the *rhs* vector is safe
+/// there — each row reads b[i] before writing r[i] — and is deliberately
+/// not rejected). Buffers are distinct std::vector allocations, so pointer
+/// equality is the whole aliasing question.
+Status distinct_buffers(const void* out, const void* in, const char* what);
+
 // ------------------------------------------------------------------------
 // Enforcement at call sites
 // ------------------------------------------------------------------------

@@ -943,6 +943,19 @@ std::string validate_bench_report_json(std::string_view json_text,
       if (!labels->is_object()) return where + ".labels must be an object";
       for (const auto& [k, v] : labels->members)
         if (!v.is_string()) return where + ".labels." + k + " must be a string";
+      // Multi-RHS sweep points (labeled with a column count "m") must
+      // carry the per-RHS amortization triple — the numbers the m-sweep
+      // acceptance gate and benchdiff read.
+      if (labels->find("m")) {
+        const JsonValue* metrics = run.find("metrics");
+        for (const char* field : {"per_rhs_solve_seconds", "per_rhs_flops",
+                                  "per_rhs_bytes"}) {
+          const JsonValue* f = metrics ? metrics->find(field) : nullptr;
+          if (!f || !f->is_number())
+            return where + ".metrics." + field +
+                   " missing (required for runs labeled with \"m\")";
+        }
+      }
     }
     if (const JsonValue* rep = run.find("report")) {
       if (!check_solve_report(*rep, where + ".report", err)) return err;

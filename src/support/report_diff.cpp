@@ -111,7 +111,7 @@ MetricClass classify_metric(std::string_view key) {
       ends_with(l, "_us") || ends_with(l, "_ms") ||
       contains(key, "phases.setup.") || contains(key, "phases.solve."))
     return MetricClass::kTiming;
-  if (l == "iterations" || l == "num_levels" || l == "flops" ||
+  if (l == "iterations" || l == "num_levels" || ends_with(l, "flops") ||
       l == "branches" || l == "hash_probes" || l == "allreduces" ||
       l == "messages_sent" || l == "request_setups" ||
       l == "persistent_starts" || contains(l, "bytes") ||

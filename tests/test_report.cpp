@@ -307,6 +307,35 @@ TEST(ValidateBenchReport, RequireSolveNeedsIterations) {
   EXPECT_NE(validate_bench_report_json(zero_iters.to_json(), true), "");
 }
 
+TEST(ValidateBenchReport, RunLabeledMNeedsPerRhsMetrics) {
+  // Multi-RHS sweep runs (label "m") must carry the per-RHS metric trio so
+  // benchdiff can gate the amortization curve.
+  BenchReport good("multirhs");
+  good.add_run("m2")
+      .label("m", "2")
+      .metric("per_rhs_solve_seconds", 0.5)
+      .metric("per_rhs_flops", 1e6)
+      .metric("per_rhs_bytes", 1e7);
+  EXPECT_EQ(validate_bench_report_json(good.to_json()), "");
+
+  for (const char* missing : {"per_rhs_solve_seconds", "per_rhs_flops",
+                              "per_rhs_bytes"}) {
+    BenchReport bad("multirhs");
+    BenchReport::Run& run = bad.add_run("m2").label("m", "2");
+    for (const char* field : {"per_rhs_solve_seconds", "per_rhs_flops",
+                              "per_rhs_bytes"})
+      if (std::string(field) != missing) run.metric(field, 1.0);
+    const std::string err = validate_bench_report_json(bad.to_json());
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find(missing), std::string::npos) << err;
+  }
+
+  // An unlabeled run carries no such obligation.
+  BenchReport plain("unit");
+  plain.add_run("a").metric("seconds", 1.0);
+  EXPECT_EQ(validate_bench_report_json(plain.to_json()), "");
+}
+
 // ----------------------------------------------------------- end to end ----
 
 TEST(SolveReportEndToEnd, AmgRunValidates) {
