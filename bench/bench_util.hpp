@@ -11,6 +11,7 @@
 
 #include "amg/solver.hpp"
 #include "dist/dist_krylov.hpp"
+#include "perfmodel/attrib.hpp"
 #include "perfmodel/machine.hpp"
 #include "perfmodel/network.hpp"
 #include "perfmodel/project.hpp"
@@ -184,7 +185,13 @@ struct Repeat {
 /// --repeat 1 runs. No-op when metrics are off, so untimed paths and
 /// non-JSON runs are unaffected.
 inline void begin_timed_repeat() {
-  if (metrics::enabled()) metrics::reset();
+  if (metrics::enabled()) {
+    metrics::reset();
+    // Roofline attribution follows the same one-repeat discipline: the
+    // snapshot taken by report() should describe the last timed repeat,
+    // not warm-up plus all N.
+    attrib::reset();
+  }
 }
 
 /// Attaches `<key>_seconds` (median) plus `<key>_min_seconds` /

@@ -121,7 +121,19 @@ int diff_files(const fs::path& old_path, const fs::path& new_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
+  // Cli's generic parser treats the token after any --flag as its value,
+  // which would swallow the first positional after a bare `--all`; strip
+  // the boolean flag before parsing.
+  bool show_all = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--all") {
+      show_all = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  Cli cli(int(args.size()), args.data());
   if (cli.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: benchdiff [--time-tol F] [--work-tol F] "
@@ -135,7 +147,6 @@ int main(int argc, char** argv) {
   opts.work_rel_tol = cli.get_double("work-tol", opts.work_rel_tol);
   opts.time_floor_seconds =
       cli.get_double("time-floor", opts.time_floor_seconds);
-  const bool show_all = cli.has("all");
 
   const fs::path old_arg = cli.positional()[0];
   const fs::path new_arg = cli.positional()[1];

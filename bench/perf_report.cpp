@@ -1,0 +1,385 @@
+// Performance diagnosis CLI: merges a BENCH_*.json report with its trace
+// into one view of where a solve's time went and why.
+//
+//   - roofline table: per (kernel, level) measured time, achieved bandwidth
+//     and the achieved-vs-modeled fractions recorded by perfmodel/attrib
+//     (recomputed against `--machine <calibration.json>` when given, e.g.
+//     the file bench_stream emits for this host);
+//   - wait-state breakdown: the trace's per-rank blocked time classified
+//     Scalasca-style (late-sender / late-receiver / wait-at-collective /
+//     transfer / unattributed) by support/trace_analyze, plus per-kernel
+//     load imbalance and the cross-rank critical path;
+//   - convergence trajectory: the report's per-iteration telemetry
+//     (residual, contraction factor, per-level time split).
+//
+// `--check` validates the merged picture and exits nonzero on violation:
+// the report passes the full schema validator, roofline fractions lie in
+// (0, 1], per-iteration convergence factors reproduce the residual
+// history, and each rank's classified + unattributed wait time sums to its
+// blocked total (the trace_summary cross-tool invariant). `--json <out>`
+// writes the diagnosis as JSON.
+//
+// Usage: perf_report [--check] [--json <out>] [--machine <calib.json>]
+//                    <BENCH_*.json> [<trace.json>]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "perfmodel/attrib.hpp"
+#include "support/report.hpp"
+#include "support/trace_analyze.hpp"
+
+namespace {
+
+using hpamg::JsonValue;
+
+int failures = 0;
+
+void check(bool ok, const char* fmt, const std::string& detail) {
+  if (ok) return;
+  std::fprintf(stderr, fmt, detail.c_str());
+  std::fputc('\n', stderr);
+  ++failures;
+}
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return true;
+}
+
+double num_of(const JsonValue& obj, const char* key, double dflt = 0.0) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : dflt;
+}
+
+std::string fmt_ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us * 1e-3);
+  return buf;
+}
+
+/// One roofline row lifted back out of the report JSON.
+struct RoofRow {
+  std::string kernel;
+  long level = -1;
+  long calls = 0;
+  double seconds = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;
+  double achieved_bw = 0.0;
+  double modeled_seconds = 0.0;
+  double bw_fraction = 0.0;
+  double efficiency = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_mode = false;
+  const char* json_out = nullptr;
+  const char* machine_path = nullptr;
+  std::vector<const char*> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine_path = argv[++i];
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty() || inputs.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: perf_report [--check] [--json <out>] "
+                 "[--machine <calib.json>] <BENCH_*.json> [<trace.json>]\n");
+    return 2;
+  }
+
+  // ---- optional calibration override of the paper-constant machine model.
+  hpamg::MachineModel machine = hpamg::attrib::machine();
+  bool recalibrated = false;
+  if (machine_path != nullptr) {
+    std::string text;
+    if (!read_file(machine_path, text)) {
+      std::fprintf(stderr, "%s: cannot open\n", machine_path);
+      return 2;
+    }
+    std::string err;
+    if (!hpamg::attrib::load_calibration_json(text, &machine, nullptr,
+                                              &err)) {
+      std::fprintf(stderr, "%s: %s\n", machine_path, err.c_str());
+      return 2;
+    }
+    recalibrated = true;
+  }
+
+  // ---- bench report.
+  std::string bench_text;
+  if (!read_file(inputs[0], bench_text)) {
+    std::fprintf(stderr, "%s: cannot open\n", inputs[0]);
+    return 2;
+  }
+  const std::string verr = hpamg::validate_bench_report_json(bench_text);
+  check(verr.empty(), "%s", std::string(inputs[0]) + ": " + verr);
+  JsonValue doc;
+  try {
+    doc = hpamg::json_parse(bench_text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: parse error: %s\n", inputs[0], e.what());
+    return 1;
+  }
+  const JsonValue* bench_name = doc.find("bench");
+  std::printf("bench: %s\n",
+              bench_name != nullptr ? bench_name->text.c_str() : "?");
+  if (recalibrated)
+    std::printf("machine: %s (%.1f GB/s STREAM, calibrated)\n",
+                machine.name.c_str(), machine.stream_bw_bytes_per_s * 1e-9);
+
+  struct RunView {
+    std::string name;
+    std::vector<RoofRow> roofline;
+    const JsonValue* iterations = nullptr;
+    const JsonValue* history = nullptr;
+  };
+  std::vector<RunView> views;
+  if (const JsonValue* runs = doc.find("runs")) {
+    for (const JsonValue& run : runs->items) {
+      RunView v;
+      if (const JsonValue* n = run.find("name")) v.name = n->text;
+      const JsonValue* rep = run.find("report");
+      if (rep == nullptr) continue;
+      if (const JsonValue* roof = rep->find("roofline")) {
+        for (const JsonValue& e : roof->items) {
+          RoofRow r;
+          if (const JsonValue* k = e.find("kernel")) r.kernel = k->text;
+          r.level = long(num_of(e, "level", -1));
+          r.calls = long(num_of(e, "calls"));
+          r.seconds = num_of(e, "seconds");
+          r.flops = num_of(e, "flops");
+          r.bytes = num_of(e, "bytes");
+          r.achieved_bw = num_of(e, "achieved_bw_bytes_per_s");
+          r.modeled_seconds = num_of(e, "modeled_seconds");
+          r.bw_fraction = num_of(e, "bw_fraction");
+          r.efficiency = num_of(e, "efficiency");
+          if (recalibrated && r.seconds > 0.0 && r.bytes > 0.0) {
+            // Re-derive the fractions against the calibrated ceilings
+            // (branch counters are not in the report; the bandwidth
+            // roofline dominates for these kernels anyway).
+            hpamg::WorkCounters wc;
+            wc.flops = std::uint64_t(r.flops);
+            wc.bytes_read = std::uint64_t(r.bytes);
+            r.modeled_seconds = machine.seconds(wc);
+            const double roof = std::max(
+                machine.stream_bw_bytes_per_s * machine.sparse_efficiency,
+                1.0);
+            r.bw_fraction = std::min(1.0, r.achieved_bw / roof);
+            r.efficiency = std::min(1.0, r.modeled_seconds / r.seconds);
+          }
+          v.roofline.push_back(std::move(r));
+        }
+      }
+      v.iterations = rep->find("iterations");
+      if (const JsonValue* conv = rep->find("convergence"))
+        v.history = conv->find("residual_history");
+      views.push_back(std::move(v));
+    }
+  }
+
+  // ---- roofline tables.
+  for (const RunView& v : views) {
+    if (v.roofline.empty()) continue;
+    std::printf("\n== roofline: %s ==\n", v.name.c_str());
+    std::printf("%-24s %5s %7s %10s %9s %7s %7s\n", "kernel", "level",
+                "calls", "seconds", "GB/s", "bw%", "eff%");
+    for (const RoofRow& r : v.roofline) {
+      std::printf("%-24s %5ld %7ld %10.4f %9.2f %6.1f%% %6.1f%%\n",
+                  r.kernel.c_str(), r.level, r.calls, r.seconds,
+                  r.achieved_bw * 1e-9, 100.0 * r.bw_fraction,
+                  100.0 * r.efficiency);
+      check(r.bw_fraction > 0.0 && r.bw_fraction <= 1.0,
+            "%s: bw_fraction outside (0,1]", v.name + "/" + r.kernel);
+      check(r.efficiency > 0.0 && r.efficiency <= 1.0,
+            "%s: efficiency outside (0,1]", v.name + "/" + r.kernel);
+    }
+  }
+
+  // ---- convergence trajectory + factor cross-check.
+  for (const RunView& v : views) {
+    if (v.iterations == nullptr || v.iterations->items.empty()) continue;
+    std::printf("\n== iterations: %s ==\n", v.name.c_str());
+    std::printf("%5s %12s %9s %10s %10s\n", "it", "relres", "conv",
+                "seconds", "smoother");
+    for (const JsonValue& e : v.iterations->items) {
+      const long it = long(num_of(e, "iteration"));
+      const double relres = num_of(e, "relres");
+      const double conv = num_of(e, "conv_factor");
+      const JsonValue* sm = e.find("smoother_contraction");
+      char smbuf[32] = "-";
+      if (sm != nullptr && sm->is_number())
+        std::snprintf(smbuf, sizeof(smbuf), "%.4f", sm->number);
+      std::printf("%5ld %12.4e %9.4f %10.6f %10s\n", it, relres, conv,
+                  num_of(e, "seconds"), smbuf);
+      // conv_factor must reproduce the residual history: relres matches
+      // history[it-1] and conv matches history[it-1]/history[it-2].
+      if (v.history != nullptr) {
+        const auto& h = v.history->items;
+        if (it >= 1 && std::size_t(it) <= h.size()) {
+          const double hr = h[std::size_t(it - 1)].number;
+          check(std::abs(relres - hr) <= 1e-9 * std::max(1.0, hr),
+                "%s: iteration relres disagrees with residual_history",
+                v.name);
+          if (it >= 2) {
+            const double prev = h[std::size_t(it - 2)].number;
+            const double want = prev > 0.0 ? hr / prev : 0.0;
+            check(std::abs(conv - want) <=
+                      1e-6 * std::max(1.0, std::abs(want)),
+                  "%s: conv_factor does not reproduce residual_history",
+                  v.name);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- trace wait-state classification.
+  bool have_trace = false;
+  hpamg::trace_analyze::Analysis an;
+  if (inputs.size() == 2) {
+    std::string trace_text;
+    if (!read_file(inputs[1], trace_text)) {
+      std::fprintf(stderr, "%s: cannot open\n", inputs[1]);
+      return 2;
+    }
+    hpamg::trace_analyze::Timeline tl;
+    try {
+      tl = hpamg::trace_analyze::parse_timeline_text(trace_text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", inputs[1], e.what());
+      return 1;
+    }
+    an = hpamg::trace_analyze::analyze(tl);
+    have_trace = true;
+    check(tl.duplicate_flow_ids == 0, "%s: duplicate flow ids in trace",
+          std::string(inputs[1]));
+    check(tl.dropped_total > 0 || an.unmatched_flows == 0,
+          "%s: unmatched flows in a trace reporting zero drops",
+          std::string(inputs[1]));
+
+    std::printf("\n== wait states (ms) ==\n");
+    std::printf("%-10s %9s %9s %9s %9s %9s %9s\n", "rank", "blocked",
+                "late_snd", "late_rcv", "collectv", "transfer", "unattrib");
+    for (const auto& r : an.ranks) {
+      std::printf("%-10s %9s %9s %9s %9s %9s %9s\n", r.name.c_str(),
+                  fmt_ms(r.blocked_us).c_str(),
+                  fmt_ms(r.late_sender_us).c_str(),
+                  fmt_ms(r.late_receiver_us).c_str(),
+                  fmt_ms(r.wait_collective_us).c_str(),
+                  fmt_ms(r.transfer_us).c_str(),
+                  fmt_ms(r.unattributed_us).c_str());
+      // The cross-tool invariant: classified + unattributed == blocked
+      // (what trace_summary reports as the rank's blocked self time).
+      const double sum = r.late_sender_us + r.late_receiver_us +
+                         r.wait_collective_us + r.transfer_us +
+                         r.unattributed_us;
+      check(std::abs(sum - r.blocked_us) <=
+                std::max(0.5, 1e-6 * std::abs(r.blocked_us)),
+            "%s: wait-state buckets do not sum to blocked time", r.name);
+    }
+    if (!an.kernels.empty()) {
+      std::printf("\n== load imbalance (max/avg self time) ==\n");
+      std::size_t shown = 0;
+      for (const auto& k : an.kernels) {
+        if (shown++ == 5) break;
+        std::printf("%-28s %6.3fx (max %s ms on pid %d over %d ranks)\n",
+                    k.kernel.c_str(), k.imbalance,
+                    fmt_ms(k.max_us).c_str(), k.max_pid, k.ranks);
+      }
+    }
+    std::printf("\n== critical path ==\n");
+    std::printf("%zu segment(s), %s ms total (%s ms in transfers)\n",
+                an.critical_path.size(), fmt_ms(an.critical_path_us).c_str(),
+                fmt_ms(an.critical_transfer_us).c_str());
+  }
+
+  // ---- merged diagnosis JSON.
+  if (json_out != nullptr) {
+    hpamg::JsonWriter w;
+    w.begin_object();
+    w.kv("bench", bench_name != nullptr ? bench_name->text : "");
+    w.key("machine").begin_object();
+    w.kv("name", machine.name);
+    w.kv("stream_bw_bytes_per_s", machine.stream_bw_bytes_per_s);
+    w.kv("sparse_efficiency", machine.sparse_efficiency);
+    w.kv("calibrated", recalibrated);
+    w.end_object();
+    w.key("runs").begin_array();
+    for (const RunView& v : views) {
+      w.begin_object();
+      w.kv("name", v.name);
+      w.key("roofline").begin_array();
+      for (const RoofRow& r : v.roofline) {
+        w.begin_object();
+        w.kv("kernel", r.kernel);
+        w.kv("level", r.level);
+        w.kv("seconds", r.seconds);
+        w.kv("achieved_bw_bytes_per_s", r.achieved_bw);
+        w.kv("bw_fraction", r.bw_fraction);
+        w.kv("efficiency", r.efficiency);
+        w.end_object();
+      }
+      w.end_array();
+      w.kv("iterations",
+           (long long)(v.iterations != nullptr ? v.iterations->items.size()
+                                               : 0));
+      w.end_object();
+    }
+    w.end_array();
+    if (have_trace) {
+      w.key("wait").begin_object();
+      w.key("ranks").begin_array();
+      for (const auto& r : an.ranks) {
+        w.begin_object();
+        w.kv("pid", r.pid);
+        w.kv("name", r.name);
+        w.kv("compute_us", r.compute_us);
+        w.kv("blocked_us", r.blocked_us);
+        w.kv("late_sender_us", r.late_sender_us);
+        w.kv("late_receiver_us", r.late_receiver_us);
+        w.kv("wait_collective_us", r.wait_collective_us);
+        w.kv("transfer_us", r.transfer_us);
+        w.kv("unattributed_us", r.unattributed_us);
+        w.end_object();
+      }
+      w.end_array();
+      w.kv("critical_path_us", an.critical_path_us);
+      w.kv("critical_transfer_us", an.critical_transfer_us);
+      w.kv("unmatched_flows", an.unmatched_flows);
+      w.end_object();
+    }
+    w.end_object();
+    std::FILE* f = std::fopen(json_out, "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write\n", json_out);
+      return 2;
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_out);
+  }
+
+  if (check_mode) {
+    std::printf("\n%s: %d check failure(s)\n", inputs[0], failures);
+    return failures == 0 ? 0 : 1;
+  }
+  return 0;
+}

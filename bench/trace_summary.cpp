@@ -6,7 +6,11 @@
 //
 // `--check` additionally validates the file: parseable, golden top-level
 // fields present, per-track timestamps monotonic, span durations
-// non-negative, and every flow id appearing as a matched send/recv pair.
+// non-negative, and flow-arrow consistency. Unmatched flow arrows (a send
+// whose recv event was lost, or vice versa) are counted and reported; they
+// fail the check only when the trace reports zero dropped events — on a
+// wrapped ring (otherData.dropped_by_track) a missing half-arrow is
+// expected data loss, not a tracer bug. Duplicate flow ids always fail.
 // Exit status is nonzero on any failed check, so CI can gate on it.
 //
 // Usage: trace_summary [--check] <trace.json>
@@ -176,9 +180,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const auto& [id, pair] : flows)
-    check(pair.first == pair.second && pair.first == 1,
-          "%s: flow id without a matched send/recv pair", path);
+  // Per-thread drop counts: the tracer exports them when a ring wrapped
+  // (newest-wins), so downstream checks can tell expected data loss from a
+  // genuinely unpaired flow.
+  long long dropped_total = 0;
+  std::map<std::string, long long> dropped_by_track;
+  if (const JsonValue* other = doc.find("otherData")) {
+    if (const JsonValue* d = other->find("dropped_events"))
+      dropped_total = (long long)d->number;
+    if (const JsonValue* byt = other->find("dropped_by_track")) {
+      long long sum = 0;
+      for (const auto& [track, n] : byt->members) {
+        dropped_by_track[track] = (long long)n.number;
+        sum += (long long)n.number;
+      }
+      check(sum == dropped_total,
+            "%s: dropped_by_track does not sum to dropped_events", path);
+    }
+  }
+
+  long long matched_flows = 0, unmatched_sends = 0, unmatched_recvs = 0;
+  for (const auto& [id, pair] : flows) {
+    // Duplicate ids are a tracer bug regardless of drops.
+    check(pair.first <= 1 && pair.second <= 1,
+          "%s: duplicate flow id (multiple sends or recvs)", path);
+    if (pair.first == 1 && pair.second == 1)
+      ++matched_flows;
+    else if (pair.second == 0)
+      ++unmatched_sends;
+    else if (pair.first == 0)
+      ++unmatched_recvs;
+  }
+  // A half-arrow with nothing dropped means the tracer lost an event.
+  check(dropped_total > 0 || (unmatched_sends == 0 && unmatched_recvs == 0),
+        "%s: unmatched flow arrows in a trace reporting zero drops", path);
 
   // Self time: within each track, walk spans in start order keeping an
   // enclosing-span stack; a nested span's duration is subtracted from its
@@ -250,10 +285,28 @@ int main(int argc, char** argv) {
   for (const auto& [bucket, count] : size_hist)
     std::printf("%16s B: %ld\n", bucket.c_str(), count);
 
+  std::printf(
+      "\n== flows (%lld matched, %lld send-only, %lld recv-only) ==\n",
+      matched_flows, unmatched_sends, unmatched_recvs);
+  if (unmatched_sends > 0 || unmatched_recvs > 0)
+    std::printf("  %lld unmatched arrow(s): %s\n",
+                unmatched_sends + unmatched_recvs,
+                dropped_total > 0
+                    ? "attributable to ring wraparound (see drops below)"
+                    : "NOT explained by drops -- tracer bug");
+  if (dropped_total > 0) {
+    std::printf("\n== dropped events (%lld total) ==\n", dropped_total);
+    for (const auto& [track, n] : dropped_by_track)
+      std::printf("%16s: %lld\n", track.c_str(), n);
+    if (dropped_by_track.empty())
+      std::printf("  (no per-track breakdown in this trace)\n");
+  }
+
   if (check_mode) {
-    const long long pairs = (long long)flows.size();
-    std::printf("\n%s: %zu spans, %lld flow pairs, %d check failure(s)\n",
-                path, spans.size(), pairs, failures);
+    std::printf("\n%s: %zu spans, %lld matched flows, %lld unmatched, "
+                "%lld dropped, %d check failure(s)\n",
+                path, spans.size(), matched_flows,
+                unmatched_sends + unmatched_recvs, dropped_total, failures);
     return failures == 0 ? 0 : 1;
   }
   return 0;

@@ -1,7 +1,9 @@
 #include "amg/cycle.hpp"
 
 #include "amg/spmv.hpp"
+#include "amg/telemetry.hpp"
 #include "matrix/transpose.hpp"
+#include "perfmodel/attrib.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
@@ -66,6 +68,7 @@ void smooth(const Hierarchy& h, Level& L, const Vector& b, Vector& x,
 
 void coarse_solve(Hierarchy& h, Level& L, const Vector& b, Vector& x,
                   WorkCounters* wc) {
+  TRACE_SPAN("coarse_solve", "kernel", "rows", std::int64_t(L.n));
   if (h.coarse_lu.size() == L.n && L.n > 0) {
     h.coarse_lu.solve(b.data(), x.data());
     if (wc) wc->flops += std::uint64_t(L.n) * L.n;  // triangular solves
@@ -84,8 +87,13 @@ void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
   const bool optimized = h.opts.variant == Variant::kOptimized;
   if (l == h.num_levels() - 1) {
     Timer t;
-    coarse_solve(h, L, L.b, L.x, wc);
-    if (pt) pt->add("Solve_etc", t.seconds());
+    {
+      attrib::Scope as("coarse_solve", int(l), wc);
+      coarse_solve(h, L, L.b, L.x, wc);
+    }
+    const double sec = t.seconds();
+    if (pt) pt->add("Solve_etc", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
     return;
   }
   Level& N = h.levels[l + 1];
@@ -93,16 +101,29 @@ void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
   // Pre-smoothing. Levels below the finest always enter with x = 0.
   {
     Timer t;
-    // zero_entry: levels below the finest enter with x = 0 on their FIRST
-    // visit of a cycle; W-cycle revisits carry the accumulated iterate.
-    smooth(h, L, L.b, L.x, /*pre=*/true, /*zero_init=*/l > 0 && zero_entry,
-           wc);
-    if (pt) pt->add("GS", t.seconds());
+    {
+      attrib::Scope as("smoother", int(l), wc);
+      // zero_entry: levels below the finest enter with x = 0 on their FIRST
+      // visit of a cycle; W-cycle revisits carry the accumulated iterate.
+      smooth(h, L, L.b, L.x, /*pre=*/true, /*zero_init=*/l > 0 && zero_entry,
+             wc);
+    }
+    const double sec = t.seconds();
+    if (pt) pt->add("GS", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
+  }
+  if (l == 0 && h.telemetry && h.telemetry->measure_smoother) {
+    // Diagnostic-only residual after the fine pre-smooth: null counters and
+    // no phase attribution, so the deterministic work/phase sums that
+    // baselines compare against are unchanged by telemetry.
+    h.telemetry->presmooth_norm2 =
+        spmv_residual_norm2sq_fused(L.A, L.x, L.b, L.r, nullptr);
   }
 
   // Residual + restriction.
   {
     Timer t;
+    attrib::Scope as("residual_restrict", int(l), wc);
     spmv_residual(L.A, L.x, L.b, L.r, wc);
     if (optimized) {
       restrict_identity_block(L.PfT, L.r, L.rc_pre, L.nc, wc);
@@ -119,7 +140,9 @@ void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
       CSRMatrix R = transpose_serial(L.P, wc);
       spmv(R, L.r, N.b, wc);
     }
-    if (pt) pt->add("SpMV", t.seconds());
+    const double sec = t.seconds();
+    if (pt) pt->add("SpMV", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
   }
 
   set_zero(N.x);
@@ -131,6 +154,7 @@ void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
   // Prolongation: x += P e.
   {
     Timer t;
+    attrib::Scope as("prolong", int(l), wc);
     if (optimized) {
       const std::vector<Int>& perm = N.perm.perm;
       if (!perm.empty()) {
@@ -145,14 +169,21 @@ void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
       spmv(L.P, N.x, L.temp, wc);
       axpy(1.0, L.temp, L.x, wc);
     }
-    if (pt) pt->add("SpMV", t.seconds());
+    const double sec = t.seconds();
+    if (pt) pt->add("SpMV", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
   }
 
   // Post-smoothing.
   {
     Timer t;
-    smooth(h, L, L.b, L.x, /*pre=*/false, /*zero_init=*/false, wc);
-    if (pt) pt->add("GS", t.seconds());
+    {
+      attrib::Scope as("smoother", int(l), wc);
+      smooth(h, L, L.b, L.x, /*pre=*/false, /*zero_init=*/false, wc);
+    }
+    const double sec = t.seconds();
+    if (pt) pt->add("GS", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
   }
 }
 
@@ -217,6 +248,7 @@ void smooth_multi(const Hierarchy& h, Level& L, MultiRhsWorkspace& W, Int l,
 void coarse_solve_multi(Hierarchy& h, Level& L, MultiRhsWorkspace& W, Int l,
                         const MultiVector& B, MultiVector& X,
                         WorkCounters* wc) {
+  TRACE_SPAN("coarse_solve_multi", "kernel", "rows", std::int64_t(L.n));
   if (h.coarse_lu.size() == L.n && L.n > 0) {
     for (Int j = 0; j < B.m; ++j) {
       gather_column(B, j, L.b);

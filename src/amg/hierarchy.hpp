@@ -34,6 +34,8 @@
 
 namespace hpamg {
 
+struct CycleTelemetryHook;  // amg/telemetry.hpp
+
 enum class Variant { kBaseline, kOptimized };
 enum class InterpKind { kDirect, kExtPI, kExtPI2Stage, kMultipass };
 enum class SmootherKind { kHybridGS, kJacobi, kLexGS, kMultiColorGS };
@@ -130,6 +132,9 @@ struct Hierarchy {
   /// Setup incidents (degenerate coarse operator -> level cap, regularized
   /// coarse solve, ...) — merged into the report's `status` block.
   std::vector<std::string> events;
+  /// Non-owning per-cycle telemetry sink (amg/telemetry.hpp), loaned by the
+  /// solver for the duration of one solve; null when telemetry is off.
+  CycleTelemetryHook* telemetry = nullptr;
 
   Int num_levels() const { return Int(levels.size()); }
   /// Σ_l nnz(A_l) / nnz(A_0) — the paper's operator complexity metric.

@@ -14,6 +14,7 @@ void require_same_shape(const MultiVector& a, const MultiVector& b,
   require(a.n == b.n && a.m == b.m, std::string(what) + ": shape mismatch");
 }
 
+// lint: counted-no-span(accounting helper; traced entry points own spans)
 void count_blas1(WorkCounters* wc, const MultiVector& X, int reads,
                  int writes, int flops_per_elem) {
   if (!wc) return;

@@ -12,6 +12,8 @@ void jacobi_sweep(const CSRMatrix& A, const Vector& b, Vector& x,
                   Vector& temp, double weight, Int row_lo, Int row_hi,
                   WorkCounters* wc) {
   if (row_hi < 0) row_hi = A.nrows;
+  TRACE_SPAN("smoother.jacobi", "kernel", "rows",
+             std::int64_t(row_hi - row_lo));
   copy(x, temp);
   parallel_for(row_lo, row_hi, [&](Int i) {
     double acc = b[i];
@@ -336,6 +338,8 @@ LexGS::LexGS(const CSRMatrix& A) {
 
 void LexGS::sweep_fused_residual(const CSRMatrix& A, Vector& x, Vector& r,
                                  WorkCounters* wc) const {
+  TRACE_SPAN("smoother.lexgs_fused", "kernel", "rows",
+             std::int64_t(A.nrows));
   // Residual-form Gauss-Seidel: with r = b - A x maintained exactly, the
   // GS update of row i is simply delta = r_i / a_ii. The scatter of
   // column i (== row i by symmetry) then restores the invariant. Rows
@@ -364,6 +368,7 @@ void LexGS::sweep_fused_residual(const CSRMatrix& A, Vector& x, Vector& r,
 
 void LexGS::sweep(const CSRMatrix& A, const Vector& b, Vector& x,
                   bool forward, WorkCounters* wc) const {
+  TRACE_SPAN("smoother.lexgs", "kernel", "rows", std::int64_t(A.nrows));
   const Int nlv = num_levels();
   for (Int lw = 0; lw < nlv; ++lw) {
     const Int l = forward ? lw : nlv - 1 - lw;
@@ -420,6 +425,8 @@ MultiColorGS::MultiColorGS(const CSRMatrix& A) {
 
 void MultiColorGS::sweep(const CSRMatrix& A, const Vector& b, Vector& x,
                          bool forward, WorkCounters* wc) const {
+  TRACE_SPAN("smoother.multicolor_gs", "kernel", "rows",
+             std::int64_t(A.nrows));
   const Int nc = num_colors();
   for (Int cc = 0; cc < nc; ++cc) {
     const Int c = forward ? cc : nc - 1 - cc;

@@ -5,7 +5,9 @@
 #include <string>
 
 #include "amg/spmv.hpp"
+#include "amg/telemetry.hpp"
 #include "matrix/transpose.hpp"
+#include "perfmodel/attrib.hpp"
 #include "spgemm/rap.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
@@ -24,6 +26,19 @@ const CSRMatrix& validated(const CSRMatrix& A) {
   A.validate_system_matrix("AMGSolver");
   return A;
 }
+
+/// Detaches the telemetry hook from the hierarchy on every exit path (the
+/// hook lives on the solve's stack frame).
+struct TelemetryLoan {
+  Hierarchy& h;
+  explicit TelemetryLoan(Hierarchy& hier, CycleTelemetryHook* hook)
+      : h(hier) {
+    h.telemetry = hook;
+  }
+  ~TelemetryLoan() { h.telemetry = nullptr; }
+  TelemetryLoan(const TelemetryLoan&) = delete;
+  TelemetryLoan& operator=(const TelemetryLoan&) = delete;
+};
 
 }  // namespace
 
@@ -101,9 +116,23 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
   double x_best_relres = relres;
   Int x_best_iteration = 0;
 
+  // Per-iteration telemetry rides along only when the metrics registry is
+  // on (--json bench runs); the hook is loaned to the hierarchy so the
+  // cycle can deposit per-level times without a signature change.
+  const bool telemetry_on = metrics::enabled();
+  CycleTelemetryHook tel;
+  tel.measure_smoother = telemetry_on;
+  TelemetryLoan loan(h_, telemetry_on ? &tel : nullptr);
+  double prev_relres = relres;
+  Timer t_iter;
+
   for (Int it = 1; it <= max_iterations; ++it) {
     if (fault::enabled())
       fault::maybe_poison("amg.solve.poison", xw.data(), xw.size());
+    if (telemetry_on) {
+      tel.begin_cycle(h_.levels.size());
+      t_iter.reset();
+    }
     vcycle_workspace(h_, bw, xw, &pt, wc);
     Timer t;
     if (optimized) {
@@ -120,6 +149,11 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
     }
     res.history.push_back(relres);
     res.iterations = it;
+    if (telemetry_on) {
+      res.telemetry.push_back(make_iteration_entry(
+          it, relres, prev_relres, t_iter.seconds(), normb, &tel));
+    }
+    prev_relres = relres;
     HPAMG_LOG_DEBUG("amg it %d relres %.3e", int(it), relres);
     if (relres < rtol) {
       res.converged = true;
@@ -327,7 +361,12 @@ SolveReport AMGSolver::report(const SolveResult* sr) const {
   rep.setup_work = h_.setup_work;
   rep.setup_seconds = h_.setup_times.total();
   rep.status.events = h_.events;  // setup incidents first, then solve's
+  // Roofline attribution accumulated by the cycle's attrib scopes; empty
+  // (and omitted from the JSON) unless metrics were on during the solve.
+  rep.roofline = attrib::snapshot();
+  attrib::publish_metrics(rep.roofline);
   if (sr) {
+    rep.iterations = sr->telemetry;
     rep.solve_phases = sr->solve_times;
     rep.solve_work = sr->solve_work;
     rep.solve_seconds = sr->solve_times.total();

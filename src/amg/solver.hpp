@@ -32,6 +32,9 @@ struct SolveResult {
   /// emitted in the report's `status` block and the trace stream.
   std::vector<std::string> events;
   std::vector<double> history;  ///< relative residual after each iteration
+  /// Per-iteration telemetry (amg/telemetry.hpp) — recorded only when the
+  /// metrics registry is enabled (--json bench runs); empty otherwise.
+  std::vector<IterationReportEntry> telemetry;
   PhaseTimes solve_times;       ///< GS / SpMV / BLAS1 / Solve_etc
   WorkCounters solve_work;
 

@@ -9,6 +9,7 @@
 namespace hpamg {
 
 namespace {
+// lint: counted-no-span(accounting helper; spmv entry points own spans)
 void count_spmv(WorkCounters* wc, const CSRMatrix& A) {
   if (!wc) return;
   wc->flops += 2 * std::uint64_t(A.nnz());
@@ -20,6 +21,7 @@ void count_spmv(WorkCounters* wc, const CSRMatrix& A) {
 /// Batched-kernel accounting: the matrix structure streams once per
 /// column block (the whole point of the batching); vector traffic and
 /// flops scale with the full column count.
+// lint: counted-no-span(accounting helper; multi-RHS entries own spans)
 void count_spmv_multi(WorkCounters* wc, const CSRMatrix& A, Int m) {
   if (!wc) return;
   const std::uint64_t blocks = std::uint64_t((m + kMaxRhsBlock - 1) /

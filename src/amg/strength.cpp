@@ -68,6 +68,7 @@ CSRMatrix strength_matrix(const CSRMatrix& A, const StrengthOptions& opt,
 CSRMatrix strength_matrix_serial(const CSRMatrix& A,
                                  const StrengthOptions& opt,
                                  WorkCounters* wc) {
+  TRACE_SPAN("strength.serial", "kernel", "rows", std::int64_t(A.nrows));
   require(A.nrows == A.ncols, "strength_matrix: matrix must be square");
   CSRMatrix S(A.nrows, A.ncols);
   std::vector<Int> strong;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "amg/telemetry.hpp"
 #include "dist/dist_krylov.hpp"
 #include "dist/dist_transpose.hpp"
 #include "matrix/vector_ops.hpp"
+#include "perfmodel/attrib.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
@@ -84,12 +86,22 @@ SolveReport DistHierarchy::report(const DistSolveResult* sr) const {
   rep.has_comm = true;
   rep.setup_comm = setup_comm;
   rep.status.events = events;  // setup incidents first, then solve's
+  // Roofline attribution accumulated by the dist cycle's attrib scopes
+  // (empty, and omitted from the JSON, unless metrics were on).
+  rep.roofline = attrib::snapshot();
+  attrib::publish_metrics(rep.roofline);
   if (sr) {
+    rep.iterations = sr->telemetry;
     rep.solve_phases = sr->solve_times;
     rep.solve_seconds = sr->solve_times.total();
     rep.convergence.iterations = sr->iterations;
     rep.convergence.converged = sr->converged;
     rep.convergence.final_relres = sr->final_relres;
+    rep.convergence.residual_history = sr->history;
+    if (sr->history.size() >= 2 && sr->history.front() > 0.0)
+      rep.convergence.convergence_factor =
+          std::pow(sr->history.back() / sr->history.front(),
+                   1.0 / double(sr->history.size() - 1));
     rep.status.status = status_name(sr->status);
     rep.status.nonfinite_iteration = sr->nonfinite_iteration;
     rep.status.recoveries = sr->recoveries;
@@ -255,15 +267,39 @@ void dist_residual(simmpi::Comm& comm, DistLevel& L, const Vector& b,
   for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
 }
 
+/// Analytic work estimate for `passes` streaming sweeps over a distributed
+/// CSR operator. The dist kernels do not thread WorkCounters (they run
+/// inside simmpi rank threads where per-call counting was never needed),
+/// so roofline attribution estimates the traffic from the matrix shape:
+/// values + colidx per nonzero, rowptr + input + output vector per row.
+WorkCounters est_csr_pass(const DistMatrix& A, std::uint64_t passes) {
+  const std::uint64_t nnz =
+      std::uint64_t(A.diag.values.size()) + A.offd.values.size();
+  const std::uint64_t rows = std::uint64_t(A.local_rows());
+  WorkCounters wc;
+  wc.flops = 2 * nnz * passes;
+  wc.bytes_read = (nnz * 12 + rows * 12) * passes;
+  wc.bytes_written = rows * 8 * passes;
+  return wc;
+}
+
 void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
                        PhaseTimes* pt) {
   TRACE_SPAN("cycle.level", std::int64_t(l));
   DistLevel& L = h.levels[l];
   if (l == Int(h.levels.size()) - 1) {
     CpuTimer t;
+    attrib::Scope as("dist.coarse_solve", int(l), nullptr,
+                     attrib::Scope::Clock::kCpu);
     if (h.coarse_lu.size() > 0 &&
         h.coarse_lu.size() == Int(h.coarse_starts.back())) {
       // Coarsest: gather RHS to every rank, direct-solve, keep own slice.
+      const std::uint64_t nc = std::uint64_t(h.coarse_lu.size());
+      WorkCounters wc;
+      wc.flops = 2 * nc * nc;  // two triangular solves
+      wc.bytes_read = nc * nc * sizeof(double);
+      wc.bytes_written = nc * sizeof(double);
+      as.set_work(wc);
       Vector full_b = gather_vector(comm, L.b, h.coarse_starts);
       Vector full_x(full_b.size(), 0.0);
       h.coarse_lu.solve(full_b.data(), full_x.data());
@@ -272,6 +308,7 @@ void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
     } else {
       // Too large to replicate/factorize (max_levels capped the
       // hierarchy): approximate with distributed GS sweeps (paper §2).
+      as.set_work(est_csr_pass(L.A, 8));
       std::fill(L.x.begin(), L.x.end(), 0.0);
       std::vector<Int> all_rows(L.A.local_rows());
       for (Int i = 0; i < L.A.local_rows(); ++i) all_rows[i] = i;
@@ -280,7 +317,9 @@ void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
         gs_rows(L.A, L.inv_diag, L.b, L.x, L.x_ext, all_rows);
       }
     }
-    if (pt) pt->add("Solve_etc", t.seconds());
+    const double sec = t.seconds();
+    if (pt) pt->add("Solve_etc", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
     return;
   }
   DistLevel& N = h.levels[l + 1];
@@ -288,32 +327,61 @@ void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
 
   {
     CpuTimer t;
-    smooth_level(comm, h, L, L.b, L.x, /*pre=*/true);
-    if (pt) pt->add("GS", t.seconds());
+    {
+      attrib::Scope as("dist.gs", int(l), nullptr,
+                       attrib::Scope::Clock::kCpu);
+      as.set_work(est_csr_pass(L.A, std::uint64_t(h.opts.num_sweeps)));
+      smooth_level(comm, h, L, L.b, L.x, /*pre=*/true);
+    }
+    const double sec = t.seconds();
+    if (pt) pt->add("GS", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
   }
   {
     CpuTimer t;
+    attrib::Scope as("dist.residual_restrict", int(l), nullptr,
+                     attrib::Scope::Clock::kCpu);
+    WorkCounters est = est_csr_pass(L.A, 1);
     dist_residual(comm, L, L.b, L.x, L.r);
     if (optimized && L.has_R) {
+      est += est_csr_pass(L.R, 1);
       dist_spmv(comm, L.R, *L.halo_R, L.r, L.temp, N.b);
     } else {
+      est += est_csr_pass(L.P, 1);
       dist_spmv_transpose(comm, L.P, L.r, N.b);
     }
-    if (pt) pt->add("SpMV", t.seconds());
+    as.set_work(est);
+    const double sec = t.seconds();
+    if (pt) pt->add("SpMV", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
   }
   std::fill(N.x.begin(), N.x.end(), 0.0);
   dist_vcycle_level(comm, h, l + 1, pt);
   {
     CpuTimer t;
-    // x += P e  (halo on the coarse vector).
-    dist_spmv(comm, L.P, *L.halo_P, N.x, L.temp, L.r);
-    for (std::size_t i = 0; i < L.x.size(); ++i) L.x[i] += L.r[i];
-    if (pt) pt->add("SpMV", t.seconds());
+    {
+      attrib::Scope as("dist.prolong", int(l), nullptr,
+                       attrib::Scope::Clock::kCpu);
+      as.set_work(est_csr_pass(L.P, 1));
+      // x += P e  (halo on the coarse vector).
+      dist_spmv(comm, L.P, *L.halo_P, N.x, L.temp, L.r);
+      for (std::size_t i = 0; i < L.x.size(); ++i) L.x[i] += L.r[i];
+    }
+    const double sec = t.seconds();
+    if (pt) pt->add("SpMV", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
   }
   {
     CpuTimer t;
-    smooth_level(comm, h, L, L.b, L.x, /*pre=*/false);
-    if (pt) pt->add("GS", t.seconds());
+    {
+      attrib::Scope as("dist.gs", int(l), nullptr,
+                       attrib::Scope::Clock::kCpu);
+      as.set_work(est_csr_pass(L.A, std::uint64_t(h.opts.num_sweeps)));
+      smooth_level(comm, h, L, L.b, L.x, /*pre=*/false);
+    }
+    const double sec = t.seconds();
+    if (pt) pt->add("GS", sec);
+    if (h.telemetry) h.telemetry->add(std::size_t(l), sec);
   }
 }
 

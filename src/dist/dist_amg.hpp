@@ -72,6 +72,10 @@ struct DistHierarchy {
   /// report's `status` block. Identical on every rank (the triggering
   /// checks run on the gathered coarsest operator).
   std::vector<std::string> events;
+  /// Non-owning per-cycle telemetry sink (amg/telemetry.hpp), loaned by
+  /// the rank's solve driver; null when telemetry is off. Each rank owns
+  /// its hierarchy, so the hook is rank-local.
+  CycleTelemetryHook* telemetry = nullptr;
 
   double operator_complexity() const;
   /// Σ_l n_l / n_0 over the global level sizes.

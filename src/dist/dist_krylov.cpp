@@ -3,11 +3,13 @@
 #include <cmath>
 #include <string>
 
+#include "amg/telemetry.hpp"
 #include "krylov/gmres_common.hpp"
 #include "matrix/vector_ops.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace hpamg {
@@ -20,6 +22,18 @@ void residual(simmpi::Comm& comm, const DistMatrix& A, HaloExchange& halo,
   dist_spmv(comm, A, halo, x, x_ext, r);
   for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
 }
+
+/// Detaches the telemetry hook on every exit path (the hook lives on the
+/// solve's stack frame; the hierarchy outlives it).
+struct TelemetryLoan {
+  DistHierarchy& h;
+  TelemetryLoan(DistHierarchy& hier, CycleTelemetryHook* hook) : h(hier) {
+    h.telemetry = hook;
+  }
+  ~TelemetryLoan() { h.telemetry = nullptr; }
+  TelemetryLoan(const TelemetryLoan&) = delete;
+  TelemetryLoan& operator=(const TelemetryLoan&) = delete;
+};
 
 }  // namespace
 
@@ -55,6 +69,15 @@ DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
   double x_best_relres = -1.0;
   Int total_it = 0;
   double relres = 0.0;
+
+  // Per-iteration telemetry rides along only when the metrics registry is
+  // on; dist smoother effectiveness is not measured (it would add
+  // collectives and perturb the comm-stat baselines).
+  const bool telemetry_on = metrics::enabled();
+  CycleTelemetryHook tel;
+  TelemetryLoan loan(h, telemetry_on ? &tel : nullptr);
+  double prev_relres = -1.0;
+  CpuTimer t_iter;
 
   while (total_it < max_iterations) {
     {
@@ -95,11 +118,16 @@ DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
     scale(1.0 / beta, V[0]);
     detail::HessenbergLS ls(restart);
     ls.set_rhs(beta);
+    if (prev_relres < 0.0) prev_relres = relres;  // restart-entry residual
 
     bool basis_poisoned = false;
     Int j = 0;
     for (; j < restart && total_it < max_iterations; ++j, ++total_it) {
       TRACE_SPAN("fgmres.iter", std::int64_t(total_it));
+      if (telemetry_on) {
+        tel.begin_cycle(h.levels.size());
+        t_iter.reset();
+      }
       // Preconditioner: one distributed AMG V-cycle.
       std::fill(Z[j].begin(), Z[j].end(), 0.0);
       dist_vcycle(comm, h, V[j], Z[j], &pt);
@@ -125,6 +153,13 @@ DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
       relres = ls.apply_rotations(j) / normb;
       pt.add("BLAS1", t3.seconds());
       res.iterations = total_it + 1;
+      res.history.push_back(relres);
+      if (telemetry_on) {
+        res.telemetry.push_back(make_iteration_entry(
+            total_it + 1, relres, prev_relres, t_iter.seconds(), normb,
+            &tel));
+      }
+      prev_relres = relres;
       if (comm.rank() == 0)
         HPAMG_LOG_DEBUG("fgmres it %d relres %.3e", int(total_it + 1),
                         relres);
@@ -198,9 +233,18 @@ DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
   Vector x_best(x);
   double x_best_relres = -1.0;
   Int x_best_iteration = 0;
+  const bool telemetry_on = metrics::enabled();
+  CycleTelemetryHook tel;
+  TelemetryLoan loan(h, telemetry_on ? &tel : nullptr);
+  double prev_relres = -1.0;
+  CpuTimer t_iter;
   for (Int it = 1; it <= max_iterations; ++it) {
     if (fault::enabled())
       fault::maybe_poison("dist.solve.poison", x.data(), x.size());
+    if (telemetry_on) {
+      tel.begin_cycle(h.levels.size());
+      t_iter.reset();
+    }
     dist_vcycle(comm, h, b, x, &pt);
     CpuTimer t;
     dist_spmv(comm, A, halo, x, x_ext, r);
@@ -210,6 +254,13 @@ DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
     relres = dist_norm2(comm, r) / normb;
     pt.add("BLAS1", t2.seconds());
     res.iterations = it;
+    res.history.push_back(relres);
+    if (telemetry_on) {
+      res.telemetry.push_back(make_iteration_entry(it, relres, prev_relres,
+                                                   t_iter.seconds(), normb,
+                                                   &tel));
+    }
+    prev_relres = relres;
     if (comm.rank() == 0)
       HPAMG_LOG_DEBUG("amg it %d relres %.3e", int(it), relres);
     if (relres < rtol) {

@@ -19,6 +19,13 @@ struct DistSolveResult {
   Int nonfinite_iteration = -1;  ///< first NaN/Inf iteration; -1 if none
   Int recoveries = 0;            ///< recoveries performed (see below)
   std::vector<std::string> events;  ///< incident log, same on every rank
+  /// Globally reduced relative residual after each iteration — identical
+  /// on every rank (FGMRES records the Givens-rotation estimate).
+  std::vector<double> history;
+  /// Per-iteration telemetry (amg/telemetry.hpp), recorded only when the
+  /// metrics registry is enabled; rank-local (per-level times are this
+  /// rank's CPU time).
+  std::vector<IterationReportEntry> telemetry;
   PhaseTimes solve_times;  ///< GS / SpMV / BLAS1 / Solve_MPI / Solve_etc
 };
 

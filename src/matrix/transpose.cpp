@@ -7,6 +7,8 @@
 namespace hpamg {
 
 CSRMatrix transpose_serial(const CSRMatrix& A, WorkCounters* wc) {
+  TRACE_SPAN("matrix.transpose_serial", "kernel", "rows",
+             std::int64_t(A.nrows));
   CSRMatrix T(A.ncols, A.nrows);
   const Long nnz = A.nnz();
   T.colidx.resize(nnz);

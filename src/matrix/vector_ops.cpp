@@ -7,6 +7,7 @@
 namespace hpamg {
 
 namespace {
+// lint: counted-no-span(BLAS1 accounting; a span per axpy would dominate)
 void count_stream(WorkCounters* wc, std::uint64_t n, int reads, int writes,
                   std::uint64_t flops) {
   if (!wc) return;

@@ -1,0 +1,108 @@
+// Roofline attribution: achieved vs. modeled efficiency per kernel.
+//
+// Every instrumented kernel invocation contributes (measured seconds,
+// WorkCounters) to a process-global registry keyed by (kernel, level).
+// snapshot() joins the accumulated work with a MachineModel's rooflines:
+//
+//   achieved_bw  = bytes / seconds
+//   bw_fraction  = achieved_bw / (stream_bw * sparse_efficiency)
+//   efficiency   = model.seconds(wc) / measured seconds
+//
+// both clamped into (0, 1] — by the roofline argument (PAPER.md §5.1,
+// STREAM bounds AMG) a kernel cannot beat the model, so a fraction above 1
+// means the model is mis-calibrated for this host and is reported as
+// exactly 1. Entries that did no memory traffic or took unmeasurably
+// little time are dropped rather than emitted with junk fractions; this is
+// what guarantees the report validator's (0, 1] acceptance bound.
+//
+// Recording is gated on metrics::enabled() (one relaxed load when off) and
+// costs one mutex-protected map update per kernel call when on — fine for
+// per-level solver kernels, not for inner loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfmodel/machine.hpp"
+#include "support/counters.hpp"
+#include "support/report.hpp"
+#include "support/timer.hpp"
+
+namespace hpamg {
+// Forward-declared (perfmodel/network.hpp) so including this header from
+// solver code does not drag in the simmpi layer.
+struct NetworkModel;
+}  // namespace hpamg
+
+namespace hpamg::attrib {
+
+/// Accumulated measurements for one (kernel, level) cell.
+struct KernelStats {
+  long calls = 0;
+  double seconds = 0.0;
+  WorkCounters work;
+};
+
+/// Adds one invocation's measurements. `level` is -1 for unleveled kernels.
+void record(std::string_view kernel, int level, double seconds,
+            const WorkCounters& wc);
+
+/// Clears the registry (bench harness calls this between timed repeats so
+/// warmup work does not pollute the attribution).
+void reset();
+
+/// The machine the rooflines are computed against. Defaults to
+/// endeavor_rank(); bench mains override it via --machine calibration.
+void set_machine(const MachineModel& m);
+MachineModel machine();
+
+/// Joins the registry with `m`'s rooflines. Sorted by total seconds,
+/// largest first; entries with zero bytes or zero measured time omitted.
+std::vector<RooflineEntry> snapshot(const MachineModel& m);
+std::vector<RooflineEntry> snapshot();  ///< against machine()
+
+/// Publishes perf.kernel.<name>.{seconds,bw_fraction,efficiency} gauges
+/// for each snapshot entry (level-summed). No-op when metrics are off.
+void publish_metrics(const std::vector<RooflineEntry>& entries);
+
+/// Parses a calibration file ({"machine": {...}, "network": {...}}, both
+/// blocks optional) as emitted by bench_stream. Unknown keys ignored so
+/// calibrations stay forward-compatible. Returns false and sets `err` on
+/// malformed input; models are only written on success.
+bool load_calibration_json(std::string_view json_text, MachineModel* mm,
+                           NetworkModel* nm, std::string* err);
+
+/// RAII measurement scope. Snapshots *wc (when non-null) and a timer at
+/// construction, records the delta at destruction. When `wc` is null the
+/// caller supplies analytic counters via set_work() (distributed kernels
+/// do not thread WorkCounters; their callers estimate bytes/flops from
+/// matrix shape instead). Inert unless metrics::enabled() at construction.
+class Scope {
+ public:
+  enum class Clock { kWall, kCpu };
+
+  Scope(std::string_view kernel, int level, const WorkCounters* wc,
+        Clock clock = Clock::kWall);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  /// Analytic work for wc-less kernels; ignored when a live counter
+  /// pointer was given.
+  void set_work(const WorkCounters& wc);
+
+ private:
+  std::string kernel_;
+  int level_;
+  const WorkCounters* wc_ = nullptr;
+  WorkCounters start_;     ///< *wc_ at construction
+  WorkCounters analytic_;  ///< set_work() value
+  bool analytic_set_ = false;
+  bool active_ = false;
+  Clock clock_;
+  Timer wall_;
+  CpuTimer cpu_;
+};
+
+}  // namespace hpamg::attrib

@@ -118,6 +118,7 @@ namespace {
 
 /// Core of the row-wise fused RAP: given the sparse row (bcols, bvals) of
 /// B = R*A, scatter B_i * P into the output accumulator.
+// lint: counted-no-span(per-row helper; spgemm.rap_rowwise owns the span)
 inline void scatter_row_times_p(const Int* bcols, const double* bvals,
                                 Int bn, const CSRMatrix& P, Int row_start,
                                 std::vector<Int>& marker,
@@ -152,6 +153,7 @@ inline void scatter_row_times_p(const Int* bcols, const double* bvals,
 }
 
 /// Accumulates alpha * M_row(j) into the scratch sparse row (B_i).
+// lint: counted-no-span(per-row helper; the RAP kernel spans cover it)
 inline void accumulate_scaled_row(const CSRMatrix& M, Int j, double alpha,
                                   Int brow_start, std::vector<Int>& bmarker,
                                   std::vector<Int>& bcols,

@@ -513,6 +513,45 @@ void SolveReport::write_json(JsonWriter& w) const {
     w.end_object();
   }
 
+  if (!roofline.empty()) {
+    w.key("roofline").begin_array();
+    for (const RooflineEntry& e : roofline) {
+      w.begin_object();
+      w.kv("kernel", e.kernel);
+      w.kv("level", long(e.level));
+      w.kv("calls", e.calls);
+      w.kv("seconds", e.seconds);
+      w.kv("flops", e.flops);
+      w.kv("bytes", e.bytes);
+      w.kv("achieved_bw_bytes_per_s", e.achieved_bw_bytes_per_s);
+      w.kv("modeled_seconds", e.modeled_seconds);
+      w.kv("bw_fraction", e.bw_fraction);
+      w.kv("efficiency", e.efficiency);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  if (!iterations.empty()) {
+    w.key("iterations").begin_array();
+    for (const IterationReportEntry& e : iterations) {
+      w.begin_object();
+      w.kv("iteration", long(e.iteration));
+      w.kv("relres", e.relres);
+      w.kv("conv_factor", e.conv_factor);
+      w.kv("seconds", e.seconds);
+      w.key("level_seconds").begin_array();
+      for (double s : e.level_seconds) w.value(s);
+      w.end_array();
+      if (e.presmooth_relres >= 0.0)
+        w.kv("presmooth_relres", e.presmooth_relres);
+      if (e.smoother_contraction >= 0.0)
+        w.kv("smoother_contraction", e.smoother_contraction);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
   w.key("convergence").begin_object();
   w.kv("iterations", long(convergence.iterations));
   w.kv("converged", convergence.converged);
@@ -793,6 +832,62 @@ bool check_solve_report(const JsonValue& rep, const std::string& where,
       const JsonValue* f = mem->find(field);
       if (!f || !f->is_number())
         return schema_fail(err, where + ".memory." + field + " missing");
+    }
+  }
+
+  if (const JsonValue* roof = rep.find("roofline")) {
+    if (!roof->is_array())
+      return schema_fail(err, where + ".roofline must be an array");
+    for (std::size_t i = 0; i < roof->items.size(); ++i) {
+      const JsonValue& e = roof->items[i];
+      const std::string at =
+          where + ".roofline[" + std::to_string(i) + "]";
+      const JsonValue* kernel = e.find("kernel");
+      if (!kernel || !kernel->is_string())
+        return schema_fail(err, at + ".kernel missing");
+      for (const char* field :
+           {"level", "calls", "seconds", "flops", "bytes",
+            "achieved_bw_bytes_per_s", "modeled_seconds", "bw_fraction",
+            "efficiency"}) {
+        const JsonValue* f = e.find(field);
+        if (!f || !f->is_number())
+          return schema_fail(err, at + "." + field + " missing");
+      }
+      // The attribution contract: entries exist only for kernels that
+      // moved bytes in measurable time, so both fractions land in (0, 1].
+      for (const char* field : {"bw_fraction", "efficiency"}) {
+        const double v = e.find(field)->number;
+        if (!(v > 0.0 && v <= 1.0))
+          return schema_fail(err, at + "." + field + " must be in (0, 1]");
+      }
+    }
+  }
+
+  if (const JsonValue* its = rep.find("iterations")) {
+    if (!its->is_array())
+      return schema_fail(err, where + ".iterations must be an array");
+    for (std::size_t i = 0; i < its->items.size(); ++i) {
+      const JsonValue& e = its->items[i];
+      const std::string at =
+          where + ".iterations[" + std::to_string(i) + "]";
+      for (const char* field :
+           {"iteration", "relres", "conv_factor", "seconds"}) {
+        const JsonValue* f = e.find(field);
+        if (!f || !f->is_number())
+          return schema_fail(err, at + "." + field + " missing");
+      }
+      const JsonValue* ls = e.find("level_seconds");
+      if (!ls || !ls->is_array())
+        return schema_fail(err, at + ".level_seconds missing");
+      for (const JsonValue& s : ls->items)
+        if (!s.is_number())
+          return schema_fail(err,
+                             at + ".level_seconds entries must be numbers");
+      // Optional smoother-effectiveness fields (omitted when unmeasured).
+      for (const char* field : {"presmooth_relres", "smoother_contraction"})
+        if (const JsonValue* f = e.find(field))
+          if (!f->is_number())
+            return schema_fail(err, at + "." + field + " must be a number");
     }
   }
 

@@ -150,6 +150,47 @@ struct ConvergenceReport {
   std::vector<double> residual_history;
 };
 
+/// One row of the report's optional `roofline` block: measured time joined
+/// with work counters and the MachineModel ceilings for one (kernel, level)
+/// pair (perfmodel/attrib.hpp fills these). Fractions are clamped into
+/// (0, 1]: a kernel beating the modeled ceiling reports 1.0, and entries
+/// with zero bytes or zero measured time are never emitted.
+struct RooflineEntry {
+  std::string kernel;
+  Int level = -1;  ///< -1 = not level-resolved
+  long calls = 0;
+  double seconds = 0.0;  ///< measured wall (or per-rank CPU) time, summed
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;  ///< bytes read + written (work counters)
+  double achieved_bw_bytes_per_s = 0.0;  ///< bytes / seconds
+  double modeled_seconds = 0.0;  ///< MachineModel::seconds on the counters
+  /// achieved bandwidth / effective STREAM ceiling
+  /// (stream_bw * sparse_efficiency), clamped into (0, 1].
+  double bw_fraction = 0.0;
+  /// modeled_seconds / seconds, clamped into (0, 1] — how close the kernel
+  /// ran to the roofline the machine model predicts for its counters.
+  double efficiency = 0.0;
+};
+
+/// One entry of the report's optional `iterations` array: per-iteration
+/// solve telemetry (amg/telemetry.hpp records these when metrics are
+/// enabled). `presmooth_relres` / `smoother_contraction` are < 0 when the
+/// extra fine-level residual was not measured; they are omitted from the
+/// JSON in that case.
+struct IterationReportEntry {
+  Int iteration = 0;   ///< 1-based, matching residual_history indexing
+  double relres = 0.0;  ///< relative residual after this iteration
+  /// relres / previous relres (previous = initial residual for it 1);
+  /// 0 when the previous residual was not positive.
+  double conv_factor = 0.0;
+  double seconds = 0.0;  ///< wall time of this cycle + residual check
+  std::vector<double> level_seconds;  ///< per-level self-time split
+  double presmooth_relres = -1.0;  ///< relres after fine-level pre-smoothing
+  /// presmooth_relres / previous relres: the fine smoother's contraction
+  /// before any coarse-grid correction this iteration.
+  double smoother_contraction = -1.0;
+};
+
 /// Terminal status + resilience incidents — the report's `status` block.
 /// `status` holds status_name() of the Status taxonomy (support/error.hpp);
 /// it stays "ok" for setup-only reports.
@@ -186,6 +227,13 @@ struct SolveReport {
 
   bool has_memory = false;  ///< solver benches set this (Table 2 columns)
   MemoryReport memory;
+
+  /// Optional roofline attribution block (emitted when non-empty); see
+  /// perfmodel/attrib.hpp.
+  std::vector<RooflineEntry> roofline;
+  /// Optional per-iteration telemetry (emitted when non-empty); see
+  /// amg/telemetry.hpp.
+  std::vector<IterationReportEntry> iterations;
 
   ConvergenceReport convergence;
   StatusReport status;

@@ -250,6 +250,39 @@ DiffResult diff_bench_reports(std::string_view old_json,
     d.verdict = MetricDelta::Verdict::kAdded;
     push(std::move(d));
   }
+  // Envelope-level perf.* gauges (roofline efficiency per kernel) are
+  // advisory: efficiency shifts with the host and with instrumentation
+  // coverage, so they surface as info rows and never gate. A gauge present
+  // only in the old document is skipped outright — removing instrumentation
+  // must not read as a regression.
+  {
+    auto perf_gauges = [](const JsonValue& doc) {
+      std::vector<FlatMetric> out;
+      const JsonValue* m = doc.find("metrics");
+      const JsonValue* gauges = m ? m->find("gauges") : nullptr;
+      if (!gauges || !gauges->is_object()) return out;
+      for (const auto& [k, v] : gauges->members)
+        if (v.is_number() && k.rfind("perf.", 0) == 0) out.push_back({k, v.number});
+      return out;
+    };
+    const std::vector<FlatMetric> g_old = perf_gauges(doc_old);
+    const std::vector<FlatMetric> g_new = perf_gauges(doc_new);
+    for (const FlatMetric& n : g_new) {
+      MetricDelta d;
+      d.run = "";
+      d.key = n.key;
+      d.new_value = n.value;
+      d.cls = MetricClass::kInfo;
+      const FlatMetric* o = find_metric(g_old, n.key);
+      if (o) {
+        d.old_value = o->value;
+        d.verdict = MetricDelta::Verdict::kOk;
+      } else {
+        d.verdict = MetricDelta::Verdict::kAdded;
+      }
+      push(std::move(d));
+    }
+  }
   // Gate-relevant entries first, biggest relative change first.
   std::stable_sort(res.deltas.begin(), res.deltas.end(),
                    [](const MetricDelta& a, const MetricDelta& b) {

@@ -13,6 +13,10 @@
 //             a pinned thread count);
 //   kInfo   — everything else (ratios, speedups, environment-dependent
 //             values like RSS): reported in the table, never gates.
+//
+// Envelope-level `perf.*` gauges (roofline efficiency published by
+// perfmodel/attrib) are diffed as kInfo with run name "": host- and
+// coverage-dependent, so advisory only — never kMissing, never a gate.
 #pragma once
 
 #include <string>

@@ -354,6 +354,11 @@ std::string export_chrome_json() {
   w.key("traceEvents").begin_array();
 
   std::uint64_t dropped = 0;
+  // Per-track drop counts exported alongside the aggregate: consumers
+  // (trace_summary, trace_analyze) need to know WHICH thread wrapped its
+  // ring, because an unmatched flow arrow on a dropped-events track is
+  // wraparound, not a tracer bug.
+  std::vector<std::pair<const TrackBuffer*, std::uint64_t>> dropped_tracks;
   int last_named_pid = -1;
   for (const TrackBuffer* t : tracks) {
     if (t->pid != last_named_pid) {
@@ -376,7 +381,9 @@ std::string export_chrome_json() {
                                   : a.dur_ns > b.dur_ns;  // parents first
                      });
     for (const Event& e : events) write_event(w, *t, e);
-    dropped += t->dropped();
+    const std::uint64_t d = t->dropped();
+    dropped += d;
+    if (d > 0) dropped_tracks.emplace_back(t, d);
   }
   w.end_array();
 
@@ -384,6 +391,15 @@ std::string export_chrome_json() {
   w.key("otherData").begin_object();
   for (const auto& [k, v] : R.metadata) w.kv(k, v);
   w.kv("dropped_events", (unsigned long long)dropped);
+  if (!dropped_tracks.empty()) {
+    w.key("dropped_by_track").begin_object();
+    for (const auto& [t, d] : dropped_tracks) {
+      char key[64];
+      std::snprintf(key, sizeof(key), "pid%d.tid%d", t->pid, t->tid);
+      w.kv(key, (unsigned long long)d);
+    }
+    w.end_object();
+  }
   w.end_object();
   w.end_object();
   return w.str();

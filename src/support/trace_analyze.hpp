@@ -1,0 +1,125 @@
+// Wait-state classification over exported Chrome traces (Scalasca-style).
+//
+// Consumes the trace-event JSON that support/trace.cpp exports and answers
+// "why was this rank blocked": every microsecond of "blocked"-category self
+// time is classified as
+//
+//   late_sender       recv posted before the matching send happened —
+//                     the receiver waited for a late sender
+//                     (flow_out ts inside the recv span's window);
+//   late_receiver     a blocking send waited for its receiver to arrive
+//                     (matched flow_in ts inside the send span's window);
+//   wait_collective   time between this rank entering a collective and the
+//                     LAST rank entering the same instance of it;
+//   transfer          the matched remainder: data in flight, or the
+//                     collective's own operation after all ranks arrived;
+//   unattributed      blocked spans whose flow arrow is unmatched (lost to
+//                     ring wraparound) or whose collective instance cannot
+//                     be aligned across ranks — reported explicitly instead
+//                     of skewing the other buckets (see ISSUE 8 satellite).
+//
+// The five buckets sum exactly to the rank's blocked self time as
+// trace_summary computes it (same enclosing-span subtraction), which is the
+// cross-tool invariant perf_report --check enforces.
+//
+// Also derived: per-kernel load imbalance (max/avg self time across ranks)
+// and an approximate cross-rank critical path (backward replay from the
+// latest-finishing rank, hopping send->recv flow arrows).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/report.hpp"
+
+namespace hpamg::trace_analyze {
+
+/// One completed span lifted out of the trace JSON.
+struct SpanRec {
+  std::string name;
+  std::string cat;
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  double self_us = 0.0;  ///< dur minus nested spans (filled by analyze)
+};
+
+/// One flow endpoint ("s" = send side, "f" = recv side).
+struct FlowEnd {
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;
+  long long bytes = 0;
+  bool present = false;
+};
+
+/// Parsed timeline: everything analyze() needs, separated from the JSON.
+struct Timeline {
+  std::map<int, std::string> process_names;
+  std::vector<SpanRec> spans;
+  /// flow id -> (send endpoint, recv endpoint); a half-arrow leaves the
+  /// other endpoint's `present` false.
+  std::map<long long, std::pair<FlowEnd, FlowEnd>> flows;
+  /// Ids seen more than once on a side — always a tracer bug.
+  long long duplicate_flow_ids = 0;
+  long long dropped_total = 0;  ///< otherData.dropped_events
+  std::map<std::string, long long> dropped_by_track;
+  std::map<std::string, std::string> metadata;  ///< otherData string fields
+};
+
+/// Parses an exported Chrome trace document. Throws std::invalid_argument
+/// on JSON that does not look like a trace (no traceEvents array).
+Timeline parse_timeline(const JsonValue& doc);
+Timeline parse_timeline_text(std::string_view json_text);
+
+/// Per-rank (per-pid) wait-state classification, all in microseconds.
+/// Invariant: late_sender + late_receiver + wait_collective + transfer +
+/// unattributed == blocked (up to FP rounding).
+struct RankWait {
+  int pid = 0;
+  std::string name;        ///< process name ("rank 3", "host")
+  double compute_us = 0.0;  ///< non-"blocked" self time
+  double blocked_us = 0.0;  ///< "blocked" self time (trace_summary's total)
+  double late_sender_us = 0.0;
+  double late_receiver_us = 0.0;
+  double wait_collective_us = 0.0;
+  double transfer_us = 0.0;
+  double unattributed_us = 0.0;
+};
+
+/// Cross-rank load imbalance of one kernel: max/avg of per-rank self time.
+struct KernelImbalance {
+  std::string kernel;
+  int ranks = 0;       ///< pids the kernel appeared on
+  double max_us = 0.0;
+  double avg_us = 0.0;
+  double imbalance = 0.0;  ///< max / avg (1.0 = perfectly balanced)
+  int max_pid = 0;         ///< the slowest rank
+};
+
+/// One segment of the reconstructed critical path (walked backward).
+struct CriticalSegment {
+  int pid = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+};
+
+struct Analysis {
+  std::vector<RankWait> ranks;             ///< sorted by pid
+  std::vector<KernelImbalance> kernels;    ///< sorted worst-first
+  std::vector<CriticalSegment> critical_path;  ///< in time order
+  double critical_path_us = 0.0;      ///< end of last span - path transfers
+  double critical_transfer_us = 0.0;  ///< flow-hop time on the path
+  long long unmatched_flows = 0;      ///< half-arrows seen
+};
+
+/// Runs the full classification. Pure function of the timeline.
+Analysis analyze(const Timeline& t);
+
+/// Publishes the analysis as comm.wait.* gauges (seconds, summed over
+/// ranks) when the metrics registry is enabled; no-op otherwise.
+void publish_metrics(const Analysis& a);
+
+}  // namespace hpamg::trace_analyze

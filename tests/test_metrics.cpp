@@ -358,6 +358,43 @@ TEST(BenchDiff, AddedMetricIsInformational) {
   EXPECT_EQ(res.added, 1);
 }
 
+TEST(BenchDiff, EnvelopePerfGaugesAreAdvisory) {
+  auto with_gauges = [](std::vector<std::pair<std::string, double>> gauges) {
+    BenchReport rep("synthetic");
+    rep.set_param("scale", 0.01);
+    rep.add_run("case").metric("total_seconds", 1.0);
+    MetricsEnvelope m;
+    m.threads = 1;
+    m.build = "release";
+    m.registry.gauges = std::move(gauges);
+    rep.set_metrics(std::move(m));
+    return rep.to_json();
+  };
+  // Efficiency halves, one kernel's gauge vanishes, another appears: all
+  // advisory — no regression, no missing. Non-perf gauges are not diffed.
+  const std::string a = with_gauges({{"comm.wait.blocked_s", 0.5},
+                                     {"perf.kernel.gone.efficiency", 0.9},
+                                     {"perf.kernel.spmv.efficiency", 0.8}});
+  const std::string b = with_gauges({{"perf.kernel.new.bw_fraction", 0.2},
+                                     {"perf.kernel.spmv.efficiency", 0.4}});
+  const DiffResult res = diff_bench_reports(a, b);
+  EXPECT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.missing, 0);
+  int envelope_rows = 0;
+  bool saw_ok = false, saw_added = false;
+  for (const MetricDelta& d : res.deltas) {
+    if (!d.run.empty()) continue;
+    ++envelope_rows;
+    EXPECT_EQ(d.cls, MetricClass::kInfo);
+    EXPECT_EQ(d.key.rfind("perf.", 0), 0u) << d.key;
+    if (d.verdict == MetricDelta::Verdict::kOk) saw_ok = true;
+    if (d.verdict == MetricDelta::Verdict::kAdded) saw_added = true;
+  }
+  EXPECT_EQ(envelope_rows, 2);  // spmv (both sides) + new-only; gone skipped
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_added);
+}
+
 TEST(BenchDiff, ParamMismatchIsAnErrorNotARegression) {
   const std::string a = make_report(0.01, {{"total_seconds", 1.0}});
   const std::string b = make_report(0.02, {{"total_seconds", 1.0}});

@@ -1,0 +1,19 @@
+// lint-fixture-path: src/amg/bad_counters.cpp
+// Violation fixture: a kernel that accumulates WorkCounters (so it feeds
+// the roofline attribution) but opens no TRACE_SPAN, leaving its modeled
+// work unjoinable against the trace timeline.
+// expect: counters-trace-span
+#include "matrix/csr.hpp"
+#include "support/counters.hpp"
+
+namespace hpamg {
+
+void counted_untraced_kernel(const Vector& x, Vector& y, WorkCounters* wc) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = 2.0 * x[i];
+  if (wc != nullptr) {
+    wc->flops += y.size();
+    wc->bytes_read += y.size() * 8;
+  }
+}
+
+}  // namespace hpamg

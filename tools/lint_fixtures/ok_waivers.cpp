@@ -4,6 +4,7 @@
 // expect: clean
 #include "amg/hierarchy.hpp"
 #include "support/check.hpp"
+#include "support/counters.hpp"
 #include "support/metrics.hpp"
 
 namespace hpamg {
@@ -18,6 +19,11 @@ void waived_everything(const Hierarchy& h, Vector& y) {
 
   // lint: metric-name-ok(legacy dashboard name, scheduled for migration)
   metrics::counter("legacy.iterations").add(1);
+}
+
+// lint: counted-no-span(accounting helper; caller owns the span)
+void waived_counter_helper(const Vector& y, WorkCounters* wc) {
+  if (wc != nullptr) wc->bytes_written += y.size() * 8;
 }
 
 }  // namespace hpamg
