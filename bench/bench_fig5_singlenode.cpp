@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
   JsonSink sink(cli, env);
   init_logging(cli);
   TraceSink trace_sink(cli, env);
+  LiveSink live_sink(cli);
   sink.report.set_param("scale", scale);
   sink.report.set_param("rtol", rtol);
   sink.report.set_param("repeat", repeat.count);
@@ -189,7 +190,9 @@ int main(int argc, char** argv) {
         .metric("geomean_speedup_modeled", std::exp(geo_model / count))
         .metric("geomean_amgx_vs_opt", std::exp(geo_amgx / count));
   }
+  const int live_rc = live_sink.finish();
   const int trace_rc = trace_sink.finish();
   const int json_rc = sink.finish();
+  if (live_rc != 0) return live_rc;
   return trace_rc != 0 ? trace_rc : json_rc;
 }

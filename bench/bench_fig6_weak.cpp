@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
   JsonSink sink(cli, env);
   init_logging(cli);
   TraceSink trace_sink(cli, env);
+  LiveSink live_sink(cli);
   sink.report.set_param("input", input_arg);
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
@@ -175,7 +176,9 @@ int main(int argc, char** argv) {
               " 2s-ei converge in fewer iterations (faster solve); the"
               " optimized variant improves both phases; iteration counts"
               " grow slowly (lap3d) or stay flat (amg2013).\n");
+  const int live_rc = live_sink.finish();
   const int trace_rc = trace_sink.finish();
   const int json_rc = sink.finish();
+  if (live_rc != 0) return live_rc;
   return trace_rc != 0 ? trace_rc : json_rc;
 }

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   JsonSink sink(cli, env);
   init_logging(cli);
   TraceSink trace_sink(cli, env);
+  LiveSink live_sink(cli);
   sink.report.set_param("ranks", long(ranks));
   sink.report.set_param("n", long(n));
   sink.report.set_param("input", input);
@@ -123,7 +124,9 @@ int main(int argc, char** argv) {
               " coarsening) spend more in Interp but less in RAP and the"
               " solve than ei4; Solve_MPI is a large share of solve time at"
               " scale.\n");
+  const int live_rc = live_sink.finish();
   const int trace_rc = trace_sink.finish();
   const int json_rc = sink.finish();
+  if (live_rc != 0) return live_rc;
   return trace_rc != 0 ? trace_rc : json_rc;
 }

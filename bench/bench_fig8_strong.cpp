@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   JsonSink sink(cli, env);
   init_logging(cli);
   TraceSink trace_sink(cli, env);
+  LiveSink live_sink(cli);
   sink.report.set_param("n", long(n));
   sink.report.set_param("max_ranks", long(max_ranks));
   sink.report.set_param("rtol", rtol);
@@ -117,7 +118,9 @@ int main(int argc, char** argv) {
               " scheme; the solve scales better than the setup; HYPRE_opt"
               " beats HYPRE_base throughout; setup scalability (Interp, RAP)"
               " is the bottleneck at high rank counts.\n");
+  const int live_rc = live_sink.finish();
   const int trace_rc = trace_sink.finish();
   const int json_rc = sink.finish();
+  if (live_rc != 0) return live_rc;
   return trace_rc != 0 ? trace_rc : json_rc;
 }

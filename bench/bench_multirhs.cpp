@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
   JsonSink sink(cli, env);
   init_logging(cli);
   TraceSink trace_sink(cli, env);
+  LiveSink live_sink(cli);
   sink.report.set_param("n", long(n));
   sink.report.set_param("rtol", rtol);
   sink.report.set_param("repeat", repeat.count);
@@ -154,7 +155,9 @@ int main(int argc, char** argv) {
     add_time_metrics(run, "solve", solve_samples);
   }
 
+  const int live_rc = live_sink.finish();
   const int trace_rc = trace_sink.finish();
   const int json_rc = sink.finish();
+  if (live_rc != 0) return live_rc;
   return trace_rc != 0 ? trace_rc : json_rc;
 }

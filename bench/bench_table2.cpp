@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   JsonSink sink(cli, env);
   init_logging(cli);
   TraceSink trace_sink(cli, env);
+  LiveSink live_sink(cli);
   sink.report.set_param("scale", scale);
   sink.report.set_param("rtol", rtol);
 
@@ -61,7 +62,9 @@ int main(int argc, char** argv) {
                solve_mb},
               14);
   }
+  const int live_rc = live_sink.finish();
   const int trace_rc = trace_sink.finish();
   const int json_rc = sink.finish();
+  if (live_rc != 0) return live_rc;
   return trace_rc != 0 ? trace_rc : json_rc;
 }

@@ -3,6 +3,8 @@
 // Table 3 / Table 4 parameter presets.
 #pragma once
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include "perfmodel/network.hpp"
 #include "perfmodel/project.hpp"
 #include "support/cli.hpp"
+#include "support/live.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -302,6 +305,54 @@ struct TraceSink {
   }
 
   std::string path;
+};
+
+/// `--live <dir>` plumbing shared by every solver bench: starts the live
+/// observability layer (progress.jsonl + metrics.prom in <dir>, heartbeats,
+/// flight recorder) for the duration of the run, and main() calls
+/// `sink.finish()` to stop the sampler. Tail the stream with
+/// `hpamg_top <dir>` while the bench runs.
+///
+///   --live-interval <s>  sampler/scrape period (default 0.05)
+///   --live-watchdog <s>  heartbeat stall deadline, 0 = off (default 0);
+///                        scaled by live::sanitizer_scale() internally
+///
+/// Live observability needs the metrics registry on (the sampler snapshots
+/// it), so this enables metrics even when --json was not given.
+struct LiveSink {
+  explicit LiveSink(const Cli& cli) : dir(cli.get("live", "")) {
+    if (dir.empty()) return;
+    ::mkdir(dir.c_str(), 0777);  // best effort; start() reports failures
+    metrics::enable();
+    live::Options opts;
+    opts.dir = dir;
+    opts.interval_s = cli.get_double("live-interval", 0.05);
+    opts.watchdog_deadline_s = cli.get_double("live-watchdog", 0.0);
+    if (!live::start(opts)) {
+      HPAMG_LOG_ERROR("live observability failed to start in %s",
+                      dir.c_str());
+      dir.clear();
+      return;
+    }
+    std::printf("live: streaming to %s/progress.jsonl (tail with hpamg_top)\n",
+                dir.c_str());
+  }
+
+  bool enabled() const { return !dir.empty(); }
+
+  int finish() const {
+    if (!enabled()) return 0;
+    live::stop();
+    if (live::watchdog_verdict() != Status::kOk) {
+      const live::StallInfo s = live::stall_info();
+      HPAMG_LOG_ERROR("watchdog declared a stall: rank %d quiet %.2fs "
+                      "(deadline %.2fs)", s.rank, s.stalled_s, s.deadline_s);
+      return 1;
+    }
+    return 0;
+  }
+
+  std::string dir;
 };
 
 }  // namespace hpamg::bench

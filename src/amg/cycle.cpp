@@ -4,6 +4,7 @@
 #include "amg/telemetry.hpp"
 #include "matrix/transpose.hpp"
 #include "perfmodel/attrib.hpp"
+#include "support/live.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
@@ -83,6 +84,7 @@ void coarse_solve(Hierarchy& h, Level& L, const Vector& b, Vector& x,
 void vcycle_level(Hierarchy& h, Int l, PhaseTimes* pt, WorkCounters* wc,
                   bool zero_entry = true) {
   TRACE_SPAN("cycle.level", std::int64_t(l));
+  live::beat_phase("cycle.level", std::int64_t(l));
   Level& L = h.levels[l];
   const bool optimized = h.opts.variant == Variant::kOptimized;
   if (l == h.num_levels() - 1) {
@@ -266,6 +268,7 @@ void coarse_solve_multi(Hierarchy& h, Level& L, MultiRhsWorkspace& W, Int l,
 void vcycle_level_multi(Hierarchy& h, Int l, PhaseTimes* pt,
                         WorkCounters* wc, bool zero_entry = true) {
   TRACE_SPAN("cycle.level_multi", std::int64_t(l));
+  live::beat_phase("cycle.level_multi", std::int64_t(l));
   Level& L = h.levels[l];
   MultiRhsWorkspace& W = h.multi_ws;
   const Int m = W.m;

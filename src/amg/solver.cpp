@@ -11,6 +11,7 @@
 #include "spgemm/rap.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
+#include "support/live.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -48,6 +49,7 @@ AMGSolver::AMGSolver(const CSRMatrix& A, const AMGOptions& opts)
 SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
                              Int max_iterations) {
   TRACE_SPAN("amg.solve", "phase");
+  live::ActivityScope live_scope;
   SolveResult res;
   Level& L0 = h_.levels[0];
   require(Int(b.size()) == L0.n && Int(x.size()) == L0.n,
@@ -149,6 +151,7 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
     }
     res.history.push_back(relres);
     res.iterations = it;
+    live::beat_iteration(it, relres);
     if (telemetry_on) {
       res.telemetry.push_back(make_iteration_entry(
           it, relres, prev_relres, t_iter.seconds(), normb, &tel));
@@ -213,6 +216,7 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
 MultiSolveResult AMGSolver::solve_multi(const MultiVector& B, MultiVector& X,
                                         double rtol, Int max_iterations) {
   TRACE_SPAN("amg.solve_multi", "phase");
+  live::ActivityScope live_scope;
   MultiSolveResult res;
   Level& L0 = h_.levels[0];
   const Int m = B.m;
@@ -298,6 +302,14 @@ MultiSolveResult AMGSolver::solve_multi(const MultiVector& B, MultiVector& X,
     pt.add("SpMV", t.seconds());
     res.iterations = it;
     st = update_relres(it);
+    if (live::enabled()) {
+      // Heartbeat carries the worst column's residual — the one that
+      // decides when this multi-RHS solve finishes.
+      double worst = 0.0;
+      for (double rr : relres)
+        if (rr > worst) worst = rr;
+      live::beat_iteration(it, worst);
+    }
     if (st == Status::kOk) {
       res.converged = true;
       res.status = Status::kOk;

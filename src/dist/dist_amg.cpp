@@ -11,6 +11,7 @@
 #include "support/check.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
+#include "support/live.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -286,6 +287,7 @@ WorkCounters est_csr_pass(const DistMatrix& A, std::uint64_t passes) {
 void dist_vcycle_level(simmpi::Comm& comm, DistHierarchy& h, Int l,
                        PhaseTimes* pt) {
   TRACE_SPAN("cycle.level", std::int64_t(l));
+  live::beat_phase("cycle.level", std::int64_t(l));
   DistLevel& L = h.levels[l];
   if (l == Int(h.levels.size()) - 1) {
     CpuTimer t;

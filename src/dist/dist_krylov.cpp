@@ -8,6 +8,7 @@
 #include "matrix/vector_ops.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
+#include "support/live.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -154,6 +155,7 @@ DistSolveResult dist_fgmres(simmpi::Comm& comm, const DistMatrix& A,
       pt.add("BLAS1", t3.seconds());
       res.iterations = total_it + 1;
       res.history.push_back(relres);
+      live::beat_iteration(total_it + 1, relres);
       if (telemetry_on) {
         res.telemetry.push_back(make_iteration_entry(
             total_it + 1, relres, prev_relres, t_iter.seconds(), normb,
@@ -255,6 +257,7 @@ DistSolveResult dist_amg_solve(simmpi::Comm& comm, const DistMatrix& A,
     pt.add("BLAS1", t2.seconds());
     res.iterations = it;
     res.history.push_back(relres);
+    live::beat_iteration(it, relres);
     if (telemetry_on) {
       res.telemetry.push_back(make_iteration_entry(it, relres, prev_relres,
                                                    t_iter.seconds(), normb,

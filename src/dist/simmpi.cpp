@@ -11,6 +11,7 @@
 
 #include "support/error.hpp"
 #include "support/fault.hpp"
+#include "support/live.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
@@ -234,6 +235,33 @@ class World {
     return out;
   }
 
+  /// Watchdog entry point (live::register_stall_handler in run() wires it,
+  /// called on the sampler thread): captures the per-rank state dump,
+  /// persists it for CI artifacts, and deadlock-poisons the world so every
+  /// blocked rank unwinds with a DeadlockError attributed to the rank
+  /// whose heartbeat stopped — instead of a silent wait for the (much
+  /// longer) transport timeout. First stall wins; later calls only poison.
+  void fail_from_watchdog(const live::StallInfo& info) {
+    std::ostringstream os;
+    os << "simmpi: watchdog declared rank " << info.rank
+       << " stalled (heartbeat silent " << info.stalled_s
+       << " s, deadline " << info.deadline_s << " s";
+    if (info.phase) os << ", phase " << info.phase;
+    if (info.iteration >= 0) os << ", iteration " << info.iteration;
+    os << (info.waiting ? "; every active rank was in a wait)" : ")");
+    const std::string dump = state_dump();
+    write_dump_file(dump);
+    {
+      std::lock_guard<std::mutex> lock(deadlock_mu_);
+      if (deadlock_msg_.empty()) {
+        deadlock_msg_ = os.str();
+        deadlock_dump_ = dump;
+      }
+    }
+    deadlock_flagged_.store(true, std::memory_order_release);
+    poison();
+  }
+
   /// Marks the world failed and wakes every blocked rank so it can unwind
   /// (PeerFailureError) instead of waiting on a rank that will never
   /// arrive. Idempotent; callable from any thread.
@@ -275,17 +303,39 @@ class World {
   }
 
  private:
-  /// RAII publication of a rank's wait site for the deadlock dump.
+  /// RAII publication of a rank's wait site for the deadlock dump, and of
+  /// the waiting flag + blocked-time accounting for the live heartbeat
+  /// (live::enabled() snapshotted at entry so begin/end always pair; cost
+  /// when disabled is that one relaxed load).
   struct BlockedScope {
     explicit BlockedScope(BlockedState& b, const char* where, int peer,
                           int tag)
-        : b_(b) {
+        : b_(b), live_(live::enabled()) {
       b_.peer.store(peer, std::memory_order_relaxed);
       b_.tag.store(tag, std::memory_order_relaxed);
       b_.where.store(where, std::memory_order_release);
+      if (live_) {
+        start_ns_ = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now().time_since_epoch())
+                .count());
+        live::set_waiting(true);
+      }
     }
-    ~BlockedScope() { b_.where.store(nullptr, std::memory_order_release); }
+    ~BlockedScope() {
+      b_.where.store(nullptr, std::memory_order_release);
+      if (live_) {
+        live::set_waiting(false);
+        const std::uint64_t end_ns = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now().time_since_epoch())
+                .count());
+        live::add_blocked_ns(end_ns - start_ns_);
+      }
+    }
     BlockedState& b_;
+    bool live_;
+    std::uint64_t start_ns_ = 0;
   };
 
   /// Condition wait bounded by the world timeout. Throws PeerFailureError
@@ -298,10 +348,22 @@ class World {
     const auto deadline = Clock::now() + timeout_;
     for (;;) {
       if (pred()) return;
-      if (poisoned_.load(std::memory_order_acquire))
+      if (poisoned_.load(std::memory_order_acquire)) {
+        // Watchdog-initiated poison: unwind as the root-cause DeadlockError
+        // (attributed to the stalled rank, carrying the state dump) rather
+        // than a collateral PeerFailureError, so run()'s triage surfaces
+        // the stall no matter which rank reports first.
+        if (deadlock_flagged_.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> dl(deadlock_mu_);
+          throw DeadlockError(deadlock_msg_ + "; rank " +
+                                  std::to_string(rank) + " released from " +
+                                  where,
+                              deadlock_dump_);
+        }
         throw PeerFailureError(
             std::string("simmpi: rank ") + std::to_string(rank) +
             " released from " + where + " after a peer failure");
+      }
       if (cv.wait_until(lock, deadline) == std::cv_status::timeout) {
         if (pred()) return;
         if (!poisoned_.load(std::memory_order_acquire)) {
@@ -343,6 +405,14 @@ class World {
   std::vector<Mailbox> mailboxes_;
   std::vector<BlockedState> blocked_;
   std::atomic<bool> poisoned_{false};
+
+  // Watchdog-attributed deadlock, set by fail_from_watchdog before the
+  // poison flag so a released waiter always sees the message (the flag is
+  // its acquire ticket).
+  std::atomic<bool> deadlock_flagged_{false};
+  std::mutex deadlock_mu_;
+  std::string deadlock_msg_;
+  std::string deadlock_dump_;
 
   std::mutex bar_mu_;
   std::condition_variable bar_cv_;
@@ -478,11 +548,28 @@ std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn,
     comms.back()->stats().per_peer.resize(std::size_t(nranks));
   }
 
+  // While live observability runs, a watchdog-declared stall must unwind
+  // this world: the handler (invoked on the sampler thread) captures the
+  // blocked-state dump and deadlock-poisons, so waits throw DeadlockError
+  // attributed to the rank whose heartbeat stopped. Unregistered after the
+  // join below — unregister blocks on any in-flight invocation, so the
+  // handler can never touch a dead World.
+  int live_token = -1;
+  if (live::enabled())
+    live_token = live::register_stall_handler(
+        [&world](const live::StallInfo& info) {
+          world.fail_from_watchdog(info);
+        });
+
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(nranks);
   threads.reserve(nranks);
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      // Bind this thread's heartbeat slot to rank r and mark it active for
+      // the watchdog for the duration of the rank function.
+      live::set_rank(r);
+      live::ActivityScope live_scope;
       try {
         if (trace::enabled()) {
           const std::string name = "rank " + std::to_string(r);
@@ -499,6 +586,7 @@ std::vector<CommStats> run(int nranks, const std::function<void(Comm&)>& fn,
     });
   }
   for (auto& t : threads) t.join();
+  if (live_token >= 0) live::unregister_stall_handler(live_token);
 
   // First real failure wins; PeerFailureError unwinds are collateral and
   // surface only when no rank recorded a root cause.

@@ -2,6 +2,7 @@
 
 #include "amg/spmv.hpp"
 #include "krylov/krylov.hpp"
+#include "support/live.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
@@ -32,6 +33,7 @@ BlockKrylovResult block_pcg(const CSRMatrix& A, const MultiVector& B,
                             MultiVector& X, const KrylovOptions& opt,
                             const MultiPreconditioner& precond) {
   TRACE_SPAN("krylov.block_pcg", "phase", "rhs", std::int64_t(B.m));
+  live::ActivityScope live_scope;
   const Int n = A.nrows;
   const Int m = B.m;
   require(B.n == n && X.n == n && X.m == m, "block_pcg: shape mismatch");
@@ -125,6 +127,14 @@ BlockKrylovResult block_pcg(const CSRMatrix& A, const MultiVector& B,
         res.col_iterations[std::size_t(j)] = it;
         --num_live;
       }
+    }
+    if (live::enabled()) {
+      // Heartbeat carries the worst column's residual — the one that
+      // decides when this block solve finishes.
+      double worst = 0.0;
+      for (double rr : res.final_relres)
+        if (rr > worst) worst = rr;
+      live::beat_iteration(it, worst);
     }
     if (num_live == 0) break;
 

@@ -3,6 +3,7 @@
 #include "amg/spmv.hpp"
 #include "krylov/gmres_common.hpp"
 #include "krylov/krylov.hpp"
+#include "support/live.hpp"
 #include "support/parallel.hpp"
 #include "support/trace.hpp"
 
@@ -47,6 +48,7 @@ BlockKrylovResult block_fgmres(const CSRMatrix& A, const MultiVector& B,
                                MultiVector& X, const KrylovOptions& opt,
                                const MultiPreconditioner& precond) {
   TRACE_SPAN("krylov.block_fgmres", "phase", "rhs", std::int64_t(B.m));
+  live::ActivityScope live_scope;
   const Int n = A.nrows;
   const Int m = B.m;
   require(B.n == n && X.n == n && X.m == m, "block_fgmres: shape mismatch");
@@ -145,6 +147,14 @@ BlockKrylovResult block_fgmres(const CSRMatrix& A, const MultiVector& B,
           live[std::size_t(j)] = 0;
           --num_live;
         }
+      }
+      if (live::enabled()) {
+        // Heartbeat carries the worst column's residual — the one that
+        // decides when this block solve finishes.
+        double worst = 0.0;
+        for (double rr : res.final_relres)
+          if (rr > worst) worst = rr;
+        live::beat_iteration(total_it + 1, worst);
       }
     }
 

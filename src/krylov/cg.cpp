@@ -2,6 +2,7 @@
 
 #include "amg/spmv.hpp"
 #include "krylov/krylov.hpp"
+#include "support/live.hpp"
 #include "support/trace.hpp"
 
 namespace hpamg {
@@ -9,6 +10,7 @@ namespace hpamg {
 KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
                  const KrylovOptions& opt, const Preconditioner& precond) {
   TRACE_SPAN("krylov.pcg", "phase");
+  live::ActivityScope live_scope;
   const Int n = A.nrows;
   require(Int(b.size()) == n && Int(x.size()) == n, "pcg: size mismatch");
   KrylovResult res;
@@ -56,6 +58,7 @@ KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
     relres = norm2(r) / normb;
     res.history.push_back(relres);
     res.iterations = it;
+    live::beat_iteration(it, relres);
     if (relres < opt.rtol) {
       res.converged = true;
       res.status = Status::kOk;

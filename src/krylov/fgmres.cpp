@@ -3,6 +3,7 @@
 #include "amg/spmv.hpp"
 #include "krylov/gmres_common.hpp"
 #include "krylov/krylov.hpp"
+#include "support/live.hpp"
 #include "support/trace.hpp"
 
 namespace hpamg {
@@ -14,6 +15,7 @@ namespace hpamg {
 KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
                     const KrylovOptions& opt, const Preconditioner& precond) {
   TRACE_SPAN("krylov.fgmres", "phase");
+  live::ActivityScope live_scope;
   const Int n = A.nrows;
   require(Int(b.size()) == n && Int(x.size()) == n, "fgmres: size mismatch");
   KrylovResult res;
@@ -70,6 +72,7 @@ KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
       relres = ls.apply_rotations(j) / normb;
       res.history.push_back(relres);
       res.iterations = total_it + 1;
+      live::beat_iteration(total_it + 1, relres);
       if (!std::isfinite(relres) || !std::isfinite(hn)) {
         // The Krylov basis is poisoned; applying the update x += ... y
         // would only spread the NaN into x.

@@ -3,6 +3,8 @@
 #include <map>
 #include <mutex>
 
+#include "support/live.hpp"
+
 namespace hpamg::fault {
 
 namespace detail {
@@ -60,6 +62,12 @@ bool should_fire_slow(std::string_view site, std::uint64_t* draw) {
   }
   ++s.fires;
   if (draw) *draw = splitmix64(rnd);
+  // Flight-recorder hook: a fired site is exactly the event a post-mortem
+  // wants context around. The map node's key outlives the registry, so the
+  // pointer is stable. Runs under the registry mutex — live's locks never
+  // take fault locks, so the order is acyclic; the (once-per-site) dump
+  // I/O inside note_fault is rare and off the hot path by construction.
+  if (live::enabled()) live::note_fault(it->first.c_str());
   return true;
 }
 

@@ -1,0 +1,725 @@
+#include "support/live.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#endif
+
+#include "support/log.hpp"
+#include "support/metrics.hpp"
+#include "support/report.hpp"
+
+namespace hpamg::live {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+thread_local int t_slot = 0;  // host slot until set_rank binds a rank
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns() {
+  static const Clock::time_point epoch = Clock::now();
+  return std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+/// Atomic-double helper (the registry's Gauge idiom): doubles travel as
+/// bit patterns so slots stay lock-free.
+std::uint64_t dbits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+double bits_d(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+// ------------------------------------------------------------------------
+// Heartbeat slots
+// ------------------------------------------------------------------------
+
+/// Written by the owning rank thread (relaxed stores), read racily by the
+/// sampler; `phase` must point at a string literal.
+struct Slot {
+  std::atomic<int> depth{0};  ///< ActivityScope nesting; > 0 = active
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<std::int64_t> iteration{-1};
+  std::atomic<std::int64_t> level{-1};
+  std::atomic<const char*> phase{nullptr};
+  std::atomic<std::uint64_t> relres_bits{dbits(-1.0)};
+  std::atomic<std::uint64_t> conv_bits{0};
+  std::atomic<bool> waiting{false};
+  std::atomic<std::uint64_t> blocked_ns{0};
+};
+
+Slot g_slots[kSlots];
+
+Slot& my_slot() { return g_slots[detail::t_slot]; }
+
+void beat(Slot& s) {
+  s.ts_ns.store(now_ns(), std::memory_order_relaxed);
+  s.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------------
+// Flight recorder rings
+// ------------------------------------------------------------------------
+
+constexpr std::size_t kNameChars = 32;
+constexpr std::size_t kTextChars = 96;
+
+struct FlightEntry {
+  std::uint64_t ts_ns = 0;
+  int slot = 0;
+  EventKind kind = EventKind::kLog;
+  char name[kNameChars] = {0};
+  char text[kTextChars] = {0};
+};
+
+/// One ring per recording thread. Recording takes the ring's own mutex —
+/// flight events are rare (log records, instants, fault trips), so this is
+/// far off the hot path, and it keeps the dump path TSan-clean.
+struct FlightRing {
+  std::mutex mu;
+  std::vector<FlightEntry> entries;
+  std::size_t head = 0;      ///< next write position
+  std::uint64_t total = 0;   ///< events ever recorded
+};
+
+struct FlightRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<FlightRing>> rings;
+  std::size_t capacity = 256;
+};
+
+FlightRegistry& flight_registry() {
+  static FlightRegistry* r = new FlightRegistry();  // outlives static dtors
+  return *r;
+}
+
+FlightRing& my_ring() {
+  thread_local FlightRing* ring = nullptr;
+  if (ring == nullptr) {
+    FlightRegistry& reg = flight_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.rings.push_back(std::make_unique<FlightRing>());
+    ring = reg.rings.back().get();
+    ring->entries.resize(reg.capacity);
+  }
+  return *ring;
+}
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kLog: return "log";
+    case EventKind::kInstant: return "instant";
+    case EventKind::kFault: return "fault";
+    case EventKind::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------------
+// Watchdog + stall handlers
+// ------------------------------------------------------------------------
+
+struct WatchdogState {
+  std::mutex mu;
+  bool fired = false;
+  StallInfo info;
+};
+WatchdogState g_watchdog;
+
+struct HandlerRegistry {
+  std::mutex mu;  ///< held across invocation, so unregister blocks on it
+  std::vector<std::pair<int, StallHandler>> handlers;
+  int next_token = 1;
+};
+HandlerRegistry g_handlers;
+
+// ------------------------------------------------------------------------
+// Sampler
+// ------------------------------------------------------------------------
+
+struct Sampler {
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop_requested = false;
+  Options opts;
+  std::string dir;
+  std::FILE* progress = nullptr;
+  std::uint64_t seq = 0;
+  /// Last sampled blocked_ns / wall ts per slot, for the per-interval
+  /// blocked fraction.
+  std::uint64_t last_blocked[kSlots] = {0};
+  std::uint64_t last_ts = 0;
+};
+Sampler* g_sampler = nullptr;  // non-null while running
+
+void write_progress_line(Sampler& s,
+                         const std::vector<HeartbeatSample>& beats,
+                         double blocked_frac[kSlots]) {
+  if (s.progress == nullptr) return;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("seq", (unsigned long long)s.seq);
+  w.kv("ts_ms", double(now_ns()) / 1e6);
+  w.key("ranks").begin_array();
+  for (const HeartbeatSample& hb : beats) {
+    w.begin_object();
+    w.kv("rank", (long long)hb.rank);
+    w.kv("epoch", (unsigned long long)hb.epoch);
+    w.kv("age_ms", hb.age_s * 1e3);
+    w.kv("iteration", (long long)hb.iteration);
+    w.kv("level", (long long)hb.level);
+    w.kv("phase", hb.phase != nullptr ? hb.phase : "");
+    w.kv("relres", hb.relres);
+    w.kv("conv_factor", hb.conv_factor);
+    w.kv("waiting", hb.waiting);
+    w.kv("blocked_s", hb.blocked_s);
+    const int slot = hb.rank + 1;
+    w.kv("blocked_frac",
+         slot >= 0 && slot < kSlots ? blocked_frac[slot] : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+  // Registry counters + gauges ride along on every line (histograms stay
+  // in the exposition file, which carries the full snapshot).
+  const metrics::Snapshot snap = metrics::snapshot();
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : snap.counters) w.kv(k, (unsigned long long)v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [k, v] : snap.gauges) w.kv(k, v);
+  w.end_object();
+  w.end_object();
+  const std::string& line = w.str();
+  std::fwrite(line.data(), 1, line.size(), s.progress);
+  std::fputc('\n', s.progress);
+  std::fflush(s.progress);
+}
+
+/// Prometheus text-format name: [a-zA-Z0-9_] with an hpamg_ prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "hpamg_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_exposition(Sampler& s, const std::vector<HeartbeatSample>& beats) {
+  if (s.dir.empty()) return;
+  const std::string path = s.dir + "/metrics.prom";
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  const metrics::Snapshot snap = metrics::snapshot();
+  for (const auto& [k, v] : snap.counters) {
+    const std::string n = prom_name(k);
+    std::fprintf(f, "# TYPE %s counter\n%s %llu\n", n.c_str(), n.c_str(),
+                 (unsigned long long)v);
+  }
+  for (const auto& [k, v] : snap.gauges) {
+    const std::string n = prom_name(k);
+    std::fprintf(f, "# TYPE %s gauge\n%s %.17g\n", n.c_str(), n.c_str(), v);
+  }
+  for (const metrics::HistogramSnapshot& h : snap.histograms) {
+    const std::string n = prom_name(h.name);
+    std::fprintf(f, "# TYPE %s histogram\n", n.c_str());
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cum += h.buckets[b];
+      // Upper bound of pow-2 bucket b is the floor of bucket b+1.
+      std::fprintf(f, "%s_bucket{le=\"%llu\"} %llu\n", n.c_str(),
+                   (unsigned long long)metrics::Histogram::bucket_floor(
+                       int(b) + 1),
+                   (unsigned long long)cum);
+    }
+    std::fprintf(f, "%s_bucket{le=\"+Inf\"} %llu\n", n.c_str(),
+                 (unsigned long long)h.count);
+    std::fprintf(f, "%s_sum %llu\n", n.c_str(), (unsigned long long)h.sum);
+    std::fprintf(f, "%s_count %llu\n", n.c_str(),
+                 (unsigned long long)h.count);
+  }
+  // Heartbeats as labeled gauges, so a scraper sees liveness without
+  // parsing the JSONL stream.
+  for (const HeartbeatSample& hb : beats) {
+    std::fprintf(f,
+                 "hpamg_live_heartbeat_epoch{rank=\"%d\"} %llu\n"
+                 "hpamg_live_heartbeat_age_seconds{rank=\"%d\"} %.6f\n"
+                 "hpamg_live_heartbeat_iteration{rank=\"%d\"} %lld\n",
+                 hb.rank, (unsigned long long)hb.epoch, hb.rank, hb.age_s,
+                 hb.rank, (long long)hb.iteration);
+  }
+  std::fclose(f);
+  // Atomic publication: scrapers tailing `path` never see a torn file.
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+void fire_watchdog(const StallInfo& info) {
+  {
+    std::lock_guard<std::mutex> lock(g_watchdog.mu);
+    if (g_watchdog.fired) return;
+    g_watchdog.fired = true;
+    g_watchdog.info = info;
+  }
+  metrics::counter("live.watchdog.stalls").add(1);
+  char text[96];
+  std::snprintf(text, sizeof text,
+                "rank %d stalled %.2fs (deadline %.2fs) in %s it %lld",
+                info.rank, info.stalled_s, info.deadline_s,
+                info.phase != nullptr ? info.phase : "?",
+                (long long)info.iteration);
+  record(EventKind::kWatchdog, "watchdog.stall", text);
+  HPAMG_LOG_ERROR("live watchdog: %s", text);
+  const std::string dumped = dump_flight_recorder("watchdog stall");
+  if (!dumped.empty())
+    HPAMG_LOG_ERROR("live watchdog: flight recorder dumped to %s",
+                    dumped.c_str());
+  std::lock_guard<std::mutex> lock(g_handlers.mu);
+  for (auto& [token, handler] : g_handlers.handlers)
+    if (handler) handler(info);
+}
+
+void check_watchdog(const Options& opts,
+                    const std::vector<HeartbeatSample>& beats) {
+  if (opts.watchdog_deadline_s <= 0.0 || beats.empty()) return;
+  const double deadline = opts.watchdog_deadline_s * sanitizer_scale();
+  const HeartbeatSample* culprit = nullptr;
+  bool all_stale = true;
+  const HeartbeatSample* oldest = nullptr;
+  for (const HeartbeatSample& hb : beats) {
+    if (hb.age_s <= deadline) {
+      all_stale = false;
+      continue;
+    }
+    if (oldest == nullptr || hb.age_s > oldest->age_s) oldest = &hb;
+    // A waiting rank is blocked *on* someone — the stall belongs to a
+    // stale rank that is not waiting (stopped computing without reaching
+    // its next beat or wait).
+    if (!hb.waiting && (culprit == nullptr || hb.age_s > culprit->age_s))
+      culprit = &hb;
+  }
+  // Fire on a stuck non-waiting rank, or when every active rank is stale
+  // (a genuine deadlock cycle). One slow-but-waiting rank while a peer
+  // still beats is load imbalance, not a stall.
+  if (culprit == nullptr && !(all_stale && oldest != nullptr)) return;
+  const HeartbeatSample& hb = culprit != nullptr ? *culprit : *oldest;
+  StallInfo info;
+  info.rank = hb.rank;
+  info.stalled_s = hb.age_s;
+  info.deadline_s = deadline;
+  info.iteration = hb.iteration;
+  info.phase = hb.phase;
+  info.waiting = culprit == nullptr;
+  fire_watchdog(info);
+}
+
+void sampler_tick(Sampler& s) {
+  ++s.seq;
+  metrics::counter("live.samples").add(1);
+  const std::uint64_t now = now_ns();
+  const std::vector<HeartbeatSample> beats = heartbeat_snapshot();
+  // Per-interval blocked fraction, differenced against the previous tick.
+  double blocked_frac[kSlots] = {0.0};
+  const double wall = double(now - s.last_ts);
+  for (const HeartbeatSample& hb : beats) {
+    const int slot = hb.rank + 1;
+    if (slot < 0 || slot >= kSlots) continue;
+    const std::uint64_t cur =
+        g_slots[slot].blocked_ns.load(std::memory_order_relaxed);
+    if (wall > 0.0) {
+      const double frac = double(cur - s.last_blocked[slot]) / wall;
+      blocked_frac[slot] = std::clamp(frac, 0.0, 1.0);
+    }
+    s.last_blocked[slot] = cur;
+  }
+  s.last_ts = now;
+  write_progress_line(s, beats, blocked_frac);
+  write_exposition(s, beats);
+  check_watchdog(s.opts, beats);
+}
+
+void sampler_main(Sampler& s) {
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(std::max(s.opts.interval_s, 1e-3)));
+  std::unique_lock<std::mutex> lock(s.mu);
+  for (;;) {
+    if (s.cv.wait_for(lock, interval, [&] { return s.stop_requested; }))
+      break;
+    lock.unlock();
+    sampler_tick(s);
+    lock.lock();
+  }
+  lock.unlock();
+  sampler_tick(s);  // final sample so short runs still leave a record
+}
+
+// ------------------------------------------------------------------------
+// Fatal-signal dump (best effort)
+// ------------------------------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+std::atomic<bool> g_in_signal{false};
+
+void fatal_signal_handler(int sig) {
+  // Best-effort: flight_dump() is not async-signal-safe (it takes ring
+  // mutexes and allocates), but this runs once on the way down and a
+  // recursive fault re-raises immediately below.
+  if (!g_in_signal.exchange(true)) {
+    const std::string dump = live::flight_dump();
+    const char header[] = "\n=== hpamg flight recorder (fatal signal) ===\n";
+    (void)!write(2, header, sizeof header - 1);
+    (void)!write(2, dump.data(), dump.size());
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGSEGV, fatal_signal_handler);
+  std::signal(SIGABRT, fatal_signal_handler);
+  std::signal(SIGBUS, fatal_signal_handler);
+}
+#else
+void install_signal_handlers() {}
+#endif
+
+}  // namespace
+
+// ------------------------------------------------------------------------
+// Publishing (slow paths — callers checked enabled())
+// ------------------------------------------------------------------------
+
+namespace detail {
+
+void beat_iteration_slow(std::int64_t iteration, double relres) {
+  Slot& s = my_slot();
+  const double prev = bits_d(s.relres_bits.load(std::memory_order_relaxed));
+  const double conv =
+      prev > 0.0 && relres >= 0.0 && std::isfinite(prev) ? relres / prev : 0.0;
+  s.iteration.store(iteration, std::memory_order_relaxed);
+  s.relres_bits.store(dbits(relres), std::memory_order_relaxed);
+  s.conv_bits.store(dbits(conv), std::memory_order_relaxed);
+  beat(s);
+}
+
+void beat_phase_slow(const char* phase, std::int64_t level) {
+  Slot& s = my_slot();
+  s.phase.store(phase, std::memory_order_relaxed);
+  s.level.store(level, std::memory_order_relaxed);
+  beat(s);
+}
+
+void add_blocked_ns_slow(std::uint64_t ns) {
+  my_slot().blocked_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void set_waiting_slow(bool waiting) {
+  my_slot().waiting.store(waiting, std::memory_order_relaxed);
+}
+
+void activity_begin_slow() {
+  Slot& s = my_slot();
+  if (s.depth.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // Fresh activity: reset the per-solve fields so a stale residual from
+    // the previous solve never leaks into the new stream, and stamp a
+    // first beat so the watchdog ages from "now", not from last solve.
+    s.iteration.store(-1, std::memory_order_relaxed);
+    s.relres_bits.store(dbits(-1.0), std::memory_order_relaxed);
+    s.conv_bits.store(dbits(0.0), std::memory_order_relaxed);
+    s.waiting.store(false, std::memory_order_relaxed);
+  }
+  beat(s);
+}
+
+void activity_end_slow() {
+  my_slot().depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------------------------
+// Lifecycle
+// ------------------------------------------------------------------------
+
+bool start(const Options& opts) {
+  if (g_sampler != nullptr) return false;
+  {
+    FlightRegistry& reg = flight_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.capacity = std::max<std::size_t>(opts.flight_capacity, 8);
+  }
+  auto* s = new Sampler();
+  s->opts = opts;
+  s->dir = opts.dir;
+  s->last_ts = now_ns();
+  if (!s->dir.empty()) {
+    const std::string path = s->dir + "/progress.jsonl";
+    s->progress = std::fopen(path.c_str(), "w");
+    if (s->progress == nullptr) {
+      HPAMG_LOG_ERROR("live: cannot open %s; progress stream disabled",
+                      path.c_str());
+    }
+  }
+  if (opts.signal_handlers) install_signal_handlers();
+  g_sampler = s;
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+  s->thread = std::thread([s] { sampler_main(*s); });
+  return true;
+}
+
+void stop() {
+  Sampler* s = g_sampler;
+  if (s == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->stop_requested = true;
+  }
+  s->cv.notify_all();
+  s->thread.join();
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  if (s->progress != nullptr) std::fclose(s->progress);
+  g_sampler = nullptr;
+  delete s;
+}
+
+bool running() { return g_sampler != nullptr; }
+
+double sanitizer_scale() {
+  if (const char* env = std::getenv("HPAMG_WATCHDOG_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+#if defined(__SANITIZE_THREAD__)
+  return 20.0;
+#elif defined(__SANITIZE_ADDRESS__)
+  return 5.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return 20.0;
+#elif __has_feature(address_sanitizer)
+  return 5.0;
+#else
+  return 1.0;
+#endif
+#else
+  return 1.0;
+#endif
+}
+
+// ------------------------------------------------------------------------
+// Rank binding + snapshots
+// ------------------------------------------------------------------------
+
+void set_rank(int rank) {
+  const int slot = rank < 0 ? 0 : rank + 1;
+  detail::t_slot = slot < kSlots ? slot : 0;
+  if (rank >= kSlots - 1) detail::t_slot = 0;  // untracked ranks -> host
+}
+
+int current_rank() { return detail::t_slot - 1; }
+
+std::vector<HeartbeatSample> heartbeat_snapshot() {
+  std::vector<HeartbeatSample> out;
+  const std::uint64_t now = now_ns();
+  for (int slot = 0; slot < kSlots; ++slot) {
+    Slot& s = g_slots[slot];
+    if (s.depth.load(std::memory_order_relaxed) <= 0) continue;
+    HeartbeatSample hb;
+    hb.rank = slot - 1;
+    hb.epoch = s.epoch.load(std::memory_order_relaxed);
+    const std::uint64_t ts = s.ts_ns.load(std::memory_order_relaxed);
+    hb.age_s = ts <= now ? double(now - ts) / 1e9 : 0.0;
+    hb.iteration = s.iteration.load(std::memory_order_relaxed);
+    hb.level = s.level.load(std::memory_order_relaxed);
+    hb.phase = s.phase.load(std::memory_order_relaxed);
+    hb.relres = bits_d(s.relres_bits.load(std::memory_order_relaxed));
+    hb.conv_factor = bits_d(s.conv_bits.load(std::memory_order_relaxed));
+    hb.waiting = s.waiting.load(std::memory_order_relaxed);
+    hb.blocked_s =
+        double(s.blocked_ns.load(std::memory_order_relaxed)) / 1e9;
+    out.push_back(hb);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// Watchdog accessors + handlers
+// ------------------------------------------------------------------------
+
+Status watchdog_verdict() {
+  std::lock_guard<std::mutex> lock(g_watchdog.mu);
+  return g_watchdog.fired ? Status::kDeadlock : Status::kOk;
+}
+
+StallInfo stall_info() {
+  std::lock_guard<std::mutex> lock(g_watchdog.mu);
+  return g_watchdog.info;
+}
+
+void reset_watchdog() {
+  std::lock_guard<std::mutex> lock(g_watchdog.mu);
+  g_watchdog.fired = false;
+  g_watchdog.info = StallInfo{};
+}
+
+int register_stall_handler(StallHandler handler) {
+  std::lock_guard<std::mutex> lock(g_handlers.mu);
+  const int token = g_handlers.next_token++;
+  g_handlers.handlers.emplace_back(token, std::move(handler));
+  return token;
+}
+
+void unregister_stall_handler(int token) {
+  // Taking the mutex blocks until any in-flight invocation (which holds it
+  // across the handler calls) returns — safe to destroy captured state
+  // after this.
+  std::lock_guard<std::mutex> lock(g_handlers.mu);
+  auto& hs = g_handlers.handlers;
+  hs.erase(std::remove_if(hs.begin(), hs.end(),
+                          [token](const auto& p) { return p.first == token; }),
+           hs.end());
+}
+
+// ------------------------------------------------------------------------
+// Flight recorder
+// ------------------------------------------------------------------------
+
+void record(EventKind kind, const char* name, const char* text) {
+  if (!enabled()) return;
+  FlightRing& ring = my_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  FlightEntry& e = ring.entries[ring.head];
+  ring.head = (ring.head + 1) % ring.entries.size();
+  ++ring.total;
+  e.ts_ns = now_ns();
+  e.slot = detail::t_slot;
+  e.kind = kind;
+  std::snprintf(e.name, sizeof e.name, "%s", name != nullptr ? name : "");
+  std::snprintf(e.text, sizeof e.text, "%s", text != nullptr ? text : "");
+}
+
+void note_fault(const char* site) {
+  if (!enabled()) return;
+  record(EventKind::kFault, site, "fault-injection site fired");
+  Sampler* s = g_sampler;
+  if (s == nullptr || !s->opts.dump_on_fault) return;
+  // One dump per distinct site: chaos schedules fire the same site many
+  // times, and the interesting state is the first trip's neighborhood.
+  static std::mutex mu;
+  static std::vector<std::string> dumped_sites;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::string& d : dumped_sites)
+      if (d == site) return;
+    dumped_sites.emplace_back(site);
+  }
+  (void)dump_flight_recorder(site);
+}
+
+std::string flight_dump() {
+  std::vector<FlightEntry> all;
+  {
+    FlightRegistry& reg = flight_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto& ring : reg.rings) {
+      std::lock_guard<std::mutex> rlock(ring->mu);
+      const std::size_t n = ring->entries.size();
+      const std::size_t held = std::min<std::uint64_t>(ring->total, n);
+      for (std::size_t i = 0; i < held; ++i) {
+        // Oldest-first within the ring: start after `head` when wrapped.
+        const std::size_t idx =
+            ring->total >= n ? (ring->head + i) % n : i;
+        all.push_back(ring->entries[idx]);
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const FlightEntry& a, const FlightEntry& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  const std::uint64_t now = now_ns();
+  std::string out = "flight recorder: " + std::to_string(all.size()) +
+                    " event(s), newest last\n";
+  char line[256];
+  for (const FlightEntry& e : all) {
+    const double age_ms =
+        e.ts_ns <= now ? double(now - e.ts_ns) / 1e6 : 0.0;
+    std::snprintf(line, sizeof line, "  [-%9.3f ms] %-8s %-8s %-24s %s\n",
+                  age_ms,
+                  e.slot == 0 ? "host" :
+                      ("rank " + std::to_string(e.slot - 1)).c_str(),
+                  kind_name(e.kind), e.name, e.text);
+    out += line;
+  }
+  return out;
+}
+
+bool write_flight_dump(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string dump = flight_dump();
+  std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+std::string dump_flight_recorder(const char* reason) {
+  std::string dir;
+  if (Sampler* s = g_sampler; s != nullptr && !s->dir.empty()) dir = s->dir;
+  if (dir.empty()) {
+    const char* env = std::getenv("HPAMG_STATE_DUMP_DIR");
+    if (env == nullptr || *env == '\0') return "";
+    dir = env;
+  }
+  static std::atomic<int> seq{0};
+  const std::string path =
+      dir + "/flightrec_" + std::to_string(seq.fetch_add(1)) + ".txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "reason: %s\n", reason != nullptr ? reason : "");
+  const std::string dump = flight_dump();
+  std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fclose(f);
+  metrics::counter("live.flightrec.dumps").add(1);
+  return path;
+}
+
+FlightStats flight_stats() {
+  FlightStats fs;
+  FlightRegistry& reg = flight_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mu);
+    const std::uint64_t held =
+        std::min<std::uint64_t>(ring->total, ring->entries.size());
+    fs.recorded += held;
+    fs.dropped += ring->total - held;
+  }
+  return fs;
+}
+
+}  // namespace hpamg::live

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "support/live.hpp"
+
 namespace hpamg::log {
 
 namespace {
@@ -67,6 +69,13 @@ void logf(Level level, const char* fmt, ...) {
   if (n < 0) return;
   std::size_t len = std::size_t(prefix) +
                     std::min(std::size_t(n), sizeof(buf) - prefix - 2);
+  if (live::enabled()) {
+    // Flight-recorder hook: vsnprintf NUL-terminated the message portion,
+    // so buf + prefix is a C string until the newline append below.
+    static const char* kNames[] = {"error", "warn", "info", "debug", "trace"};
+    live::record(live::EventKind::kLog, kNames[static_cast<int>(level)],
+                 buf + prefix);
+  }
   buf[len++] = '\n';
   std::fwrite(buf, 1, len, stderr);
 }

@@ -78,12 +78,21 @@ Snapshot snapshot() {
     for (const auto& h : r.histograms) {
       HistogramSnapshot hs;
       hs.name = h->name();
-      hs.count = h->count();
-      hs.sum = h->sum();
+      // Read each bucket exactly once and derive the count from the bucket
+      // sum: concurrent observe_always() bumps bucket and count separately,
+      // so reading both independently can produce a snapshot where
+      // count != sum(buckets) — a torn pair the live sampler would export.
+      // Derived this way the invariant holds in every snapshot; `sum` may
+      // lag in-flight observations by at most the racing samples.
+      std::uint64_t raw[Histogram::kBuckets];
       int last = -1;
-      for (int b = 0; b < Histogram::kBuckets; ++b)
-        if (h->bucket(b) > 0) last = b;
-      for (int b = 0; b <= last; ++b) hs.buckets.push_back(h->bucket(b));
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        raw[b] = h->bucket(b);
+        if (raw[b] > 0) last = b;
+        hs.count += raw[b];
+      }
+      for (int b = 0; b <= last; ++b) hs.buckets.push_back(raw[b]);
+      hs.sum = h->sum();
       s.histograms.push_back(std::move(hs));
     }
   }

@@ -145,6 +145,10 @@ Histogram& histogram(std::string_view name);
 
 struct HistogramSnapshot {
   std::string name;
+  /// Always equals the sum of `buckets` (derived from one pass over them,
+  /// never read from the histogram's separate count cell), so consumers —
+  /// the report envelope and the live sampler both use this type — never
+  /// see a torn count/bucket pair under concurrent observation.
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
   /// Bucket counts, trailing zero buckets trimmed.

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "support/error.hpp"
 
@@ -223,7 +224,14 @@ class Parser {
       v.text = parse_string();
       return v;
     }
-    if (consume_literal("null")) return v;
+    if (consume_literal("null")) {
+      // The writer's non-finite policy (JsonWriter::value(double)) turns
+      // NaN/Inf into `null`; carrying NaN in `number` makes the double
+      // round-trip lossless for consumers that read numeric fields without
+      // checking kind (the node still reports is_null(), not is_number()).
+      v.number = std::numeric_limits<double>::quiet_NaN();
+      return v;
+    }
     if (consume_literal("true")) {
       v.kind = JsonValue::Kind::kBool;
       v.boolean = true;
@@ -709,6 +717,13 @@ bool schema_fail(std::string& err, const std::string& what) {
   return false;
 }
 
+/// A measured-double field: a number, or `null` — the writer's encoding
+/// of NaN/Inf (JsonWriter::value(double)). Structural integer fields
+/// (levels, rows, counts) stay strict is_number().
+bool is_double_field(const JsonValue* f) {
+  return f != nullptr && (f->is_number() || f->is_null());
+}
+
 bool check_object_of_numbers(const JsonValue* v, const std::string& where,
                              std::string& err) {
   if (!v || !v->is_object())
@@ -870,12 +885,14 @@ bool check_solve_report(const JsonValue& rep, const std::string& where,
       const JsonValue& e = its->items[i];
       const std::string at =
           where + ".iterations[" + std::to_string(i) + "]";
-      for (const char* field :
-           {"iteration", "relres", "conv_factor", "seconds"}) {
-        const JsonValue* f = e.find(field);
-        if (!f || !f->is_number())
+      const JsonValue* itn = e.find("iteration");
+      if (!itn || !itn->is_number())
+        return schema_fail(err, at + ".iteration missing");
+      // Residual-derived doubles go NaN in a diverged solve and are
+      // written as null; the telemetry entry is still schema-valid.
+      for (const char* field : {"relres", "conv_factor", "seconds"})
+        if (!is_double_field(e.find(field)))
           return schema_fail(err, at + "." + field + " missing");
-      }
       const JsonValue* ls = e.find("level_seconds");
       if (!ls || !ls->is_array())
         return schema_fail(err, at + ".level_seconds missing");
@@ -886,7 +903,7 @@ bool check_solve_report(const JsonValue& rep, const std::string& where,
       // Optional smoother-effectiveness fields (omitted when unmeasured).
       for (const char* field : {"presmooth_relres", "smoother_contraction"})
         if (const JsonValue* f = e.find(field))
-          if (!f->is_number())
+          if (!is_double_field(f))
             return schema_fail(err, at + "." + field + " must be a number");
     }
   }

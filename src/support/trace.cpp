@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "support/live.hpp"
 #include "support/report.hpp"
 
 namespace hpamg::trace {
@@ -194,6 +195,9 @@ void instant(const char* name, const char* cat) {
   e.cat = cat;
   e.ts_ns = now_ns();
   detail::emit(e);
+  // Instants are rare, deliberate markers (faults, recoveries) — exactly
+  // the breadcrumbs the flight recorder should retain.
+  live::record(live::EventKind::kInstant, name, cat);
 }
 
 void counter(const char* name, const char* series0, std::int64_t value0,

@@ -3,6 +3,7 @@
 // (support/report_diff.hpp) behind bench/benchdiff.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -78,6 +79,35 @@ TEST(MetricsRegistry, ConcurrentCountsAreExact) {
   EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kIters);
   // Threads 2 and 3 both land in bucket [2,4).
   EXPECT_EQ(h.bucket(metrics::Histogram::bucket_of(2)), 2u * kIters);
+}
+
+TEST(MetricsRegistry, SnapshotHistogramCountMatchesBucketsUnderLoad) {
+  // The snapshot must be internally consistent: its `count` is derived
+  // from one pass over the buckets, so count == Σ buckets holds in every
+  // snapshot even while writers observe concurrently. (Reading count and
+  // buckets independently produced torn pairs — a sampler thread scraping
+  // mid-solve would see count != Σ buckets and emit a Prometheus
+  // histogram whose +Inf bucket disagrees with _count.)
+  MetricsOff off;
+  metrics::enable();
+  metrics::Histogram& h = metrics::histogram("test.snapshot_consistency");
+  h.reset();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t v = 1;
+    while (!stop.load(std::memory_order_relaxed))
+      h.observe_always(v = (v * 2862933555777941757ull + 3037000493ull));
+  });
+  for (int i = 0; i < 200; ++i) {
+    const metrics::Snapshot snap = metrics::snapshot();
+    for (const metrics::HistogramSnapshot& hs : snap.histograms) {
+      std::uint64_t total = 0;
+      for (std::uint64_t b : hs.buckets) total += b;
+      EXPECT_EQ(hs.count, total) << hs.name << " snapshot " << i;
+    }
+  }
+  stop.store(true);
+  writer.join();
 }
 
 TEST(MetricsHistogram, BucketBoundaries) {

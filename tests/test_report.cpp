@@ -53,6 +53,27 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(w.str(), "[null,null,null,1.5]");
 }
 
+TEST(JsonWriter, NonFiniteDoublesRoundTripAsNaN) {
+  // Regression: the writer emits `null` for non-finite doubles, and the
+  // parser must map null back to NaN so a report → parse → inspect round
+  // trip of a diverged solve (relres = NaN) yields NaN again instead of
+  // the old 0.0 — which silently read as "converged to machine zero".
+  JsonWriter w;
+  w.begin_object()
+      .kv("relres", std::numeric_limits<double>::quiet_NaN())
+      .kv("seconds", 1.5)
+      .end_object();
+  const JsonValue v = json_parse(w.str());
+  const JsonValue* relres = v.find("relres");
+  ASSERT_NE(relres, nullptr);
+  EXPECT_TRUE(relres->is_null());  // kind preserved: benchdiff skips it
+  EXPECT_TRUE(std::isnan(relres->number));
+  const JsonValue* seconds = v.find("seconds");
+  ASSERT_NE(seconds, nullptr);
+  EXPECT_EQ(seconds->number, 1.5);
+}
+
+
 TEST(JsonWriter, DoublesRoundTrip) {
   const double cases[] = {0.0,     -0.0,   1.0 / 3.0, 1e-300, 1e300,
                           6.25e-2, 1e20,   0.1,       123456789.123456789,
@@ -305,6 +326,36 @@ TEST(ValidateBenchReport, RequireSolveNeedsIterations) {
   r.convergence.iterations = 0;
   zero_iters.add_run("a").report(r);
   EXPECT_NE(validate_bench_report_json(zero_iters.to_json(), true), "");
+}
+
+TEST(ValidateBenchReport, NullResidualTelemetryValidates) {
+  // A diverged solve's residual-derived doubles (per-iteration relres /
+  // conv_factor, final_relres) go NaN and the writer emits null for them;
+  // the validator must accept that round trip — structural integers like
+  // `iteration` stay strictly numeric.
+  SolveReport r = sample_report();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  IterationReportEntry it;
+  it.iteration = 1;
+  it.relres = nan;
+  it.conv_factor = nan;
+  it.seconds = 0.01;
+  it.presmooth_relres = nan;
+  it.smoother_contraction = nan;
+  r.iterations.push_back(it);
+  r.convergence.final_relres = nan;
+  BenchReport rpt("unit");
+  rpt.add_run("diverged").report(r);
+  EXPECT_EQ(validate_bench_report_json(rpt.to_json(), /*require_solve=*/true),
+            "");
+
+  // And the parsed document exposes the nulls as NaN, not 0.0.
+  const JsonValue v = json_parse(rpt.to_json());
+  const JsonValue& entry =
+      v.find("runs")->items[0].find("report")->find("iterations")->items[0];
+  ASSERT_TRUE(entry.find("relres")->is_null());
+  EXPECT_TRUE(std::isnan(entry.find("relres")->number));
+  EXPECT_DOUBLE_EQ(entry.find("iteration")->number, 1.0);
 }
 
 TEST(ValidateBenchReport, RunLabeledMNeedsPerRhsMetrics) {

@@ -1,0 +1,20 @@
+// lint-fixture-path: src/krylov/bad_beat.cpp
+// Violation fixture: a driver loop that publishes live heartbeats but
+// opens no TRACE_SPAN, so a watchdog report on this loop could not be
+// joined against the trace timeline.
+// expect: beat-trace-span
+#include "matrix/csr.hpp"
+#include "support/live.hpp"
+
+namespace hpamg {
+
+void unspanned_driver_loop(const Vector& r, double rnorm0) {
+  for (int it = 1; it <= 100; ++it) {
+    double rnorm = 0.0;
+    for (double v : r) rnorm += v * v;
+    live::beat_iteration(it, rnorm / rnorm0);
+    if (rnorm < 1e-16) break;
+  }
+}
+
+}  // namespace hpamg

@@ -5,6 +5,7 @@
 #include "amg/hierarchy.hpp"
 #include "support/check.hpp"
 #include "support/counters.hpp"
+#include "support/live.hpp"
 #include "support/metrics.hpp"
 
 namespace hpamg {
@@ -24,6 +25,12 @@ void waived_everything(const Hierarchy& h, Vector& y) {
 // lint: counted-no-span(accounting helper; caller owns the span)
 void waived_counter_helper(const Vector& y, WorkCounters* wc) {
   if (wc != nullptr) wc->bytes_written += y.size() * 8;
+}
+
+// lint: beat-no-span(test harness loop; not a production driver)
+void waived_beat_helper(int iterations) {
+  for (int it = 1; it <= iterations; ++it)
+    live::beat_iteration(it, 1.0 / it);
 }
 
 }  // namespace hpamg
