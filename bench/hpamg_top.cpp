@@ -56,6 +56,41 @@ std::string fmt_res(double v) {
   return buf;
 }
 
+/// Looks up a metric in the sample's "counters" or "gauges" objects;
+/// `found` (optional) reports whether the key exists at all.
+double metric_of(const JsonValue& sample, const char* group, const char* key,
+                 bool* found = nullptr) {
+  const JsonValue* obj = sample.find(group);
+  const JsonValue* f = obj != nullptr ? obj->find(key) : nullptr;
+  if (found != nullptr) *found = f != nullptr;
+  return f != nullptr && f->is_number() ? f->number : 0.0;
+}
+
+/// SolverService line (only when the run registers service.* instruments):
+/// queue/in-flight/pool gauges plus the admission and resilience counters
+/// — the at-a-glance answer to "is the service shedding or breaking?".
+void render_service(const JsonValue& sample) {
+  bool has_service = false;
+  const double depth =
+      metric_of(sample, "gauges", "service.queue_depth", &has_service);
+  if (!has_service) return;
+  std::printf("service: queue %.0f  in-flight %.0f  cached %.0f  "
+              "breakers-open %.0f\n",
+              depth, metric_of(sample, "gauges", "service.in_flight"),
+              metric_of(sample, "gauges", "service.cached_hierarchies"),
+              metric_of(sample, "gauges", "service.breakers_open"));
+  std::printf("         ok %.0f  rejected %.0f (full %.0f, shed %.0f)  "
+              "deadline %.0f  circuit %.0f  retries %.0f  degraded %.0f\n",
+              metric_of(sample, "counters", "service.completed_ok"),
+              metric_of(sample, "counters", "service.rejected"),
+              metric_of(sample, "counters", "service.queue_full"),
+              metric_of(sample, "counters", "service.shed"),
+              metric_of(sample, "counters", "service.deadline_exceeded"),
+              metric_of(sample, "counters", "service.circuit_open"),
+              metric_of(sample, "counters", "service.retries"),
+              metric_of(sample, "counters", "service.degraded"));
+}
+
 void render(const JsonValue& sample, bool follow) {
   if (follow) std::printf("\x1b[H\x1b[J");  // cursor home + clear screen
   std::printf("hpamg_top  seq=%llu  t=%.1fs\n",
@@ -67,6 +102,7 @@ void render(const JsonValue& sample, bool follow) {
   const JsonValue* ranks = sample.find("ranks");
   if (ranks == nullptr || !ranks->is_array() || ranks->items.empty()) {
     std::printf("(no active ranks)\n");
+    render_service(sample);
     return;
   }
   for (const JsonValue& r : ranks->items) {
@@ -88,6 +124,7 @@ void render(const JsonValue& sample, bool follow) {
                 waiting != nullptr && waiting->boolean ? "yes" : "no",
                 100.0 * num(r, "blocked_frac"));
   }
+  render_service(sample);
 }
 
 // ------------------------------------------------------------------------

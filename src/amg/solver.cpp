@@ -47,7 +47,7 @@ AMGSolver::AMGSolver(const CSRMatrix& A, const AMGOptions& opts)
     : h_(build_hierarchy(validated(A), opts)) {}
 
 SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
-                             Int max_iterations) {
+                             Int max_iterations, const Deadline& deadline) {
   TRACE_SPAN("amg.solve", "phase");
   live::ActivityScope live_scope;
   SolveResult res;
@@ -129,6 +129,17 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
   Timer t_iter;
 
   for (Int it = 1; it <= max_iterations; ++it) {
+    // Deadline check once per V-cycle, at the same cadence as the
+    // heartbeat beat site below: an expired budget unwinds cleanly with
+    // the partial history/iterate instead of running to max_iterations.
+    if (deadline.expired()) {
+      res.status = Status::kDeadlineExceeded;
+      res.events.push_back(
+          "deadline expired before iteration " + std::to_string(it) +
+          " (partial result: relres " + std::to_string(relres) + " after " +
+          std::to_string(res.iterations) + " iterations)");
+      break;
+    }
     if (fault::enabled())
       fault::maybe_poison("amg.solve.poison", xw.data(), xw.size());
     if (telemetry_on) {
@@ -214,7 +225,8 @@ SolveResult AMGSolver::solve(const Vector& b, Vector& x, double rtol,
 }
 
 MultiSolveResult AMGSolver::solve_multi(const MultiVector& B, MultiVector& X,
-                                        double rtol, Int max_iterations) {
+                                        double rtol, Int max_iterations,
+                                        const Deadline& deadline) {
   TRACE_SPAN("amg.solve_multi", "phase");
   live::ActivityScope live_scope;
   MultiSolveResult res;
@@ -296,6 +308,16 @@ MultiSolveResult AMGSolver::solve_multi(const MultiVector& B, MultiVector& X,
   }
 
   for (Int it = 1; it <= max_iterations && st != Status::kNonFinite; ++it) {
+    // Same per-V-cycle deadline contract as the scalar solve: stop with
+    // whatever the columns have converged to so far.
+    if (deadline.expired()) {
+      res.status = Status::kDeadlineExceeded;
+      res.events.push_back("deadline expired before iteration " +
+                           std::to_string(it) + " (partial result after " +
+                           std::to_string(res.iterations) + " iterations)");
+      res.final_relres = relres;
+      break;
+    }
     vcycle_workspace_multi(h_, BW, XW, &pt, wc);
     Timer t;
     spmv_residual_norms2sq_fused_multi(L0.A, XW, BW, R, norms2sq, wc);

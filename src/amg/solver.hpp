@@ -11,6 +11,7 @@
 
 #include "amg/cycle.hpp"
 #include "amg/hierarchy.hpp"
+#include "support/deadline.hpp"
 #include "support/error.hpp"
 #include "support/report.hpp"
 
@@ -61,6 +62,9 @@ struct MultiSolveResult {
   /// Per column: first cycle at which that column's relres crossed rtol
   /// (0 = already converged on entry; -1 = never converged).
   std::vector<Int> col_iterations;
+  /// Incident log (deadline expiry with partial-result note), mirroring
+  /// SolveResult::events.
+  std::vector<std::string> events;
   PhaseTimes solve_times;
   WorkCounters solve_work;
 };
@@ -78,8 +82,14 @@ class AMGSolver {
   /// SDC bit-flip) costs iterations instead of the solve. The terminal
   /// classification lands in SolveResult::status; persistent failure
   /// reports kNonFinite / kDiverged with the incident iteration.
+  ///
+  /// `deadline` (default: never expires) is checked once per V-cycle: an
+  /// expired budget stops the solve with Status::kDeadlineExceeded and a
+  /// partial result — x holds the latest iterate, history/iterations cover
+  /// the cycles that ran (the service layer's latency contract).
   [[nodiscard]] SolveResult solve(const Vector& b, Vector& x, double rtol = 1e-7,
-                    Int max_iterations = 500);
+                    Int max_iterations = 500,
+                    const Deadline& deadline = Deadline::never());
 
   /// Recovery budget per solve: after this many scrub-and-restart attempts
   /// the solve stops with the failure status instead of retrying.
@@ -90,10 +100,9 @@ class AMGSolver {
   /// pass over the hierarchy per cycle serves all m columns (the multi-RHS
   /// amortization this solver exists for). No scrub-and-restart recovery:
   /// a non-finite residual in any column aborts with kNonFinite.
-  [[nodiscard]] MultiSolveResult solve_multi(const MultiVector& B,
-                                             MultiVector& X,
-                                             double rtol = 1e-7,
-                                             Int max_iterations = 500);
+  [[nodiscard]] MultiSolveResult solve_multi(
+      const MultiVector& B, MultiVector& X, double rtol = 1e-7,
+      Int max_iterations = 500, const Deadline& deadline = Deadline::never());
 
   /// One V-cycle as a preconditioner apply: x = B(b), zero initial guess.
   /// b and x are in the original matrix ordering.

@@ -83,7 +83,12 @@ BlockKrylovResult block_pcg(const CSRMatrix& A, const MultiVector& B,
   copy(Z, P);
   rz = dot_columns(R, Z);
 
+  bool deadline_hit = false;
   for (Int it = 1; it <= opt.max_iterations && num_live > 0; ++it) {
+    if (opt.deadline.expired()) {
+      deadline_hit = true;
+      break;
+    }
     spmv_multi(A, P, AP);
     const std::vector<double> pAp = dot_columns(P, AP);
     for (Int j = 0; j < m; ++j) {
@@ -161,6 +166,8 @@ BlockKrylovResult block_pcg(const CSRMatrix& A, const MultiVector& B,
   res.converged = all_converged;
   if (all_converged)
     res.status = Status::kOk;
+  else if (deadline_hit)
+    res.status = Status::kDeadlineExceeded;  // partial: frozen iterates kept
   else if (!any_live)
     res.status = Status::kStagnated;  // every straggler broke down
   else

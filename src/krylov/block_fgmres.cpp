@@ -69,8 +69,9 @@ BlockKrylovResult block_fgmres(const CSRMatrix& A, const MultiVector& B,
   // re-enters, if unconverged, at the next restart).
   std::vector<char> done(std::size_t(m), 0);
   Int total_it = 0;
+  bool deadline_hit = false;
 
-  while (total_it < opt.max_iterations) {
+  while (total_it < opt.max_iterations && !deadline_hit) {
     spmv_residual_multi(A, X, B, R);
     std::vector<double> beta = norm2sq_columns(R);
     std::vector<char> live(std::size_t(m), 0);
@@ -109,6 +110,12 @@ BlockKrylovResult block_fgmres(const CSRMatrix& A, const MultiVector& B,
     Int j_in = 0;
     for (; j_in < restart && total_it < opt.max_iterations && num_live > 0;
          ++j_in, ++total_it) {
+      if (opt.deadline.expired()) {
+        // Fall through to the per-column update below — each column's
+        // completed depth jdone[j] still yields a valid partial iterate.
+        deadline_hit = true;
+        break;
+      }
       const MultiVector& Vj = V[std::size_t(j_in)];
       MultiVector& Zj = Z[std::size_t(j_in)];
       if (precond)
@@ -197,6 +204,7 @@ BlockKrylovResult block_fgmres(const CSRMatrix& A, const MultiVector& B,
   res.converged = all_converged;
   res.status = all_converged  ? Status::kOk
                : nonfinite    ? Status::kNonFinite
+               : deadline_hit ? Status::kDeadlineExceeded
                               : Status::kMaxIterations;
   return res;
 }

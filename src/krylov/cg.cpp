@@ -41,6 +41,10 @@ KrylovResult pcg(const CSRMatrix& A, const Vector& b, Vector& x,
   double rz = dot(r, z);
 
   for (Int it = 1; it <= opt.max_iterations; ++it) {
+    if (opt.deadline.expired()) {
+      res.status = Status::kDeadlineExceeded;
+      break;
+    }
     spmv(A, p, Ap);
     const double pAp = dot(p, Ap);
     if (!std::isfinite(pAp)) {

@@ -51,8 +51,15 @@ KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
     detail::HessenbergLS ls(m);
     ls.set_rhs(beta);
 
+    bool deadline_hit = false;
     Int j = 0;
     for (; j < m && total_it < opt.max_iterations; ++j, ++total_it) {
+      if (opt.deadline.expired()) {
+        // Fall through to the flexible update: the j completed steps
+        // still yield a valid least-squares iterate (partial result).
+        deadline_hit = true;
+        break;
+      }
       if (precond)
         precond(V[j], Z[j]);
       else
@@ -97,6 +104,10 @@ KrylovResult fgmres(const CSRMatrix& A, const Vector& b, Vector& x,
       return res;
     }
     res.final_relres = relres;
+    if (deadline_hit) {
+      res.status = Status::kDeadlineExceeded;
+      return res;
+    }
   }
   spmv_residual(A, x, b, r);
   res.final_relres = norm2(r) / normb;

@@ -47,8 +47,15 @@ KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
     detail::HessenbergLS ls(m);
     ls.set_rhs(beta);
 
+    bool deadline_hit = false;
     Int j = 0;
     for (; j < m && total_it < opt.max_iterations; ++j, ++total_it) {
+      if (opt.deadline.expired()) {
+        // Fall through to the update below: the j completed Arnoldi steps
+        // still yield a valid least-squares iterate (partial result).
+        deadline_hit = true;
+        break;
+      }
       if (precond)
         precond(V[j], z);
       else
@@ -101,6 +108,10 @@ KrylovResult gmres(const CSRMatrix& A, const Vector& b, Vector& x,
       return res;
     }
     res.final_relres = relres;
+    if (deadline_hit) {
+      res.status = Status::kDeadlineExceeded;
+      return res;
+    }
   }
   // Final true residual.
   spmv_residual(A, x, b, r);

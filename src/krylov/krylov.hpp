@@ -12,6 +12,7 @@
 #include "matrix/csr.hpp"
 #include "matrix/vector_ops.hpp"
 #include "support/counters.hpp"
+#include "support/deadline.hpp"
 #include "support/error.hpp"
 
 namespace hpamg {
@@ -37,6 +38,11 @@ struct KrylovOptions {
   double rtol = 1e-7;
   Int max_iterations = 1000;
   Int restart = 50;  ///< GMRES/FGMRES restart length
+  /// Time budget, checked once per iteration (per inner Arnoldi step for
+  /// GMRES/FGMRES): an expired deadline stops the solve with
+  /// Status::kDeadlineExceeded and the partial iterate/history. Defaults
+  /// to never expiring.
+  Deadline deadline;
 };
 
 /// (Preconditioned) conjugate gradient. Pass a null precond for plain CG.

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/parallel.hpp"
 
 namespace hpamg {
@@ -156,6 +157,41 @@ bool csr_same_operator(const CSRMatrix& a, const CSRMatrix& b, double tol) {
     if (!ok) return false;
   }
   return true;
+}
+
+std::uint64_t matrix_fingerprint(const CSRMatrix& a) {
+  FingerprintHasher h;
+  h.update(std::uint64_t(0x43535246ull));  // "CSRF" domain separator
+  h.update(std::uint64_t(a.nrows));
+  h.update(std::uint64_t(a.ncols));
+  std::vector<Int> order;  // scratch for rows stored out of column order
+  for (Int i = 0; i < a.nrows; ++i) {
+    const Int begin = a.rowptr[i];
+    const Int end = a.rowptr[i + 1];
+    h.update(std::uint64_t(end - begin));
+    bool sorted = true;
+    for (Int k = begin + 1; k < end; ++k)
+      if (a.colidx[k] < a.colidx[k - 1]) {
+        sorted = false;
+        break;
+      }
+    if (sorted) {
+      for (Int k = begin; k < end; ++k) {
+        h.update(std::uint64_t(a.colidx[k]));
+        h.update(a.values[k]);
+      }
+    } else {
+      order.resize(std::size_t(end - begin));
+      std::iota(order.begin(), order.end(), begin);
+      std::sort(order.begin(), order.end(),
+                [&](Int x, Int y) { return a.colidx[x] < a.colidx[y]; });
+      for (Int k : order) {
+        h.update(std::uint64_t(a.colidx[k]));
+        h.update(a.values[k]);
+      }
+    }
+  }
+  return h.digest();
 }
 
 }  // namespace hpamg

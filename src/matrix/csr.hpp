@@ -84,4 +84,15 @@ bool csr_approx_equal(const CSRMatrix& a, const CSRMatrix& b,
 bool csr_same_operator(const CSRMatrix& a, const CSRMatrix& b,
                        double tol = 1e-10);
 
+/// Canonical content fingerprint of a CSR matrix — the hierarchy-cache key
+/// of the service layer (src/service). Hashes shape plus every row's
+/// (column, value) entries in SORTED column order regardless of the stored
+/// order, so two equal matrices built in different construction orders
+/// (sorted rows vs insertion order) fingerprint identically; -0.0 hashes
+/// as +0.0 for the same reason. Duplicate column entries within a row are
+/// NOT merged (CSRMatrix::validate rejects none, but from_triplets never
+/// produces them); explicit zeros are hashed (they are part of the stored
+/// pattern the solver sees). O(nnz), no allocation for sorted rows.
+std::uint64_t matrix_fingerprint(const CSRMatrix& a);
+
 }  // namespace hpamg

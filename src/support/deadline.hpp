@@ -1,0 +1,75 @@
+// Deadline: a monotonic-clock time budget threaded through solver
+// iteration loops.
+//
+// The service layer (src/service) admits requests with latency contracts;
+// a solve that cannot finish inside its contract must unwind cleanly
+// mid-iteration — partial results reported, no work discarded silently —
+// instead of running to max_iterations while the caller has already timed
+// out. AMGSolver::solve / solve_multi and every Krylov driver check the
+// deadline once per outer iteration (the same cadence as the live
+// heartbeat publishes, so the check piggybacks on an existing beat site)
+// and stop with Status::kDeadlineExceeded when it has passed.
+//
+// A default-constructed Deadline never expires, so callers that do not
+// care pay one branch per iteration and nothing else. Built on
+// steady_clock: wall-clock adjustments cannot expire (or resurrect) a
+// budget.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace hpamg {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unbounded: never expires.
+  Deadline() = default;
+
+  /// Explicit spelling of the unbounded deadline.
+  static Deadline never() { return Deadline(); }
+
+  /// Expires `seconds` from now (<= 0 means already expired).
+  static Deadline after(double seconds) {
+    return Deadline(Clock::now() + to_duration(seconds));
+  }
+
+  /// Expires at an absolute steady_clock instant.
+  static Deadline at(Clock::time_point tp) { return Deadline(tp); }
+
+  bool bounded() const { return bounded_; }
+
+  /// True once the budget has passed; always false for unbounded.
+  bool expired() const { return bounded_ && Clock::now() >= tp_; }
+
+  /// Seconds until expiry: negative once past, +infinity when unbounded.
+  double remaining_s() const {
+    if (!bounded_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(tp_ - Clock::now()).count();
+  }
+
+  /// Expiry instant; meaningful only when bounded().
+  Clock::time_point time_point() const { return tp_; }
+
+  /// The earlier of two deadlines (unbounded is the identity).
+  static Deadline sooner(const Deadline& a, const Deadline& b) {
+    if (!a.bounded_) return b;
+    if (!b.bounded_) return a;
+    return Deadline(a.tp_ < b.tp_ ? a.tp_ : b.tp_);
+  }
+
+ private:
+  explicit Deadline(Clock::time_point tp) : bounded_(true), tp_(tp) {}
+
+  static Clock::duration to_duration(double seconds) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+
+  bool bounded_ = false;
+  Clock::time_point tp_{};
+};
+
+}  // namespace hpamg

@@ -38,6 +38,12 @@ enum class [[nodiscard]] Status : int {
   kDeadlock,            ///< bounded wait timed out inside simmpi
   kCollectiveMismatch,  ///< ranks entered different collectives
   kPeerFailure,         ///< released from a wait because a peer failed
+  // Service-layer verdicts (src/service): the error contract of the
+  // session layer. Requests that never reach a solver still resolve to a
+  // specific Status, never silence.
+  kRejected,            ///< admission control refused the request
+  kDeadlineExceeded,    ///< deadline expired (in queue or mid-solve)
+  kCircuitOpen,         ///< per-operator circuit breaker is open
   kUnknown,             ///< unclassified exception
 };
 
@@ -55,6 +61,9 @@ inline const char* status_name(Status s) {
     case Status::kDeadlock: return "deadlock";
     case Status::kCollectiveMismatch: return "collective_mismatch";
     case Status::kPeerFailure: return "peer_failure";
+    case Status::kRejected: return "rejected";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kCircuitOpen: return "circuit_open";
     case Status::kUnknown: break;
   }
   return "unknown";

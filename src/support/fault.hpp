@@ -20,7 +20,10 @@
 //   - dist/simmpi.cpp — message delay / drop / delivery reordering /
 //     payload bit-flip (silent data corruption);
 //   - setup paths — allocation failure (maybe_fail_alloc);
-//   - numeric kernels — NaN poke into a vector entry (maybe_poison).
+//   - numeric kernels — NaN poke into a vector entry (maybe_poison);
+//   - service/service.cpp — "service.admit" (deterministic admission
+//     rejection in the queue path) and "service.setup.alloc" (hierarchy
+//     build failure), driving the breaker/retry chaos suite.
 #pragma once
 
 #include <atomic>

@@ -20,6 +20,45 @@ inline std::uint64_t hash_mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Order-dependent streaming 64-bit hasher: chains hash_mix over a word
+/// stream, so `update(a); update(b)` and `update(b); update(a)` digest
+/// differently. This is the fingerprinting primitive behind
+/// matrix_fingerprint (matrix/csr.hpp): callers are responsible for
+/// feeding a CANONICAL word stream (e.g. per-row entries in sorted column
+/// order), which is what makes two equal objects built in different
+/// construction orders hash identically.
+class FingerprintHasher {
+ public:
+  void update(std::uint64_t x) {
+    h_ = hash_mix(h_ ^ hash_mix(x));
+    ++count_;
+  }
+
+  /// Doubles are hashed by bit pattern after canonicalization: -0.0 is
+  /// folded into +0.0 (they compare equal, so equal matrices must agree)
+  /// and every NaN payload collapses to one canonical NaN.
+  void update(double v) {
+    std::uint64_t bits;
+    if (v == 0.0) {
+      bits = 0;  // +0.0 and -0.0
+    } else if (v != v) {
+      bits = 0x7ff8000000000000ull;  // canonical quiet NaN
+    } else {
+      static_assert(sizeof(double) == sizeof(std::uint64_t));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+    }
+    update(bits);
+  }
+
+  /// Folds the stream length into the digest so a trailing zero word is
+  /// not absorbed ({1} vs {1, 0} digest differently).
+  std::uint64_t digest() const { return hash_mix(h_ ^ count_); }
+
+ private:
+  std::uint64_t h_ = 0x6a09e667f3bcc908ull;  // sqrt(2) fraction bits
+  std::uint64_t count_ = 0;
+};
+
 /// Linear-probing hash set of non-negative integer keys.
 template <typename K>
 class HashSet {

@@ -273,5 +273,62 @@ TEST(Io, RejectsBadHeader) {
   EXPECT_THROW(read_matrix_market(ss), std::invalid_argument);
 }
 
+// -------------------------------------------------------- fingerprinting ----
+
+TEST(Fingerprint, ConstructionOrderDoesNotChangeTheHash) {
+  // Same operator assembled in two different triplet orders: from_triplets
+  // sorts, so both end up row-sorted — but also build a third copy by hand
+  // with UNSORTED columns inside a row and check it still matches.
+  std::vector<Triplet> fwd = {{0, 0, 4.0}, {0, 1, -1.0}, {1, 0, -1.0},
+                              {1, 1, 4.0}, {1, 2, -1.0}, {2, 2, 4.0}};
+  std::vector<Triplet> rev(fwd.rbegin(), fwd.rend());
+  const CSRMatrix a = CSRMatrix::from_triplets(3, 3, fwd);
+  const CSRMatrix b = CSRMatrix::from_triplets(3, 3, rev);
+  EXPECT_EQ(matrix_fingerprint(a), matrix_fingerprint(b));
+
+  CSRMatrix c(3, 3);
+  c.rowptr = {0, 2, 5, 6};
+  c.colidx = {1, 0, 2, 1, 0, 2};  // rows 0 and 1 stored column-unsorted
+  c.values = {-1.0, 4.0, -1.0, 4.0, -1.0, 4.0};
+  c.validate();
+  EXPECT_FALSE(c.rows_sorted());
+  EXPECT_EQ(matrix_fingerprint(a), matrix_fingerprint(c));
+}
+
+CSRMatrix tridiag(Int n) {
+  std::vector<Triplet> t;
+  for (Int i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0});
+    if (i > 0) t.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) t.push_back({i, i + 1, -1.0});
+  }
+  return CSRMatrix::from_triplets(n, n, t);
+}
+
+TEST(Fingerprint, ValueAndStructureChangesChangeTheHash) {
+  const CSRMatrix a = tridiag(8);
+  CSRMatrix b = a;
+  b.values[3] += 1e-12;  // tiny value change must be visible
+  EXPECT_NE(matrix_fingerprint(a), matrix_fingerprint(b));
+
+  CSRMatrix wider = a;
+  wider.ncols += 1;  // same entries, different shape
+  EXPECT_NE(matrix_fingerprint(a), matrix_fingerprint(wider));
+
+  // An explicit zero is part of the stored operator the solver sees.
+  CSRMatrix explicit_zero = CSRMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 0.0}, {1, 1, 1.0}});
+  CSRMatrix no_zero =
+      CSRMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_NE(matrix_fingerprint(explicit_zero), matrix_fingerprint(no_zero));
+}
+
+TEST(Fingerprint, NegativeZeroHashesAsPositiveZero) {
+  CSRMatrix a = CSRMatrix::from_triplets(1, 1, {{0, 0, 0.0}});
+  CSRMatrix b = a;
+  b.values[0] = -0.0;
+  EXPECT_EQ(matrix_fingerprint(a), matrix_fingerprint(b));
+}
+
 }  // namespace
 }  // namespace hpamg
